@@ -1,0 +1,137 @@
+package mediumgrain_test
+
+import (
+	"testing"
+
+	"mediumgrain"
+	"mediumgrain/internal/gen"
+)
+
+func TestPublicCartesianPartition(t *testing.T) {
+	a := gen.Laplacian2D(12, 12)
+	res, err := mediumgrain.CartesianPartition(a, 2, 3, mediumgrain.DefaultOptions(), mediumgrain.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 2 || res.Q != 3 {
+		t.Fatalf("grid %dx%d", res.P, res.Q)
+	}
+	if got := mediumgrain.Volume(a, res.Parts, 6); got != res.Volume {
+		t.Fatalf("volume %d != %d", got, res.Volume)
+	}
+}
+
+func TestPublicVCycleRefine(t *testing.T) {
+	a := gen.Laplacian2D(10, 10)
+	parts := make([]int, a.NNZ())
+	for k := range parts {
+		parts[k] = k % 2
+	}
+	before := mediumgrain.Volume(a, parts, 2)
+	refined := mediumgrain.VCycleRefine(a, parts, mediumgrain.DefaultOptions(), mediumgrain.NewRNG(2))
+	if after := mediumgrain.Volume(a, refined, 2); after > before {
+		t.Fatalf("v-cycle increased volume %d -> %d", before, after)
+	}
+}
+
+func TestPublicFullIterative(t *testing.T) {
+	a := gen.PowerLawGraph(mediumgrain.NewRNG(3), 150, 3)
+	res, err := mediumgrain.FullIterative(a, 3, mediumgrain.DefaultOptions(), mediumgrain.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Volume != mediumgrain.Volume(a, res.Parts, 2) {
+		t.Fatal("volume inconsistent")
+	}
+}
+
+func TestPublicOptimizeVectorDistribution(t *testing.T) {
+	a := gen.Laplacian2D(10, 10)
+	res, err := mediumgrain.Partition(a, 4, mediumgrain.MethodMediumGrain,
+		mediumgrain.DefaultOptions(), mediumgrain.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := mediumgrain.NewDistribution(a, res.Parts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCost := mediumgrain.BSPCost(a, res.Parts, 4)
+	_, optCost := mediumgrain.OptimizeVectorDistribution(a, res.Parts, 4, dist.Vector, 0)
+	if optCost > baseCost {
+		t.Fatalf("optimizer worsened BSP cost %d -> %d", baseCost, optCost)
+	}
+}
+
+func TestPublicDistributedBundleRoundTrip(t *testing.T) {
+	a := gen.Laplacian2D(8, 8)
+	res, err := mediumgrain.Partition(a, 2, mediumgrain.MethodMediumGrain,
+		mediumgrain.DefaultOptions(), mediumgrain.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mediumgrain.NewDistributedBundle(a, res.Parts, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := mediumgrain.WriteDistributed(dir, "m", b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mediumgrain.ReadDistributed(dir, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Volume() != b.Volume() {
+		t.Fatal("bundle volume changed in round trip")
+	}
+}
+
+func TestPublicKWayRefine(t *testing.T) {
+	a := gen.Laplacian2D(12, 12)
+	res, err := mediumgrain.Partition(a, 8, mediumgrain.MethodMediumGrain,
+		mediumgrain.DefaultOptions(), mediumgrain.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := append([]int(nil), res.Parts...)
+	after := mediumgrain.KWayRefine(a, parts, 8, 0.03, mediumgrain.NewRNG(8))
+	if after > res.Volume {
+		t.Fatalf("k-way refinement worsened %d -> %d", res.Volume, after)
+	}
+	if mediumgrain.Imbalance(parts, 8) > 0.03+1e-9 {
+		t.Fatal("k-way refinement broke balance")
+	}
+}
+
+func TestPublicPredictSpMV(t *testing.T) {
+	a := gen.Laplacian2D(10, 10)
+	res, err := mediumgrain.Partition(a, 4, mediumgrain.MethodMediumGrain,
+		mediumgrain.DefaultOptions(), mediumgrain.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := mediumgrain.PredictSpMV(a, res.Parts, 4, mediumgrain.BSPMachine{G: 4, L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TotalCost <= 0 || pred.Speedup <= 0 {
+		t.Fatalf("degenerate prediction %+v", pred)
+	}
+}
+
+func TestPublicSymmetricVolume(t *testing.T) {
+	a := gen.Laplacian2D(8, 8)
+	res, err := mediumgrain.Bipartition(a, mediumgrain.MethodMediumGrain,
+		mediumgrain.DefaultOptions(), mediumgrain.NewRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := mediumgrain.SymmetricVolume(a, res.Parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv < res.Volume {
+		t.Fatalf("symmetric volume %d below free volume %d", sv, res.Volume)
+	}
+}

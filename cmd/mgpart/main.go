@@ -1,0 +1,130 @@
+// Command mgpart partitions a sparse matrix for parallel sparse
+// matrix-vector multiplication using the medium-grain method (or any of
+// the baseline methods) and reports the quality of the result.
+//
+// Usage:
+//
+//	mgpart -in matrix.mtx [-method MG] [-p 2] [-eps 0.03] [-ir]
+//	       [-engine mondriaan|alt] [-seed 1] [-out parts.txt]
+//
+// The output lists one part id per nonzero, in the (row-sorted) order of
+// the input file's nonzeros after canonicalization.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mediumgrain"
+	"mediumgrain/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mgpart: ")
+
+	var (
+		inPath  = flag.String("in", "", "input Matrix Market file (required)")
+		method  = flag.String("method", "MG", "method: MG, LB, FG, RN, CN")
+		p       = flag.Int("p", 2, "number of parts")
+		eps     = flag.Float64("eps", 0.03, "allowed load imbalance")
+		ir      = flag.Bool("ir", false, "apply iterative refinement")
+		engine  = flag.String("engine", "mondriaan", "hypergraph engine: mondriaan or alt")
+		seed    = flag.Int64("seed", 1, "random seed")
+		outPath = flag.String("out", "", "write part assignment (one id per line)")
+		spy     = flag.Bool("spy", false, "print an ASCII spy plot of the partitioned matrix")
+		stats   = flag.Bool("stats", false, "print per-part statistics and the lambda histogram")
+		distDir = flag.String("dist", "", "write a distributed bundle (<dir>/<matrixbase>.{mtx,parts,invec,outvec})")
+		kway    = flag.Bool("kway", false, "apply direct k-way refinement after recursive bisection")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	a, err := mediumgrain.ReadMatrixMarketFile(*inPath)
+	if err != nil {
+		log.Fatalf("reading %s: %v", *inPath, err)
+	}
+	a.Canonicalize()
+
+	m, err := mediumgrain.ParseMethod(*method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := mediumgrain.DefaultOptions()
+	opts.Eps = *eps
+	opts.Refine = *ir
+	switch *engine {
+	case "mondriaan":
+		opts.Config = mediumgrain.MondriaanLikeConfig()
+	case "alt":
+		opts.Config = mediumgrain.AltConfig()
+	default:
+		log.Fatalf("unknown engine %q (want mondriaan or alt)", *engine)
+	}
+
+	rng := mediumgrain.NewRNG(*seed)
+	res, err := mediumgrain.Partition(a, *p, m, opts, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *kway {
+		before := res.Volume
+		res.Volume = mediumgrain.KWayRefine(a, res.Parts, *p, *eps, rng)
+		fmt.Printf("k-way refinement: volume %d -> %d\n", before, res.Volume)
+	}
+
+	fmt.Printf("matrix:    %v (class %v)\n", a, a.Classify())
+	fmt.Printf("method:    %v  refine=%v  engine=%s  p=%d  eps=%g\n", m, *ir, *engine, *p, *eps)
+	fmt.Printf("volume:    %d\n", res.Volume)
+	fmt.Printf("imbalance: %.4f (allowed %.4f)\n", mediumgrain.Imbalance(res.Parts, *p), *eps)
+	fmt.Printf("BSP cost:  %d\n", mediumgrain.BSPCost(a, res.Parts, *p))
+
+	if *spy {
+		fmt.Println()
+		fmt.Print(report.Spy(a, res.Parts, 64))
+	}
+	if *stats {
+		fmt.Println()
+		fmt.Print(report.Stats(a, res.Parts, *p))
+		fmt.Println()
+		fmt.Print(report.LambdaHistogram(a, res.Parts, *p))
+	}
+
+	if *distDir != "" {
+		bundle, err := mediumgrain.NewDistributedBundle(a, res.Parts, *p, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := strings.TrimSuffix(filepath.Base(*inPath), filepath.Ext(*inPath))
+		if err := mediumgrain.WriteDistributed(*distDir, base, bundle); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("distributed bundle written to %s/%s.{mtx,parts,invec,outvec}\n", *distDir, base)
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for _, pt := range res.Parts {
+			fmt.Fprintln(w, pt)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("partition written to %s\n", *outPath)
+	}
+}

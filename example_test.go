@@ -1,0 +1,116 @@
+package mediumgrain_test
+
+import (
+	"fmt"
+
+	"mediumgrain"
+	"mediumgrain/internal/gen"
+)
+
+// ExampleBipartition partitions the paper's Fig. 1 matrix with the
+// medium-grain method.
+func ExampleBipartition() {
+	a := mediumgrain.NewMatrix(3, 6)
+	for _, nz := range [][2]int{
+		{0, 0}, {0, 2}, {0, 3}, {0, 5},
+		{1, 0}, {1, 1}, {1, 3}, {1, 4},
+		{2, 1}, {2, 2}, {2, 4}, {2, 5},
+	} {
+		a.AppendPattern(nz[0], nz[1])
+	}
+	a.Canonicalize()
+
+	opts := mediumgrain.DefaultOptions()
+	opts.Refine = true
+	res, err := mediumgrain.Bipartition(a, mediumgrain.MethodMediumGrain, opts, mediumgrain.NewRNG(42))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("parts per nonzero:", len(res.Parts))
+	fmt.Println("balanced:", mediumgrain.Imbalance(res.Parts, 2) <= opts.Eps)
+	// Output:
+	// parts per nonzero: 12
+	// balanced: true
+}
+
+// ExampleIterativeRefine applies Algorithm 2 to a deliberately bad
+// partitioning and shows that the volume never increases.
+func ExampleIterativeRefine() {
+	a := gen.Laplacian2D(12, 12)
+	parts := make([]int, a.NNZ())
+	for k := range parts {
+		parts[k] = k % 2 // awful: nonzeros alternate parts
+	}
+	before := mediumgrain.Volume(a, parts, 2)
+	refined := mediumgrain.IterativeRefine(a, parts, mediumgrain.DefaultOptions(), mediumgrain.NewRNG(1))
+	after := mediumgrain.Volume(a, refined, 2)
+	fmt.Println("volume reduced:", after < before)
+	// Output:
+	// volume reduced: true
+}
+
+// ExamplePartition distributes a mesh over 8 processors by recursive
+// bisection.
+func ExamplePartition() {
+	a := gen.Laplacian2D(16, 16)
+	res, err := mediumgrain.Partition(a, 8, mediumgrain.MethodMediumGrain,
+		mediumgrain.DefaultOptions(), mediumgrain.NewRNG(3))
+	if err != nil {
+		panic(err)
+	}
+	used := map[int]bool{}
+	for _, p := range res.Parts {
+		used[p] = true
+	}
+	fmt.Println("parts used:", len(used))
+	fmt.Println("within balance:", mediumgrain.Imbalance(res.Parts, 8) <= 0.03)
+	// Output:
+	// parts used: 8
+	// within balance: true
+}
+
+// ExampleRunSpMV shows the full pipeline: partition, distribute, run the
+// parallel multiplication, and check that measured traffic equals the
+// model's communication volume.
+func ExampleRunSpMV() {
+	a := gen.WithRandomValues(mediumgrain.NewRNG(4), gen.Laplacian2D(10, 10))
+	res, err := mediumgrain.Partition(a, 4, mediumgrain.MethodMediumGrain,
+		mediumgrain.DefaultOptions(), mediumgrain.NewRNG(5))
+	if err != nil {
+		panic(err)
+	}
+	dist, err := mediumgrain.NewDistribution(a, res.Parts, 4)
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float64, a.Cols)
+	for j := range x {
+		x[j] = 1
+	}
+	_, stats, err := mediumgrain.RunSpMV(a, dist, x)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("traffic == volume:", stats.TotalWords() == res.Volume)
+	// Output:
+	// traffic == volume: true
+}
+
+// ExampleInitialSplit shows Algorithm 1's split: every nonzero goes to
+// either the row group Ar or the column group Ac.
+func ExampleInitialSplit() {
+	a := gen.Tridiagonal(100)
+	inRow := mediumgrain.InitialSplit(a, mediumgrain.SplitNNZ, mediumgrain.NewRNG(6))
+	par := mediumgrain.InitialSplitParallel(a, mediumgrain.NewRNG(6), 4)
+	same := true
+	for k := range inRow {
+		if inRow[k] != par[k] {
+			same = false
+		}
+	}
+	fmt.Println("split covers all nonzeros:", len(inRow) == a.NNZ())
+	fmt.Println("parallel split identical:", same)
+	// Output:
+	// split covers all nonzeros: true
+	// parallel split identical: true
+}

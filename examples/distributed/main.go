@@ -1,0 +1,72 @@
+// Distributed-matrix workflow: partition a matrix, attach an optimized
+// vector distribution, persist everything as a Mondriaan-style bundle
+// (<name>.mtx/.parts/.invec/.outvec), read it back, and evaluate the BSP
+// machine model on the loaded distribution.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mediumgrain"
+	"mediumgrain/internal/gen"
+	"mediumgrain/internal/spmv"
+)
+
+func main() {
+	const p = 8
+	a := gen.Laplacian3D(8, 8, 8)
+	fmt.Println("matrix:", a, "class", a.Classify())
+
+	opts := mediumgrain.DefaultOptions()
+	opts.Refine = true
+	res, err := mediumgrain.Partition(a, p, mediumgrain.MethodMediumGrain, opts, mediumgrain.NewRNG(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Post-process: direct k-way refinement, then vector-owner search.
+	parts := append([]int(nil), res.Parts...)
+	vol := mediumgrain.KWayRefine(a, parts, p, opts.Eps, mediumgrain.NewRNG(3))
+	fmt.Printf("volume: %d after recursive bisection, %d after k-way refinement\n", res.Volume, vol)
+
+	dist, err := mediumgrain.NewDistribution(a, parts, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedyCost := mediumgrain.BSPCost(a, parts, p)
+	vec, optCost := mediumgrain.OptimizeVectorDistribution(a, parts, p, dist.Vector, 0)
+	fmt.Printf("BSP cost: %d greedy vector owners, %d after local search\n", greedyCost, optCost)
+
+	// Persist and reload the full distribution.
+	dir, err := os.MkdirTemp("", "mgdist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	bundle, err := mediumgrain.NewDistributedBundle(a, parts, p, vec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mediumgrain.WriteDistributed(dir, "lap3d", bundle); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := mediumgrain.ReadDistributed(dir, "lap3d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bundle round trip: volume %d, BSP cost %d\n", loaded.Volume(), loaded.BSPCost())
+
+	// Predict parallel SpMV time on a BSP machine (g=4 flops/word,
+	// l=1000 flops/sync, 1 Gflop/s processors).
+	pred, err := spmv.PredictWithDistribution(a, loaded.Parts, p,
+		spmv.Machine{FlopRate: 1e9, G: 4, L: 1000}, loaded.Vector)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("BSP model:", pred)
+}

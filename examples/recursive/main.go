@@ -1,0 +1,40 @@
+// Recursive bisection to many parts (paper §IV, Fig. 6b / Table II):
+// partition a term-by-document-style rectangular matrix over 64
+// processors with the medium-grain method and the 1D localbest baseline,
+// comparing communication volume and BSP cost.
+//
+//	go run ./examples/recursive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mediumgrain"
+	"mediumgrain/internal/gen"
+)
+
+func main() {
+	const p = 64
+	a := gen.RandomBipartite(rand.New(rand.NewSource(9)), 4000, 900, 6)
+	fmt.Println("matrix:", a, "class", a.Classify())
+
+	opts := mediumgrain.DefaultOptions()
+	opts.Refine = true
+
+	for _, method := range []mediumgrain.Method{
+		mediumgrain.MethodMediumGrain,
+		mediumgrain.MethodLocalBest,
+		mediumgrain.MethodFineGrain,
+	} {
+		res, err := mediumgrain.Partition(a, p, method, opts, mediumgrain.NewRNG(17))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3v+IR  p=%d  volume %-6d  BSP cost %-5d  imbalance %.3f\n",
+			method, p, res.Volume,
+			mediumgrain.BSPCost(a, res.Parts, p),
+			mediumgrain.Imbalance(res.Parts, p))
+	}
+}

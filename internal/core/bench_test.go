@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mediumgrain/internal/gen"
+	"mediumgrain/internal/metrics"
+)
+
+func BenchmarkSplitAlgorithm1(b *testing.B) {
+	a := gen.PowerLawGraph(rand.New(rand.NewSource(1)), 5000, 4)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Split(a, SplitNNZ, rng)
+	}
+}
+
+func BenchmarkSplitParallel(b *testing.B) {
+	a := gen.PowerLawGraph(rand.New(rand.NewSource(1)), 5000, 4)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			for i := 0; i < b.N; i++ {
+				SplitParallel(a, rng, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkBuildBModel(b *testing.B) {
+	a := gen.PowerLawGraph(rand.New(rand.NewSource(3)), 3000, 4)
+	inRow := Split(a, SplitNNZ, rand.New(rand.NewSource(4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildBModel(a, inRow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefinementFlavors contrasts Algorithm 2 (flat KL/FM) with the
+// hMetis-style V-cycle refinement on the same weak starting partition —
+// the ablation behind the paper's §III-C discussion.
+func BenchmarkRefinementFlavors(b *testing.B) {
+	a := gen.PowerLawGraph(rand.New(rand.NewSource(5)), 1200, 4)
+	base, err := Bipartition(a, MethodRowNet, DefaultOptions(), rand.New(rand.NewSource(6)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("algorithm2", func(b *testing.B) {
+		var vol int64
+		for i := 0; i < b.N; i++ {
+			parts := IterativeRefine(a, base.Parts, DefaultOptions(), rand.New(rand.NewSource(int64(i))))
+			vol = metrics.Volume(a, parts, 2)
+		}
+		b.ReportMetric(float64(vol), "volume")
+	})
+	b.Run("vcycle", func(b *testing.B) {
+		var vol int64
+		for i := 0; i < b.N; i++ {
+			parts := VCycleRefine(a, base.Parts, DefaultOptions(), rand.New(rand.NewSource(int64(i))))
+			vol = metrics.Volume(a, parts, 2)
+		}
+		b.ReportMetric(float64(vol), "volume")
+	})
+}
+
+func BenchmarkFullIterative(b *testing.B) {
+	a := gen.PowerLawGraph(rand.New(rand.NewSource(7)), 800, 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := FullIterative(a, 3, DefaultOptions(), rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/sparse"
+)
+
+// Partition distributes the nonzeros of a over p parts by recursive
+// bisection with the chosen method (§IV: "the medium-grain method can
+// also be used in a recursive bisection scheme to obtain partitionings
+// into p parts"). The global imbalance budget ε is spread over the
+// ⌈log2 p⌉ bisection levels so the final partitioning satisfies eqn (1).
+func Partition(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand) (*Result, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("core: p must be >= 1, got %d", p)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	parts := make([]int, a.NNZ())
+	if p == 1 {
+		return &Result{Parts: parts, Volume: 0, Method: method, Refined: opts.Refine}, nil
+	}
+
+	levels := int(math.Ceil(math.Log2(float64(p))))
+	// Per-level imbalance δ with (1+δ)^levels = 1+ε.
+	delta := math.Pow(1+opts.Eps, 1/float64(levels)) - 1
+
+	all := make([]int, a.NNZ())
+	for k := range all {
+		all[k] = k
+	}
+	if err := bisectRec(a, all, 0, p, parts, method, opts, delta, rng); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Parts:   parts,
+		Volume:  metrics.Volume(a, parts, p),
+		Method:  method,
+		Refined: opts.Refine,
+	}, nil
+}
+
+// bisectRec assigns parts [base, base+q) to the nonzeros listed in subset
+// (indices into a's COO arrays).
+func bisectRec(a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand) error {
+	if q == 1 {
+		for _, k := range subset {
+			parts[k] = base
+		}
+		return nil
+	}
+	q0 := (q + 1) / 2
+	q1 := q - q0
+
+	sub, fwd := submatrix(a, subset)
+	localOpts := opts
+	localOpts.Eps = delta
+	localOpts.TargetFrac = float64(q0) / float64(q)
+	res, err := Bipartition(sub, method, localOpts, rng)
+	if err != nil {
+		return err
+	}
+
+	var left, right []int
+	for sk, k := range fwd {
+		if res.Parts[sk] == 0 {
+			left = append(left, k)
+		} else {
+			right = append(right, k)
+		}
+	}
+	if err := bisectRec(a, left, base, q0, parts, method, opts, delta, rng); err != nil {
+		return err
+	}
+	return bisectRec(a, right, base+q0, q1, parts, method, opts, delta, rng)
+}
+
+// submatrix extracts the nonzeros listed in subset into a standalone
+// matrix with the same dimensions (empty rows/columns are harmless for
+// every model). fwd maps submatrix nonzero order back to positions in a.
+func submatrix(a *sparse.Matrix, subset []int) (*sparse.Matrix, []int) {
+	sub := sparse.New(a.Rows, a.Cols)
+	sub.RowIdx = make([]int, 0, len(subset))
+	sub.ColIdx = make([]int, 0, len(subset))
+	fwd := make([]int, 0, len(subset))
+	for _, k := range subset {
+		sub.AppendPattern(a.RowIdx[k], a.ColIdx[k])
+		fwd = append(fwd, k)
+	}
+	return sub, fwd
+}

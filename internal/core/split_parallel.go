@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"mediumgrain/internal/sparse"
+)
+
+// SplitParallel is the parallel formulation of Algorithm 1 sketched in
+// the paper's §V: "first broadcasting score values so that the owner of
+// nonzero a_ij knows both scores sr(i) and sc(j), then deciding on
+// inclusion of nonzeros in either Ar or Ac". In shared memory the
+// broadcast is the precomputed score arrays; the per-nonzero decisions
+// are independent and are made by `workers` goroutines over contiguous
+// ranges.
+//
+// The output is bit-identical to the sequential Split with the same rng:
+// the only random choice (the global tie side for square matrices) is
+// drawn once, before the parallel phase. The one-off post-pass remains
+// sequential — it is a cheap O(N) scan.
+func SplitParallel(a *sparse.Matrix, rng *rand.Rand, workers int) []bool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nzr := a.RowCounts()
+	nzc := a.ColCounts()
+
+	var tieRow bool
+	switch {
+	case a.Rows > a.Cols:
+		tieRow = true
+	case a.Rows < a.Cols:
+		tieRow = false
+	default:
+		tieRow = rng.Intn(2) == 0
+	}
+
+	inRow := make([]bool, a.NNZ())
+	var wg sync.WaitGroup
+	chunk := (a.NNZ() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= a.NNZ() {
+			break
+		}
+		if hi > a.NNZ() {
+			hi = a.NNZ()
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				i, j := a.RowIdx[k], a.ColIdx[k]
+				switch {
+				case nzc[j] == 1:
+					inRow[k] = true
+				case nzr[i] == 1:
+					inRow[k] = false
+				case nzr[i] < nzc[j]:
+					inRow[k] = true
+				case nzr[i] > nzc[j]:
+					inRow[k] = false
+				default:
+					inRow[k] = tieRow
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	oneOffPostPass(a, inRow, nzr, nzc)
+	return inRow
+}

@@ -1,0 +1,208 @@
+// Package distio reads and writes distributed sparse matrices: the
+// on-disk artifacts a partitioner hands to a parallel SpMV code. The
+// format follows the structure of Mondriaan's output files:
+//
+//   - <name>.mtx        the matrix, general coordinate Matrix Market;
+//   - <name>.parts      one part id per nonzero, in the .mtx order,
+//     preceded by a "p N" header line;
+//   - <name>.invec      input-vector owner per column ("p n" header,
+//     then one owner per line, -1 for untouched components);
+//   - <name>.outvec     output-vector owner per row, same layout.
+//
+// A Bundle round-trips losslessly and is validated on read: part ids in
+// range, owner candidates consistent with the partitioning.
+package distio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/sparse"
+)
+
+// Bundle is a fully distributed matrix: pattern, nonzero owners, and
+// vector component owners.
+type Bundle struct {
+	A      *sparse.Matrix
+	P      int
+	Parts  []int
+	Vector *metrics.VectorDistribution
+}
+
+// NewBundle assembles and validates a bundle from a partitioning,
+// deriving the vector distribution greedily when vec is nil.
+func NewBundle(a *sparse.Matrix, parts []int, p int, vec *metrics.VectorDistribution) (*Bundle, error) {
+	if err := metrics.ValidateParts(a, parts, p); err != nil {
+		return nil, err
+	}
+	if vec == nil {
+		vec = metrics.GreedyVectorDistribution(a, parts, p)
+	}
+	if len(vec.InOwner) != a.Cols || len(vec.OutOwner) != a.Rows {
+		return nil, fmt.Errorf("distio: vector distribution sized %d/%d, want %d/%d",
+			len(vec.InOwner), len(vec.OutOwner), a.Cols, a.Rows)
+	}
+	return &Bundle{A: a, P: p, Parts: parts, Vector: vec}, nil
+}
+
+// Write stores the bundle under dir with the given base name.
+func Write(dir, name string, b *Bundle) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	mtx, err := os.Create(filepath.Join(dir, name+".mtx"))
+	if err != nil {
+		return err
+	}
+	if err := sparse.WriteMatrixMarket(mtx, b.A); err != nil {
+		mtx.Close()
+		return err
+	}
+	if err := mtx.Close(); err != nil {
+		return err
+	}
+	if err := writeIntFile(filepath.Join(dir, name+".parts"), b.P, b.Parts); err != nil {
+		return err
+	}
+	if err := writeIntFile(filepath.Join(dir, name+".invec"), b.P, b.Vector.InOwner); err != nil {
+		return err
+	}
+	return writeIntFile(filepath.Join(dir, name+".outvec"), b.P, b.Vector.OutOwner)
+}
+
+// Read loads a bundle written by Write and validates it.
+func Read(dir, name string) (*Bundle, error) {
+	mtx, err := os.Open(filepath.Join(dir, name+".mtx"))
+	if err != nil {
+		return nil, err
+	}
+	a, err := sparse.ReadMatrixMarket(mtx)
+	mtx.Close()
+	if err != nil {
+		return nil, err
+	}
+	p, parts, err := readIntFile(filepath.Join(dir, name+".parts"))
+	if err != nil {
+		return nil, err
+	}
+	pIn, in, err := readIntFile(filepath.Join(dir, name+".invec"))
+	if err != nil {
+		return nil, err
+	}
+	pOut, out, err := readIntFile(filepath.Join(dir, name+".outvec"))
+	if err != nil {
+		return nil, err
+	}
+	if pIn != p || pOut != p {
+		return nil, fmt.Errorf("distio: inconsistent part counts %d/%d/%d", p, pIn, pOut)
+	}
+	b := &Bundle{A: a, P: p, Parts: parts, Vector: &metrics.VectorDistribution{InOwner: in, OutOwner: out}}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Validate checks structural consistency of the bundle.
+func (b *Bundle) Validate() error {
+	if err := metrics.ValidateParts(b.A, b.Parts, b.P); err != nil {
+		return err
+	}
+	if len(b.Vector.InOwner) != b.A.Cols {
+		return fmt.Errorf("distio: invec length %d != cols %d", len(b.Vector.InOwner), b.A.Cols)
+	}
+	if len(b.Vector.OutOwner) != b.A.Rows {
+		return fmt.Errorf("distio: outvec length %d != rows %d", len(b.Vector.OutOwner), b.A.Rows)
+	}
+	for j, o := range b.Vector.InOwner {
+		if o < -1 || o >= b.P {
+			return fmt.Errorf("distio: invec[%d] = %d out of range", j, o)
+		}
+	}
+	for i, o := range b.Vector.OutOwner {
+		if o < -1 || o >= b.P {
+			return fmt.Errorf("distio: outvec[%d] = %d out of range", i, o)
+		}
+	}
+	return nil
+}
+
+// Volume returns the communication volume of the bundle's partitioning.
+func (b *Bundle) Volume() int64 { return metrics.Volume(b.A, b.Parts, b.P) }
+
+// BSPCost returns the BSP cost under the bundle's vector distribution.
+func (b *Bundle) BSPCost() int64 {
+	return metrics.BSPCostWithDistribution(b.A, b.Parts, b.P, b.Vector)
+}
+
+func writeIntFile(path string, p int, vals []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := fmt.Fprintf(w, "p %d\n", p); err != nil {
+		f.Close()
+		return err
+	}
+	for _, v := range vals {
+		if _, err := fmt.Fprintln(w, v); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readIntFile(path string) (int, []int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	return parseIntStream(f, path)
+}
+
+func parseIntStream(r io.Reader, path string) (int, []int, error) {
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !scan.Scan() {
+		return 0, nil, fmt.Errorf("distio: %s: missing header", path)
+	}
+	fields := strings.Fields(scan.Text())
+	if len(fields) != 2 || fields[0] != "p" {
+		return 0, nil, fmt.Errorf("distio: %s: bad header %q", path, scan.Text())
+	}
+	p, err := strconv.Atoi(fields[1])
+	if err != nil || p < 1 {
+		return 0, nil, fmt.Errorf("distio: %s: bad part count %q", path, fields[1])
+	}
+	var vals []int
+	line := 1
+	for scan.Scan() {
+		line++
+		text := strings.TrimSpace(scan.Text())
+		if text == "" {
+			continue
+		}
+		v, err := strconv.Atoi(text)
+		if err != nil {
+			return 0, nil, fmt.Errorf("distio: %s line %d: %w", path, line, err)
+		}
+		vals = append(vals, v)
+	}
+	if err := scan.Err(); err != nil {
+		return 0, nil, err
+	}
+	return p, vals, nil
+}

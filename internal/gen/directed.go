@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"math/rand"
+
+	"mediumgrain/internal/sparse"
+)
+
+// Generators for square non-symmetric ("Sqr") patterns — directed graphs
+// and one-sided stencils, the shapes that dominate that class in the
+// University of Florida collection.
+
+// DirectedPowerLaw returns the adjacency pattern (with diagonal) of a
+// directed preferential-attachment graph: each new vertex points to d
+// earlier vertices chosen proportionally to their in-degree. The result
+// has heavy-tailed column counts and low pattern symmetry.
+func DirectedPowerLaw(rng *rand.Rand, n, d int) *sparse.Matrix {
+	a := sparse.New(n, n)
+	targets := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		a.AppendPattern(v, v)
+		deg := d
+		if v < d {
+			deg = v
+		}
+		for t := 0; t < deg; t++ {
+			var u int
+			if len(targets) == 0 || rng.Float64() < 0.2 {
+				u = rng.Intn(v)
+			} else {
+				u = targets[rng.Intn(len(targets))]
+				if u >= v {
+					u = rng.Intn(v)
+				}
+			}
+			a.AppendPattern(v, u)
+			targets = append(targets, u)
+		}
+	}
+	a.Canonicalize()
+	return a
+}
+
+// Circulant returns the n×n pattern with a nonzero at (i, (i+s) mod n)
+// for every shift s. Asymmetric shift sets give square non-symmetric
+// matrices with strong 2D structure.
+func Circulant(n int, shifts []int) *sparse.Matrix {
+	a := sparse.New(n, n)
+	for i := 0; i < n; i++ {
+		for _, s := range shifts {
+			j := ((i+s)%n + n) % n
+			a.AppendPattern(i, j)
+		}
+	}
+	a.Canonicalize()
+	return a
+}
+
+// UpwindStencil returns the one-sided (upwind) difference stencil on an
+// nx×ny grid: each point couples to itself and its west and south
+// neighbours only — a classic non-symmetric PDE matrix.
+func UpwindStencil(nx, ny int) *sparse.Matrix {
+	n := nx * ny
+	a := sparse.New(n, n)
+	id := func(x, y int) int { return x*ny + y }
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			v := id(x, y)
+			a.AppendPattern(v, v)
+			if x > 0 {
+				a.AppendPattern(v, id(x-1, y))
+			}
+			if y > 0 {
+				a.AppendPattern(v, id(x, y-1))
+			}
+		}
+	}
+	a.Canonicalize()
+	return a
+}

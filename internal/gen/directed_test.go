@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"mediumgrain/internal/sparse"
+)
+
+func TestDirectedPowerLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := DirectedPowerLaw(rng, 300, 4)
+	checkCanonical(t, a)
+	if a.Classify() != sparse.ClassSquareNonSym {
+		t.Fatalf("directed power law classified %v", a.Classify())
+	}
+	// heavy-tailed in-degree: some column must be much larger than d
+	maxIn := 0
+	for _, c := range a.ColCounts() {
+		if c > maxIn {
+			maxIn = c
+		}
+	}
+	if maxIn < 12 {
+		t.Fatalf("max in-degree %d too small for preferential attachment", maxIn)
+	}
+	// deterministic
+	b := DirectedPowerLaw(rand.New(rand.NewSource(1)), 300, 4)
+	if !sparse.Equal(a, b) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	a := Circulant(10, []int{0, 1, 3})
+	checkCanonical(t, a)
+	if a.NNZ() != 30 {
+		t.Fatalf("NNZ = %d, want 30", a.NNZ())
+	}
+	if a.Classify() != sparse.ClassSquareNonSym {
+		t.Fatalf("asymmetric circulant classified %v", a.Classify())
+	}
+	// symmetric shift set => symmetric matrix
+	s := Circulant(10, []int{0, 1, -1})
+	if s.Classify() != sparse.ClassSymmetric {
+		t.Fatal("symmetric circulant misclassified")
+	}
+	// negative shifts wrap
+	n := Circulant(5, []int{-1})
+	for k := range n.RowIdx {
+		if (n.RowIdx[k]+5-1)%5 != n.ColIdx[k] {
+			t.Fatal("negative shift wrapped wrong")
+		}
+	}
+}
+
+func TestUpwindStencil(t *testing.T) {
+	a := UpwindStencil(4, 5)
+	checkCanonical(t, a)
+	if a.Rows != 20 {
+		t.Fatalf("rows = %d", a.Rows)
+	}
+	if a.Classify() != sparse.ClassSquareNonSym {
+		t.Fatalf("upwind stencil classified %v", a.Classify())
+	}
+	// interior points have 3 entries: diag + west + south
+	want := 3*20 - 4 - 5
+	if a.NNZ() != want {
+		t.Fatalf("NNZ = %d, want %d", a.NNZ(), want)
+	}
+}

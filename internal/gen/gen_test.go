@@ -1,0 +1,258 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mediumgrain/internal/sparse"
+)
+
+func checkCanonical(t *testing.T, a *sparse.Matrix) {
+	t.Helper()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := a.CheckDuplicates(); err != nil {
+		t.Fatalf("duplicates: %v", err)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := ErdosRenyi(rng, 50, 40, 0.05)
+	checkCanonical(t, a)
+	if a.Rows != 50 || a.Cols != 40 {
+		t.Fatalf("dims %dx%d", a.Rows, a.Cols)
+	}
+	want := int(0.05 * 50 * 40)
+	if a.NNZ() != want {
+		t.Fatalf("NNZ = %d, want %d", a.NNZ(), want)
+	}
+}
+
+func TestErdosRenyiEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if a := ErdosRenyi(rng, 0, 10, 0.5); a.NNZ() != 0 {
+		t.Fatal("zero-row matrix has nonzeros")
+	}
+	if a := ErdosRenyi(rng, 10, 10, 0); a.NNZ() != 0 {
+		t.Fatal("zero density has nonzeros")
+	}
+	// tiny density still produces at least one nonzero
+	if a := ErdosRenyi(rng, 10, 10, 1e-9); a.NNZ() != 1 {
+		t.Fatal("tiny density should floor at one nonzero")
+	}
+}
+
+func TestLaplacian2D(t *testing.T) {
+	a := Laplacian2D(4, 5)
+	checkCanonical(t, a)
+	if a.Rows != 20 || a.Cols != 20 {
+		t.Fatalf("dims %dx%d", a.Rows, a.Cols)
+	}
+	// interior vertices have 5 nonzeros; total = 5*n - 2*(nx+ny) boundary
+	// deficit: each missing neighbour is one nonzero.
+	want := 5*20 - 2*4 - 2*5
+	if a.NNZ() != want {
+		t.Fatalf("NNZ = %d, want %d", a.NNZ(), want)
+	}
+	if a.Classify() != sparse.ClassSymmetric {
+		t.Fatal("2D Laplacian must be symmetric")
+	}
+}
+
+func TestLaplacian3D(t *testing.T) {
+	a := Laplacian3D(3, 3, 3)
+	checkCanonical(t, a)
+	if a.Rows != 27 {
+		t.Fatalf("rows = %d", a.Rows)
+	}
+	if a.Classify() != sparse.ClassSymmetric {
+		t.Fatal("3D Laplacian must be symmetric")
+	}
+	// 27 diagonal + 2 per interior grid edge; 3x3x3 grid has 54 edges
+	if a.NNZ() != 27+2*54 {
+		t.Fatalf("NNZ = %d, want %d", a.NNZ(), 27+2*54)
+	}
+}
+
+func TestBandedAndTridiagonal(t *testing.T) {
+	a := Banded(10, 2, 1)
+	checkCanonical(t, a)
+	if a.Classify() == sparse.ClassSymmetric {
+		t.Fatal("asymmetric band classified symmetric")
+	}
+	tr := Tridiagonal(10)
+	checkCanonical(t, tr)
+	if tr.NNZ() != 3*10-2 {
+		t.Fatalf("tridiagonal NNZ = %d, want %d", tr.NNZ(), 3*10-2)
+	}
+	if tr.Classify() != sparse.ClassSymmetric {
+		t.Fatal("tridiagonal must be symmetric")
+	}
+}
+
+func TestPowerLawGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := PowerLawGraph(rng, 200, 3)
+	checkCanonical(t, a)
+	if a.Classify() != sparse.ClassSymmetric {
+		t.Fatal("power-law graph must be symmetric")
+	}
+	// heavy tail: max degree should dwarf the attachment degree
+	maxDeg := 0
+	for _, c := range a.RowCounts() {
+		if c > maxDeg {
+			maxDeg = c
+		}
+	}
+	if maxDeg < 10 {
+		t.Fatalf("max degree %d suspiciously small for preferential attachment", maxDeg)
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomBipartite(rng, 100, 30, 4)
+	checkCanonical(t, a)
+	if a.Classify() != sparse.ClassRectangular {
+		t.Fatal("bipartite matrix must be rectangular")
+	}
+	for i, c := range a.RowCounts() {
+		if c < 1 || c > 4 {
+			t.Fatalf("row %d has %d nonzeros, want 1..4", i, c)
+		}
+	}
+}
+
+func TestBlockDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := BlockDiagonal(rng, 40, 4, 10)
+	checkCanonical(t, a)
+	if a.Classify() != sparse.ClassSymmetric {
+		t.Fatal("block diagonal with symmetric coupling must be symmetric")
+	}
+	// blocks of size 10 are dense: at least 4*100 entries
+	if a.NNZ() < 400 {
+		t.Fatalf("NNZ = %d, want >= 400", a.NNZ())
+	}
+	b := BlockDiagonal(rng, 10, 0, 0) // blocks<1 coerced to 1
+	checkCanonical(t, b)
+	if b.NNZ() != 100 {
+		t.Fatalf("single block NNZ = %d, want 100", b.NNZ())
+	}
+}
+
+func TestArrow(t *testing.T) {
+	a := Arrow(10)
+	checkCanonical(t, a)
+	if a.NNZ() != 10+2*9 {
+		t.Fatalf("arrow NNZ = %d, want %d", a.NNZ(), 10+2*9)
+	}
+	if a.Classify() != sparse.ClassSymmetric {
+		t.Fatal("arrow must be symmetric")
+	}
+}
+
+func TestAsymmetrize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := Laplacian2D(8, 8)
+	b := Asymmetrize(rng, a, 0.5)
+	checkCanonical(t, b)
+	if b.NNZ() >= a.NNZ() {
+		t.Fatal("Asymmetrize dropped nothing")
+	}
+	if b.Classify() != sparse.ClassSquareNonSym {
+		t.Fatal("asymmetrized Laplacian should be square non-symmetric")
+	}
+	// drop=0 must be identity
+	c := Asymmetrize(rng, a, 0)
+	if !sparse.Equal(a, c) {
+		t.Fatal("drop=0 changed the matrix")
+	}
+}
+
+func TestKronecker(t *testing.T) {
+	a := Tridiagonal(3)
+	b := Tridiagonal(2)
+	c := Kronecker(a, b)
+	checkCanonical(t, c)
+	if c.Rows != 6 || c.Cols != 6 {
+		t.Fatalf("dims %dx%d", c.Rows, c.Cols)
+	}
+	if c.NNZ() != a.NNZ()*b.NNZ() {
+		t.Fatalf("NNZ = %d, want %d", c.NNZ(), a.NNZ()*b.NNZ())
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Laplacian2D(6, 6)
+	pr := PermuteRows(rng, a)
+	checkCanonical(t, pr)
+	if pr.NNZ() != a.NNZ() {
+		t.Fatal("row permutation changed nnz")
+	}
+	ps := PermuteSymmetric(rng, a)
+	checkCanonical(t, ps)
+	if ps.Classify() != sparse.ClassSymmetric {
+		t.Fatal("symmetric permutation destroyed symmetry")
+	}
+	// rectangular falls back to a row permutation
+	r := RandomBipartite(rng, 20, 10, 3)
+	pr2 := PermuteSymmetric(rng, r)
+	if pr2.NNZ() != r.NNZ() {
+		t.Fatal("rectangular fallback changed nnz")
+	}
+}
+
+func TestStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := ErdosRenyi(rng, 5, 8, 0.2)
+	b := ErdosRenyi(rng, 7, 8, 0.2)
+	c := Stack(a, b)
+	checkCanonical(t, c)
+	if c.Rows != 12 || c.Cols != 8 {
+		t.Fatalf("dims %dx%d", c.Rows, c.Cols)
+	}
+	if c.NNZ() != a.NNZ()+b.NNZ() {
+		t.Fatal("stack lost nonzeros")
+	}
+}
+
+func TestWithRandomValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := Tridiagonal(5)
+	b := WithRandomValues(rng, a)
+	if !b.HasValues() || len(b.Val) != b.NNZ() {
+		t.Fatal("values missing")
+	}
+	for _, v := range b.Val {
+		if v <= 0 {
+			t.Fatal("values must be positive")
+		}
+	}
+	if a.HasValues() {
+		t.Fatal("original gained values")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		a := PowerLawGraph(rand.New(rand.NewSource(seed)), 60, 3)
+		b := PowerLawGraph(rand.New(rand.NewSource(seed)), 60, 3)
+		return sparse.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+	g := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		r2 := rand.New(rand.NewSource(seed))
+		return sparse.Equal(ErdosRenyi(r1, 30, 20, 0.1), ErdosRenyi(r2, 30, 20, 0.1))
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

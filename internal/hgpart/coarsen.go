@@ -1,0 +1,199 @@
+package hgpart
+
+import (
+	"math/rand"
+
+	"mediumgrain/internal/hypergraph"
+)
+
+// Multilevel coarsening: vertices are pairwise matched — by default with
+// the heavy-connectivity criterion (match the neighbor sharing the most
+// nets), the unweighted analogue of Mondriaan's inner-product matching —
+// and contracted into a coarser hypergraph until the instance is small
+// enough for direct initial partitioning.
+
+// level records one coarsening step: the coarse hypergraph plus the map
+// from fine vertices to coarse vertices, so partitions can be projected
+// back down.
+type level struct {
+	coarse *hypergraph.Hypergraph
+	map_   []int32 // fine vertex -> coarse vertex
+}
+
+// match pairs up vertices and returns the fine→coarse vertex map and the
+// number of coarse vertices. maxClusterWt bounds merged weights so no
+// coarse vertex becomes unplaceable under the balance constraint.
+func match(h *hypergraph.Hypergraph, rng *rand.Rand, cfg Config, maxClusterWt int64) ([]int32, int) {
+	nv := h.NumVerts
+	mate := make([]int32, nv)
+	for i := range mate {
+		mate[i] = -1
+	}
+	order := rng.Perm(nv)
+
+	netLimit := cfg.MatchingNetLimit
+	if netLimit <= 0 {
+		netLimit = defaultMatchingNetLimit
+	}
+
+	if cfg.RandomMatching {
+		matchRandom(h, order, mate, netLimit, maxClusterWt)
+	} else {
+		matchHeavyConnectivity(h, order, mate, netLimit, maxClusterWt)
+	}
+
+	// Assign coarse ids; unmatched vertices map alone.
+	vmap := make([]int32, nv)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+	next := int32(0)
+	for _, vi := range order {
+		v := int32(vi)
+		if vmap[v] >= 0 {
+			continue
+		}
+		vmap[v] = next
+		if m := mate[v]; m >= 0 && vmap[m] < 0 {
+			vmap[m] = next
+		}
+		next++
+	}
+	return vmap, int(next)
+}
+
+// matchHeavyConnectivity matches each unmatched vertex with the unmatched
+// neighbor it shares the most nets with (ties go to the first-seen
+// candidate in the randomized sweep). Nets larger than netLimit are
+// skipped: they connect nearly everything and only slow matching down.
+func matchHeavyConnectivity(h *hypergraph.Hypergraph, order []int, mate []int32, netLimit int, maxClusterWt int64) {
+	conn := make([]int32, h.NumVerts) // scratch connectivity counters
+	cand := make([]int32, 0, 64)
+	for _, vi := range order {
+		v := int32(vi)
+		if mate[v] >= 0 {
+			continue
+		}
+		cand = cand[:0]
+		for _, n := range h.NetsOf(int(v)) {
+			if h.NetSize(int(n)) > netLimit {
+				continue
+			}
+			for _, u := range h.NetPins(int(n)) {
+				if u == v || mate[u] >= 0 {
+					continue
+				}
+				if conn[u] == 0 {
+					cand = append(cand, u)
+				}
+				conn[u]++
+			}
+		}
+		var best int32 = -1
+		var bestConn int32
+		for _, u := range cand {
+			if conn[u] > bestConn && h.VertWt[v]+h.VertWt[u] <= maxClusterWt {
+				best, bestConn = u, conn[u]
+			}
+			conn[u] = 0 // reset scratch
+		}
+		if best >= 0 {
+			mate[v] = best
+			mate[best] = v
+		}
+	}
+}
+
+// matchRandom pairs each unmatched vertex with a random unmatched
+// neighbor — the cheaper scheme used by the alternative ("PaToH-like")
+// configuration.
+func matchRandom(h *hypergraph.Hypergraph, order []int, mate []int32, netLimit int, maxClusterWt int64) {
+	for _, vi := range order {
+		v := int32(vi)
+		if mate[v] >= 0 {
+			continue
+		}
+		var pick int32 = -1
+		for _, n := range h.NetsOf(int(v)) {
+			if h.NetSize(int(n)) > netLimit {
+				continue
+			}
+			for _, u := range h.NetPins(int(n)) {
+				if u != v && mate[u] < 0 && h.VertWt[v]+h.VertWt[u] <= maxClusterWt {
+					pick = u
+					break
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick >= 0 {
+			mate[v] = pick
+			mate[pick] = v
+		}
+	}
+}
+
+// contract builds the coarse hypergraph induced by vmap: vertex weights
+// are summed, net pins are mapped and deduplicated, and nets that shrink
+// to a single pin are dropped (they can never be cut at this or any
+// coarser level).
+func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int) *hypergraph.Hypergraph {
+	wt := make([]int64, numCoarse)
+	for v := 0; v < h.NumVerts; v++ {
+		wt[vmap[v]] += h.VertWt[v]
+	}
+	b := hypergraph.NewBuilder(numCoarse, wt)
+	stamp := make([]int, numCoarse)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	pins := make([]int32, 0, 64)
+	for n := 0; n < h.NumNets; n++ {
+		pins = pins[:0]
+		for _, v := range h.NetPins(n) {
+			cv := vmap[v]
+			if stamp[cv] != n {
+				stamp[cv] = n
+				pins = append(pins, cv)
+			}
+		}
+		if len(pins) >= 2 {
+			b.AddNet(pins)
+		}
+	}
+	return b.Build()
+}
+
+// coarsen produces the multilevel hierarchy, stopping when the hypergraph
+// is small enough or matching stalls.
+func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config) []level {
+	coarsenTo := cfg.CoarsenTo
+	if coarsenTo <= 0 {
+		coarsenTo = defaultCoarsenTo
+	}
+	stall := cfg.MaxCoarsenRatio
+	if stall <= 0 {
+		stall = defaultMaxCoarsenRatio
+	}
+	// A coarse vertex heavier than the part cap can never be placed;
+	// cap clusters well below it.
+	maxClusterWt := balancedCaps(h.TotalWeight(), eps)[0] / 3
+	if maxClusterWt < 1 {
+		maxClusterWt = 1
+	}
+
+	var levels []level
+	cur := h
+	for cur.NumVerts > coarsenTo {
+		vmap, numCoarse := match(cur, rng, cfg, maxClusterWt)
+		if float64(numCoarse) > stall*float64(cur.NumVerts) {
+			break // matching stalled; further levels would not shrink
+		}
+		coarse := contract(cur, vmap, numCoarse)
+		levels = append(levels, level{coarse: coarse, map_: vmap})
+		cur = coarse
+	}
+	return levels
+}

@@ -1,0 +1,292 @@
+package hgpart
+
+import (
+	"math/rand"
+
+	"mediumgrain/internal/hypergraph"
+)
+
+// bipState tracks the incremental quantities FM needs: per-net pin counts
+// on each side, part weights, and the current cut.
+type bipState struct {
+	h      *hypergraph.Hypergraph
+	parts  []int
+	partWt [2]int64
+	maxW   [2]int64
+	pinCt  [2][]int32
+	cut    int64
+}
+
+func newBipState(h *hypergraph.Hypergraph, parts []int, maxW [2]int64) *bipState {
+	s := &bipState{h: h, parts: parts, maxW: maxW}
+	s.pinCt[0] = make([]int32, h.NumNets)
+	s.pinCt[1] = make([]int32, h.NumNets)
+	for v := 0; v < h.NumVerts; v++ {
+		s.partWt[parts[v]] += h.VertWt[v]
+	}
+	for n := 0; n < h.NumNets; n++ {
+		for _, v := range h.NetPins(n) {
+			s.pinCt[parts[v]][n]++
+		}
+		if s.pinCt[0][n] > 0 && s.pinCt[1][n] > 0 {
+			s.cut++
+		}
+	}
+	return s
+}
+
+// feasible reports whether both parts respect their weight caps.
+func (s *bipState) feasible() bool {
+	return s.partWt[0] <= s.maxW[0] && s.partWt[1] <= s.maxW[1]
+}
+
+// overload returns the total weight exceeding the caps; 0 when feasible.
+func (s *bipState) overload() int64 {
+	var o int64
+	if s.partWt[0] > s.maxW[0] {
+		o += s.partWt[0] - s.maxW[0]
+	}
+	if s.partWt[1] > s.maxW[1] {
+		o += s.partWt[1] - s.maxW[1]
+	}
+	return o
+}
+
+// gainOf computes the FM gain of moving v to the other side from scratch.
+func (s *bipState) gainOf(v int32) int32 {
+	from := s.parts[v]
+	to := 1 - from
+	var gain int32
+	for _, n := range s.h.NetsOf(int(v)) {
+		if s.pinCt[from][n] == 1 {
+			gain++
+		}
+		if s.pinCt[to][n] == 0 {
+			gain--
+		}
+	}
+	return gain
+}
+
+// move flips vertex v to the other side, updating pin counts, weights,
+// the cut, and — when buckets/locked are non-nil — the gains of the
+// affected free vertices per the classical FM update rules.
+func (s *bipState) move(v int32, buckets *gainBuckets, locked []bool) {
+	from := s.parts[v]
+	to := 1 - from
+	for _, n := range s.h.NetsOf(int(v)) {
+		pins := s.h.NetPins(int(n))
+		ctF, ctT := s.pinCt[from][n], s.pinCt[to][n]
+		if buckets != nil {
+			if ctT == 0 {
+				// Net was entirely on 'from'; every free pin now gains
+				// from following v.
+				for _, u := range pins {
+					if !locked[u] {
+						buckets.adjust(u, +1)
+					}
+				}
+			} else if ctT == 1 {
+				// The lone 'to'-side pin loses its escape gain.
+				for _, u := range pins {
+					if !locked[u] && s.parts[u] == to {
+						buckets.adjust(u, -1)
+						break
+					}
+				}
+			}
+		}
+		s.pinCt[from][n] = ctF - 1
+		s.pinCt[to][n] = ctT + 1
+		// Cut delta: net is cut after the move iff pins remain on 'from'.
+		before := ctT > 0 // cut before (ctF >= 1 always held)
+		after := ctF > 1
+		if before && !after {
+			s.cut--
+		} else if !before && after {
+			s.cut++
+		}
+		if buckets != nil {
+			ctF, ctT = s.pinCt[from][n], s.pinCt[to][n]
+			if ctF == 0 {
+				for _, u := range pins {
+					if !locked[u] {
+						buckets.adjust(u, -1)
+					}
+				}
+			} else if ctF == 1 {
+				for _, u := range pins {
+					if !locked[u] && s.parts[u] == from {
+						buckets.adjust(u, +1)
+						break
+					}
+				}
+			}
+		}
+	}
+	s.parts[v] = to
+	s.partWt[from] -= s.h.VertWt[v]
+	s.partWt[to] += s.h.VertWt[v]
+}
+
+// fmPass runs one Fiduccia–Mattheyses pass: every vertex is moved at most
+// once; the pass ends at exhaustion or after cfg.EarlyExit consecutive
+// moves without a new best state, and rolls back to the best visited
+// state. Returns true if the pass improved the cut or the balance.
+func fmPass(s *bipState, rng *rand.Rand, cfg Config) bool {
+	h := s.h
+	nv := h.NumVerts
+	if nv == 0 {
+		return false
+	}
+	maxDeg := 0
+	var slack int64
+	for v := 0; v < nv; v++ {
+		if d := h.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+		if w := h.VertWt[v]; w > slack {
+			slack = w
+		}
+	}
+	buckets := newGainBuckets(nv, maxDeg)
+	locked := make([]bool, nv)
+	order := rng.Perm(nv)
+	for _, v := range order {
+		buckets.insert(int32(v), s.parts[v], s.gainOf(int32(v)))
+	}
+
+	startCut, startOver := s.cut, s.overload()
+	bestCut, bestOver := startCut, startOver
+	bestPrefix := 0
+	moves := make([]int32, 0, nv)
+	sinceBest := 0
+
+	for buckets.count[0]+buckets.count[1] > 0 {
+		v := selectMove(s, buckets, slack)
+		if v < 0 {
+			break
+		}
+		buckets.remove(v)
+		locked[v] = true
+		s.move(v, buckets, locked)
+		moves = append(moves, v)
+
+		over := s.overload()
+		if better(s.cut, over, bestCut, bestOver) {
+			bestCut, bestOver = s.cut, over
+			bestPrefix = len(moves)
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if cfg.EarlyExit > 0 && sinceBest >= cfg.EarlyExit {
+				break
+			}
+		}
+	}
+
+	// Roll back to the best prefix.
+	for i := len(moves) - 1; i >= bestPrefix; i-- {
+		s.move(moves[i], nil, nil)
+	}
+	return better(bestCut, bestOver, startCut, startOver)
+}
+
+// better orders states by feasibility first (less overload), then cut.
+func better(cut, over, refCut, refOver int64) bool {
+	if over != refOver {
+		return over < refOver
+	}
+	return cut < refCut
+}
+
+// selectMove picks the next vertex to move: the higher-gain feasible move
+// of the two sides; when the partition is overloaded, moves off the
+// overloaded side are forced so FM restores balance first.
+//
+// Moves may exceed the cap by `slack` (one maximum vertex weight): FM
+// must be able to pass through slightly infeasible intermediate states —
+// otherwise a partition sitting exactly at the caps could never move any
+// vertex — and the best-prefix rollback guarantees the final state is
+// never less feasible than the start.
+func selectMove(s *bipState, buckets *gainBuckets, slack int64) int32 {
+	// Forced rebalancing: if a side is overweight, move from it,
+	// accepting growth of the other side.
+	for side := 0; side < 2; side++ {
+		if s.partWt[side] > s.maxW[side] {
+			return buckets.bestFeasible(side, func(v int32) bool { return true })
+		}
+	}
+	feas := func(from int) func(v int32) bool {
+		to := 1 - from
+		return func(v int32) bool {
+			return s.partWt[to]+s.h.VertWt[v] <= s.maxW[to]+slack
+		}
+	}
+	g0, ok0 := buckets.peekGain(0)
+	g1, ok1 := buckets.peekGain(1)
+	var first, second int
+	switch {
+	case ok0 && ok1 && g0 >= g1:
+		first, second = 0, 1
+	case ok0 && ok1:
+		first, second = 1, 0
+	case ok0:
+		first, second = 0, 0
+	case ok1:
+		first, second = 1, 1
+	default:
+		return -1
+	}
+	if v := buckets.bestFeasible(first, feas(first)); v >= 0 {
+		return v
+	}
+	if second != first {
+		if v := buckets.bestFeasible(second, feas(second)); v >= 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// refine runs FM passes until a pass yields no improvement or MaxPasses
+// is reached. It mutates parts in place and returns the final cut.
+func refine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {
+	s := newBipState(h, parts, maxW)
+	passes := cfg.MaxPasses
+	if passes <= 0 {
+		passes = defaultMaxPasses
+	}
+	for i := 0; i < passes; i++ {
+		if !fmPass(s, rng, cfg) {
+			break
+		}
+	}
+	return s.cut
+}
+
+// RefineBipartition performs a single Kernighan–Lin/FM run (repeated
+// passes until no improvement) on an existing bipartition — the
+// refinement primitive used by the paper's iterative refinement
+// (Algorithm 2, line 16). parts is modified in place; the cut-net value
+// after refinement is returned. The cut never increases.
+func RefineBipartition(h *hypergraph.Hypergraph, parts []int, eps float64, rng *rand.Rand, cfg Config) int64 {
+	return refine(h, parts, balancedCaps(h.TotalWeight(), eps), rng, cfg)
+}
+
+// RefineBipartitionCaps is RefineBipartition with explicit per-part
+// weight caps (for uneven targets during recursive bisection).
+func RefineBipartitionCaps(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {
+	return refine(h, parts, maxW, rng, cfg)
+}
+
+// balancedCaps returns the per-part weight caps (1+eps)·W/2, rounded so a
+// perfectly even split of an odd total stays feasible.
+func balancedCaps(totalWt int64, eps float64) [2]int64 {
+	cap0 := int64((1 + eps) * float64(totalWt) / 2)
+	min := (totalWt + 1) / 2
+	if cap0 < min {
+		cap0 = min
+	}
+	return [2]int64{cap0, cap0}
+}

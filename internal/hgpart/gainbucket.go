@@ -1,0 +1,139 @@
+// Package hgpart implements a multilevel hypergraph bipartitioner in the
+// style of Mondriaan's internal partitioner: heavy-connectivity matching
+// coarsening, greedy/random initial partitioning, and Fiduccia–Mattheyses
+// (FM) refinement with gain buckets, minimizing the cut-net metric (which
+// equals the λ−1 communication-volume metric for two parts) under the
+// load-balance constraint of the paper (eqn (1)).
+package hgpart
+
+// gainBuckets is the classical FM bucket structure: a doubly linked list
+// of vertices per gain value, per side. Gains lie in [-maxDeg, maxDeg]
+// because every incident net contributes at most ±1.
+type gainBuckets struct {
+	maxDeg  int
+	heads   [2][]int32 // heads[side][gain+maxDeg] -> first vertex or -1
+	next    []int32    // per-vertex forward link
+	prev    []int32    // per-vertex backward link
+	gain    []int32    // current gain per vertex
+	side    []int8     // which side's list the vertex is in
+	in      []bool     // whether the vertex is currently listed
+	maxGain [2]int     // lazy upper bound on occupied gain index per side
+	count   [2]int
+}
+
+func newGainBuckets(numVerts, maxDeg int) *gainBuckets {
+	g := &gainBuckets{
+		maxDeg: maxDeg,
+		next:   make([]int32, numVerts),
+		prev:   make([]int32, numVerts),
+		gain:   make([]int32, numVerts),
+		side:   make([]int8, numVerts),
+		in:     make([]bool, numVerts),
+	}
+	for s := 0; s < 2; s++ {
+		g.heads[s] = make([]int32, 2*maxDeg+1)
+		for i := range g.heads[s] {
+			g.heads[s][i] = -1
+		}
+		g.maxGain[s] = -1 // empty
+	}
+	return g
+}
+
+func (g *gainBuckets) reset() {
+	for s := 0; s < 2; s++ {
+		for i := range g.heads[s] {
+			g.heads[s][i] = -1
+		}
+		g.maxGain[s] = -1
+		g.count[s] = 0
+	}
+	for i := range g.in {
+		g.in[i] = false
+	}
+}
+
+// insert adds vertex v with the given gain to the list of side s.
+// New vertices go to the front, giving LIFO tie-breaking, the variant
+// Fiduccia–Mattheyses found to work well.
+func (g *gainBuckets) insert(v int32, s int, gain int32) {
+	idx := int(gain) + g.maxDeg
+	g.gain[v] = gain
+	g.side[v] = int8(s)
+	g.in[v] = true
+	head := g.heads[s][idx]
+	g.next[v] = head
+	g.prev[v] = -1
+	if head >= 0 {
+		g.prev[head] = v
+	}
+	g.heads[s][idx] = v
+	if idx > g.maxGain[s] {
+		g.maxGain[s] = idx
+	}
+	g.count[s]++
+}
+
+// remove unlinks vertex v from its bucket.
+func (g *gainBuckets) remove(v int32) {
+	if !g.in[v] {
+		return
+	}
+	s := int(g.side[v])
+	idx := int(g.gain[v]) + g.maxDeg
+	if g.prev[v] >= 0 {
+		g.next[g.prev[v]] = g.next[v]
+	} else {
+		g.heads[s][idx] = g.next[v]
+	}
+	if g.next[v] >= 0 {
+		g.prev[g.next[v]] = g.prev[v]
+	}
+	g.in[v] = false
+	g.count[s]--
+}
+
+// adjust moves vertex v to a new gain bucket by the given delta.
+func (g *gainBuckets) adjust(v int32, delta int32) {
+	if !g.in[v] || delta == 0 {
+		return
+	}
+	s := int(g.side[v])
+	newGain := g.gain[v] + delta
+	g.remove(v)
+	g.insert(v, s, newGain)
+}
+
+// bestFeasible scans side s from the highest occupied gain downward and
+// returns the first vertex accepted by ok. Returns -1 when the side has
+// no acceptable vertex.
+func (g *gainBuckets) bestFeasible(s int, ok func(v int32) bool) int32 {
+	for idx := g.maxGain[s]; idx >= 0; idx-- {
+		v := g.heads[s][idx]
+		if v < 0 {
+			if idx == g.maxGain[s] {
+				g.maxGain[s] = idx - 1 // lazy max pointer decay
+			}
+			continue
+		}
+		for ; v >= 0; v = g.next[v] {
+			if ok(v) {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// peekGain returns the highest occupied gain of side s and whether the
+// side is non-empty.
+func (g *gainBuckets) peekGain(s int) (int32, bool) {
+	for idx := g.maxGain[s]; idx >= 0; idx-- {
+		if g.heads[s][idx] >= 0 {
+			g.maxGain[s] = idx
+			return int32(idx - g.maxDeg), true
+		}
+	}
+	g.maxGain[s] = -1
+	return 0, false
+}

@@ -1,0 +1,251 @@
+package hgpart
+
+import (
+	"math/rand"
+
+	"mediumgrain/internal/hypergraph"
+)
+
+// Defaults for Config zero values.
+const (
+	defaultCoarsenTo        = 128
+	defaultMaxCoarsenRatio  = 0.85
+	defaultMatchingNetLimit = 64
+	defaultInitTries        = 8
+	defaultMaxPasses        = 8
+)
+
+// Config selects the behaviour of the multilevel engine. The zero value
+// is usable; the presets below mirror the two partitioners of the paper's
+// evaluation.
+type Config struct {
+	// CoarsenTo stops coarsening once the hypergraph has at most this
+	// many vertices (default 128).
+	CoarsenTo int
+	// MaxCoarsenRatio stops coarsening when a level shrinks the vertex
+	// count by less than this factor (default 0.85).
+	MaxCoarsenRatio float64
+	// MatchingNetLimit skips nets larger than this during matching
+	// (default 64).
+	MatchingNetLimit int
+	// RandomMatching uses random instead of heavy-connectivity matching.
+	RandomMatching bool
+	// InitTries is the number of initial partitions attempted at the
+	// coarsest level (default 8).
+	InitTries int
+	// GreedyInit grows the initial part with hypergraph BFS instead of
+	// random assignment.
+	GreedyInit bool
+	// MaxPasses bounds FM passes per refinement run (default 8).
+	MaxPasses int
+	// EarlyExit aborts an FM pass after this many consecutive moves
+	// without a new best state (0 = full passes).
+	EarlyExit int
+}
+
+// ConfigMondriaanLike mimics Mondriaan's internal hypergraph partitioner:
+// heavy-connectivity matching, several random initial tries, and full FM
+// passes. This is the engine used for Figs. 4–5 and Table I.
+func ConfigMondriaanLike() Config {
+	return Config{
+		CoarsenTo:        128,
+		MaxCoarsenRatio:  0.85,
+		MatchingNetLimit: 64,
+		InitTries:        8,
+		GreedyInit:       false,
+		MaxPasses:        8,
+	}
+}
+
+// ConfigAlt is the stand-in for PaToH in Fig. 6 / Table II: a distinctly
+// tuned engine (random matching, greedy hypergraph-growing initial
+// partitioning, early-exit FM) exercising the same interface.
+func ConfigAlt() Config {
+	return Config{
+		CoarsenTo:        96,
+		MaxCoarsenRatio:  0.9,
+		MatchingNetLimit: 96,
+		RandomMatching:   true,
+		InitTries:        6,
+		GreedyInit:       true,
+		MaxPasses:        6,
+		EarlyExit:        256,
+	}
+}
+
+// Bipartition splits the hypergraph into two parts with weight caps
+// (1+eps)·W/2 and returns the per-vertex parts and the cut-net count
+// (= λ−1 volume for p = 2).
+func Bipartition(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config) ([]int, int64) {
+	return BipartitionCaps(h, balancedCaps(h.TotalWeight(), eps), rng, cfg)
+}
+
+// BipartitionCaps is Bipartition with explicit per-part weight caps,
+// needed by recursive bisection with uneven targets.
+func BipartitionCaps(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config) ([]int, int64) {
+	parts := make([]int, h.NumVerts)
+	if h.NumVerts == 0 {
+		return parts, 0
+	}
+
+	levels := coarsen(h, capsToEps(h, maxW), rng, cfg)
+	coarsest := h
+	if len(levels) > 0 {
+		coarsest = levels[len(levels)-1].coarse
+	}
+
+	// Weight caps carry over unchanged: contraction preserves total
+	// weight.
+	cparts := initialPartition(coarsest, maxW, rng, cfg)
+	refine(coarsest, cparts, maxW, rng, cfg)
+
+	// Project back up, refining at every level (the V-cycle downstroke).
+	for li := len(levels) - 1; li >= 0; li-- {
+		var fine *hypergraph.Hypergraph
+		if li == 0 {
+			fine = h
+		} else {
+			fine = levels[li-1].coarse
+		}
+		fparts := make([]int, fine.NumVerts)
+		vmap := levels[li].map_
+		for v := 0; v < fine.NumVerts; v++ {
+			fparts[v] = cparts[vmap[v]]
+		}
+		refine(fine, fparts, maxW, rng, cfg)
+		cparts = fparts
+	}
+	copy(parts, cparts)
+	cut := h.ConnectivityMinusOne(parts, 2)
+	return parts, cut
+}
+
+// capsToEps recovers an equivalent eps from weight caps for coarsening's
+// cluster-weight bound.
+func capsToEps(h *hypergraph.Hypergraph, maxW [2]int64) float64 {
+	tw := h.TotalWeight()
+	if tw == 0 {
+		return 0.03
+	}
+	eps := 2*float64(minInt64(maxW[0], maxW[1]))/float64(tw) - 1
+	if eps < 0 {
+		eps = 0
+	}
+	return eps
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// initialPartition tries cfg.InitTries initial bipartitions of the
+// coarsest hypergraph, FM-refines each, and keeps the best by
+// (overload, cut).
+func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config) []int {
+	tries := cfg.InitTries
+	if tries <= 0 {
+		tries = defaultInitTries
+	}
+	var bestParts []int
+	var bestCut, bestOver int64
+	for t := 0; t < tries; t++ {
+		var parts []int
+		if cfg.GreedyInit {
+			parts = greedyGrow(h, maxW, rng)
+		} else {
+			parts = randomAssign(h, maxW, rng)
+		}
+		cut := refine(h, parts, maxW, rng, cfg)
+		s := newBipState(h, parts, maxW)
+		over := s.overload()
+		if bestParts == nil || better(cut, over, bestCut, bestOver) {
+			bestParts = parts
+			bestCut, bestOver = cut, over
+		}
+	}
+	return bestParts
+}
+
+// randomAssign distributes vertices in random order, placing each into
+// the side with more remaining capacity.
+func randomAssign(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand) []int {
+	parts := make([]int, h.NumVerts)
+	var wt [2]int64
+	for _, v := range rng.Perm(h.NumVerts) {
+		rem0 := maxW[0] - wt[0]
+		rem1 := maxW[1] - wt[1]
+		side := 0
+		if rem1 > rem0 {
+			side = 1
+		} else if rem0 == rem1 && rng.Intn(2) == 1 {
+			side = 1
+		}
+		parts[v] = side
+		wt[side] += h.VertWt[v]
+	}
+	return parts
+}
+
+// greedyGrow seeds part 0 with a random vertex and grows it breadth-first
+// through net neighborhoods until it holds roughly half the weight; the
+// remainder is part 1. This is greedy hypergraph growing (GHG), PaToH's
+// default initial partitioner.
+func greedyGrow(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand) []int {
+	parts := make([]int, h.NumVerts)
+	for v := range parts {
+		parts[v] = 1
+	}
+	total := h.TotalWeight()
+	target := total / 2
+	if maxW[0] < target {
+		target = maxW[0]
+	}
+
+	visited := make([]bool, h.NumVerts)
+	queue := make([]int32, 0, h.NumVerts)
+	var grown int64
+
+	seedOrder := rng.Perm(h.NumVerts)
+	si := 0
+	pushSeed := func() bool {
+		for si < len(seedOrder) {
+			v := int32(seedOrder[si])
+			si++
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+				return true
+			}
+		}
+		return false
+	}
+	if !pushSeed() {
+		return parts
+	}
+	for grown < target {
+		if len(queue) == 0 {
+			if !pushSeed() {
+				break
+			}
+		}
+		v := queue[0]
+		queue = queue[1:]
+		if grown+h.VertWt[v] > maxW[0] {
+			continue
+		}
+		parts[v] = 0
+		grown += h.VertWt[v]
+		for _, n := range h.NetsOf(int(v)) {
+			for _, u := range h.NetPins(int(n)) {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return parts
+}

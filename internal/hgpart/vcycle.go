@@ -1,0 +1,145 @@
+package hgpart
+
+import (
+	"math/rand"
+
+	"mediumgrain/internal/hypergraph"
+)
+
+// VCycleRefine improves an existing bipartition with the multilevel
+// V-cycle refinement scheme of hMetis, which the paper contrasts with its
+// own one-level iterative refinement (§III-C): the hypergraph is
+// coarsened with a *restricted* matching that only merges vertices on the
+// same side (so the current bipartition projects exactly onto every
+// coarse level), and FM refinement then runs at all levels from coarsest
+// to finest. Like the paper's IR, the procedure is monotonically
+// non-increasing in the cut.
+//
+// parts is modified in place; the final cut is returned.
+func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {
+	type restrictedLevel struct {
+		coarse *hypergraph.Hypergraph
+		map_   []int32
+		parts  []int
+	}
+
+	coarsenTo := cfg.CoarsenTo
+	if coarsenTo <= 0 {
+		coarsenTo = defaultCoarsenTo
+	}
+	stall := cfg.MaxCoarsenRatio
+	if stall <= 0 {
+		stall = defaultMaxCoarsenRatio
+	}
+	maxClusterWt := maxW[0] / 3
+	if maxW[1]/3 < maxClusterWt {
+		maxClusterWt = maxW[1] / 3
+	}
+	if maxClusterWt < 1 {
+		maxClusterWt = 1
+	}
+
+	var levels []restrictedLevel
+	cur, curParts := h, parts
+	for cur.NumVerts > coarsenTo {
+		vmap, numCoarse := matchRestricted(cur, curParts, rng, cfg, maxClusterWt)
+		if float64(numCoarse) > stall*float64(cur.NumVerts) {
+			break
+		}
+		coarse := contract(cur, vmap, numCoarse)
+		cparts := make([]int, numCoarse)
+		for v := 0; v < cur.NumVerts; v++ {
+			cparts[vmap[v]] = curParts[v]
+		}
+		levels = append(levels, restrictedLevel{coarse: coarse, map_: vmap, parts: cparts})
+		cur, curParts = coarse, cparts
+	}
+
+	// Refine at the coarsest level, then project down refining each
+	// level; the finest refinement writes through to the caller's parts.
+	refine(cur, curParts, maxW, rng, cfg)
+	for li := len(levels) - 1; li >= 0; li-- {
+		var fine *hypergraph.Hypergraph
+		var fparts []int
+		if li == 0 {
+			fine, fparts = h, parts
+		} else {
+			fine, fparts = levels[li-1].coarse, levels[li-1].parts
+		}
+		vmap := levels[li].map_
+		for v := 0; v < fine.NumVerts; v++ {
+			fparts[v] = levels[li].parts[vmap[v]]
+		}
+		refine(fine, fparts, maxW, rng, cfg)
+	}
+	return h.ConnectivityMinusOne(parts, 2)
+}
+
+// matchRestricted is heavy-connectivity matching that only pairs vertices
+// currently on the same side, so the partition projects exactly.
+func matchRestricted(h *hypergraph.Hypergraph, parts []int, rng *rand.Rand, cfg Config, maxClusterWt int64) ([]int32, int) {
+	nv := h.NumVerts
+	mate := make([]int32, nv)
+	for i := range mate {
+		mate[i] = -1
+	}
+	order := rng.Perm(nv)
+	netLimit := cfg.MatchingNetLimit
+	if netLimit <= 0 {
+		netLimit = defaultMatchingNetLimit
+	}
+
+	conn := make([]int32, nv)
+	cand := make([]int32, 0, 64)
+	for _, vi := range order {
+		v := int32(vi)
+		if mate[v] >= 0 {
+			continue
+		}
+		cand = cand[:0]
+		for _, n := range h.NetsOf(int(v)) {
+			if h.NetSize(int(n)) > netLimit {
+				continue
+			}
+			for _, u := range h.NetPins(int(n)) {
+				if u == v || mate[u] >= 0 || parts[u] != parts[v] {
+					continue
+				}
+				if conn[u] == 0 {
+					cand = append(cand, u)
+				}
+				conn[u]++
+			}
+		}
+		var best int32 = -1
+		var bestConn int32
+		for _, u := range cand {
+			if conn[u] > bestConn && h.VertWt[v]+h.VertWt[u] <= maxClusterWt {
+				best, bestConn = u, conn[u]
+			}
+			conn[u] = 0
+		}
+		if best >= 0 {
+			mate[v] = best
+			mate[best] = v
+		}
+	}
+
+	vmap := make([]int32, nv)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+	next := int32(0)
+	for _, vi := range order {
+		v := int32(vi)
+		if vmap[v] >= 0 {
+			continue
+		}
+		vmap[v] = next
+		if m := mate[v]; m >= 0 && vmap[m] < 0 {
+			vmap[m] = next
+		}
+		next++
+	}
+	return vmap, int(next)
+}

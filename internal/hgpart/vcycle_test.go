@@ -1,0 +1,79 @@
+package hgpart
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVCycleMonotoneAndConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(rng, 60, 40)
+		parts := randomBipartitionOf(rng, h)
+		maxW := balancedCaps(h.TotalWeight(), 0.3)
+		feasBefore := newBipState(h, append([]int(nil), parts...), maxW).overload() == 0
+		before := h.ConnectivityMinusOne(parts, 2)
+		after := VCycleRefine(h, parts, maxW, rng, ConfigMondriaanLike())
+		if after != h.ConnectivityMinusOne(parts, 2) {
+			return false
+		}
+		if feasBefore && after > before {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCycleRestrictedMatchingPreservesSides(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := randomHypergraph(rng, 50, 30)
+	parts := randomBipartitionOf(rng, h)
+	vmap, numCoarse := matchRestricted(h, parts, rng, ConfigMondriaanLike(), h.TotalWeight())
+	// a coarse vertex's constituents must share a side
+	sideOf := make([]int, numCoarse)
+	for i := range sideOf {
+		sideOf[i] = -1
+	}
+	for v := 0; v < h.NumVerts; v++ {
+		cv := vmap[v]
+		if sideOf[cv] == -1 {
+			sideOf[cv] = parts[v]
+		} else if sideOf[cv] != parts[v] {
+			t.Fatalf("coarse vertex %d mixes sides", cv)
+		}
+	}
+}
+
+func TestVCycleImprovesChain(t *testing.T) {
+	h := gridHypergraph(400)
+	parts := make([]int, h.NumVerts)
+	for v := range parts {
+		parts[v] = v % 2 // worst case: every net cut
+	}
+	rng := rand.New(rand.NewSource(4))
+	maxW := balancedCaps(h.TotalWeight(), 0.03)
+	after := VCycleRefine(h, parts, maxW, rng, ConfigMondriaanLike())
+	if after > 10 {
+		t.Fatalf("v-cycle left chain cut at %d", after)
+	}
+	s := newBipState(h, parts, maxW)
+	if s.overload() != 0 {
+		t.Fatal("v-cycle broke balance")
+	}
+}
+
+func TestVCycleSmallHypergraph(t *testing.T) {
+	// below the coarsening threshold the v-cycle is just FM
+	rng := rand.New(rand.NewSource(5))
+	h := randomHypergraph(rng, 10, 8)
+	parts := randomBipartitionOf(rng, h)
+	before := h.ConnectivityMinusOne(parts, 2)
+	after := VCycleRefine(h, parts, balancedCaps(h.TotalWeight(), 1.0), rng, ConfigMondriaanLike())
+	if after > before {
+		t.Fatalf("cut rose %d -> %d", before, after)
+	}
+}

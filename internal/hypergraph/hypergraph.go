@@ -1,0 +1,217 @@
+// Package hypergraph provides the hypergraph substrate for sparse matrix
+// partitioning: the data structure itself, the three classical
+// matrix-to-hypergraph translations (row-net, column-net, fine-grain),
+// and cut metrics.
+//
+// A hypergraph H = (V, N) has weighted vertices and nets (hyperedges);
+// each net is a subset of V. Partitioning V into p parts cuts a net n
+// into λ(n) parts and costs λ(n)−1; the sum over nets is exactly the
+// communication volume of the corresponding matrix partitioning.
+package hypergraph
+
+import (
+	"fmt"
+)
+
+// Hypergraph stores vertices 0..NumVerts-1 and nets 0..NumNets-1 in
+// compressed form: Pins lists, for each net, the vertices it contains;
+// VertNets is the inverse incidence (for each vertex, the nets containing
+// it). Both are CSR-style with Ptr arrays.
+type Hypergraph struct {
+	NumVerts int
+	NumNets  int
+
+	VertWt []int64 // vertex weights (nonzero counts); len NumVerts
+
+	NetPtr []int32 // len NumNets+1
+	Pins   []int32 // concatenated pin lists; len = total pins
+
+	VertPtr  []int32 // len NumVerts+1
+	VertNets []int32 // nets incident to each vertex
+}
+
+// Pins2 returns the pin list of net n.
+func (h *Hypergraph) NetPins(n int) []int32 { return h.Pins[h.NetPtr[n]:h.NetPtr[n+1]] }
+
+// NetsOf returns the nets incident to vertex v.
+func (h *Hypergraph) NetsOf(v int) []int32 { return h.VertNets[h.VertPtr[v]:h.VertPtr[v+1]] }
+
+// NetSize returns the number of pins of net n.
+func (h *Hypergraph) NetSize(n int) int { return int(h.NetPtr[n+1] - h.NetPtr[n]) }
+
+// Degree returns the number of nets incident to vertex v.
+func (h *Hypergraph) Degree(v int) int { return int(h.VertPtr[v+1] - h.VertPtr[v]) }
+
+// TotalWeight returns the sum of all vertex weights.
+func (h *Hypergraph) TotalWeight() int64 {
+	var t int64
+	for _, w := range h.VertWt {
+		t += w
+	}
+	return t
+}
+
+// NumPins returns the total number of pins.
+func (h *Hypergraph) NumPins() int { return len(h.Pins) }
+
+// Builder accumulates nets incrementally and produces a Hypergraph with
+// both incidence directions populated.
+type Builder struct {
+	numVerts int
+	vertWt   []int64
+	netPtr   []int32
+	pins     []int32
+}
+
+// NewBuilder creates a builder for a hypergraph on numVerts vertices with
+// the given weights (copied).
+func NewBuilder(numVerts int, vertWt []int64) *Builder {
+	b := &Builder{
+		numVerts: numVerts,
+		vertWt:   append([]int64(nil), vertWt...),
+		netPtr:   make([]int32, 1, 16),
+	}
+	if b.vertWt == nil {
+		b.vertWt = make([]int64, numVerts)
+	}
+	return b
+}
+
+// AddNet appends a net with the given pins. Pins must be valid vertex
+// ids; duplicates within a net are the caller's responsibility to avoid.
+func (b *Builder) AddNet(pins []int32) {
+	b.pins = append(b.pins, pins...)
+	b.netPtr = append(b.netPtr, int32(len(b.pins)))
+}
+
+// AddNetInts is AddNet for []int pin lists.
+func (b *Builder) AddNetInts(pins []int) {
+	for _, p := range pins {
+		b.pins = append(b.pins, int32(p))
+	}
+	b.netPtr = append(b.netPtr, int32(len(b.pins)))
+}
+
+// Build finalizes the hypergraph, computing the vertex→net incidence.
+func (b *Builder) Build() *Hypergraph {
+	h := &Hypergraph{
+		NumVerts: b.numVerts,
+		NumNets:  len(b.netPtr) - 1,
+		VertWt:   b.vertWt,
+		NetPtr:   b.netPtr,
+		Pins:     b.pins,
+	}
+	h.buildVertexIncidence()
+	return h
+}
+
+func (h *Hypergraph) buildVertexIncidence() {
+	h.VertPtr = make([]int32, h.NumVerts+1)
+	for _, v := range h.Pins {
+		h.VertPtr[v+1]++
+	}
+	for v := 0; v < h.NumVerts; v++ {
+		h.VertPtr[v+1] += h.VertPtr[v]
+	}
+	h.VertNets = make([]int32, len(h.Pins))
+	next := make([]int32, h.NumVerts)
+	copy(next, h.VertPtr[:h.NumVerts])
+	for n := 0; n < h.NumNets; n++ {
+		for _, v := range h.NetPins(n) {
+			h.VertNets[next[v]] = int32(n)
+			next[v]++
+		}
+	}
+}
+
+// Validate checks structural invariants: pin ids in range, pointer
+// monotonicity, and incidence symmetry (total sizes match).
+func (h *Hypergraph) Validate() error {
+	if len(h.VertWt) != h.NumVerts {
+		return fmt.Errorf("hypergraph: weight slice len %d != NumVerts %d", len(h.VertWt), h.NumVerts)
+	}
+	if len(h.NetPtr) != h.NumNets+1 {
+		return fmt.Errorf("hypergraph: NetPtr len %d != NumNets+1", len(h.NetPtr))
+	}
+	if len(h.VertPtr) != h.NumVerts+1 {
+		return fmt.Errorf("hypergraph: VertPtr len %d != NumVerts+1", len(h.VertPtr))
+	}
+	for n := 0; n < h.NumNets; n++ {
+		if h.NetPtr[n] > h.NetPtr[n+1] {
+			return fmt.Errorf("hypergraph: NetPtr not monotone at %d", n)
+		}
+	}
+	for _, v := range h.Pins {
+		if v < 0 || int(v) >= h.NumVerts {
+			return fmt.Errorf("hypergraph: pin %d out of range [0,%d)", v, h.NumVerts)
+		}
+	}
+	if len(h.VertNets) != len(h.Pins) {
+		return fmt.Errorf("hypergraph: incidence size %d != pin count %d", len(h.VertNets), len(h.Pins))
+	}
+	for _, n := range h.VertNets {
+		if n < 0 || int(n) >= h.NumNets {
+			return fmt.Errorf("hypergraph: incident net %d out of range [0,%d)", n, h.NumNets)
+		}
+	}
+	return nil
+}
+
+// ConnectivityMinusOne returns the λ−1 cut cost of the given partition:
+// for each net, the number of distinct parts among its pins minus one,
+// summed over nets. parts[v] must be in [0, p).
+func (h *Hypergraph) ConnectivityMinusOne(parts []int, p int) int64 {
+	seen := make([]int, p)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var total int64
+	for n := 0; n < h.NumNets; n++ {
+		lambda := 0
+		for _, v := range h.NetPins(n) {
+			pt := parts[v]
+			if seen[pt] != n {
+				seen[pt] = n
+				lambda++
+			}
+		}
+		if lambda > 1 {
+			total += int64(lambda - 1)
+		}
+	}
+	return total
+}
+
+// CutNets returns the number of nets spanning more than one part; for
+// bipartitions this equals ConnectivityMinusOne.
+func (h *Hypergraph) CutNets(parts []int) int64 {
+	var cut int64
+	for n := 0; n < h.NumNets; n++ {
+		pins := h.NetPins(n)
+		if len(pins) == 0 {
+			continue
+		}
+		first := parts[pins[0]]
+		for _, v := range pins[1:] {
+			if parts[v] != first {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// PartWeights returns the total vertex weight in each of p parts.
+func (h *Hypergraph) PartWeights(parts []int, p int) []int64 {
+	w := make([]int64, p)
+	for v := 0; v < h.NumVerts; v++ {
+		w[parts[v]] += h.VertWt[v]
+	}
+	return w
+}
+
+// String summarizes the hypergraph.
+func (h *Hypergraph) String() string {
+	return fmt.Sprintf("hypergraph %d vertices, %d nets, %d pins", h.NumVerts, h.NumNets, h.NumPins())
+}

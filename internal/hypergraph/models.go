@@ -1,0 +1,98 @@
+package hypergraph
+
+import (
+	"mediumgrain/internal/sparse"
+)
+
+// The three classical matrix-to-hypergraph translations of Çatalyürek and
+// Aykanat, as reviewed in §II of the paper. Each returns the hypergraph
+// plus whatever mapping is needed to turn a vertex partition back into a
+// nonzero partition of the matrix.
+
+// RowNet builds the 1D row-net (column-wise) model of A: one vertex per
+// matrix column (weight = nonzeros in that column), one net per matrix
+// row containing the columns with a nonzero in that row. Assigning vertex
+// j to part k assigns all nonzeros of column j to part k; rows may be
+// cut, columns never are.
+func RowNet(a *sparse.Matrix) *Hypergraph {
+	wt := make([]int64, a.Cols)
+	for _, j := range a.ColIdx {
+		wt[j]++
+	}
+	b := NewBuilder(a.Cols, wt)
+	ix := sparse.BuildRowIndex(a)
+	pins := make([]int32, 0, 64)
+	for i := 0; i < a.Rows; i++ {
+		pins = pins[:0]
+		last := int32(-1)
+		for _, k := range ix.Row(i) {
+			j := int32(a.ColIdx[k])
+			if j == last {
+				continue // duplicate guard for non-canonical input
+			}
+			pins = appendPinUnique(pins, j)
+			last = j
+		}
+		b.AddNet(pins)
+	}
+	return b.Build()
+}
+
+// ColNet builds the 1D column-net (row-wise) model: RowNet of the
+// transpose. One vertex per matrix row, one net per matrix column.
+func ColNet(a *sparse.Matrix) *Hypergraph {
+	return RowNet(a.Transpose())
+}
+
+// appendPinUnique appends p if not already present (linear scan; nets
+// from canonical matrices never trigger the scan past one element).
+func appendPinUnique(pins []int32, p int32) []int32 {
+	for _, q := range pins {
+		if q == p {
+			return pins
+		}
+	}
+	return append(pins, p)
+}
+
+// FineGrain builds the 2D fine-grain model: one vertex per nonzero
+// (weight 1), one net per row plus one net per column. Vertex k
+// corresponds to the k-th nonzero of A, so a vertex partition is already
+// a nonzero partition.
+func FineGrain(a *sparse.Matrix) *Hypergraph {
+	n := a.NNZ()
+	wt := make([]int64, n)
+	for k := range wt {
+		wt[k] = 1
+	}
+	b := NewBuilder(n, wt)
+	rix := sparse.BuildRowIndex(a)
+	for i := 0; i < a.Rows; i++ {
+		b.AddNetInts(rix.Row(i))
+	}
+	cix := sparse.BuildColIndex(a)
+	for j := 0; j < a.Cols; j++ {
+		b.AddNetInts(cix.Col(j))
+	}
+	return b.Build()
+}
+
+// VertexPartsToNonzeros converts a row-net vertex (=column) partition
+// into a per-nonzero partition of A.
+func VertexPartsToNonzeros(a *sparse.Matrix, colParts []int) []int {
+	parts := make([]int, a.NNZ())
+	for k, j := range a.ColIdx {
+		parts[k] = colParts[j]
+	}
+	return parts
+}
+
+// RowPartsToNonzeros converts a column-net vertex (=row) partition into a
+// per-nonzero partition of A.
+func RowPartsToNonzeros(a *sparse.Matrix, rowParts []int) []int {
+	parts := make([]int, a.NNZ())
+	for k, i := range a.RowIdx {
+		parts[k] = rowParts[i]
+	}
+	return parts
+}

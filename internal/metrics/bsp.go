@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"mediumgrain/internal/sparse"
+)
+
+// BSP cost (Table II of the paper): "the sum of the maximum number of
+// data words that are sent or received by a single processor during the
+// fan-in and fan-out phase of a parallel matrix-vector multiplication".
+//
+// The fan-out moves input-vector components v_j to every part owning a
+// nonzero in column j; the fan-in moves partial sums of u_i from every
+// part owning a nonzero in row i to the owner of u_i. The vector
+// distribution is chosen greedily among the parts that already own
+// nonzeros in the corresponding column/row (no owner ⇒ no traffic),
+// balancing the per-processor communication load — the same freedom the
+// Mondriaan vector distribution step exploits.
+
+// VectorDistribution holds owners of the input vector components (len
+// Cols) and output vector components (len Rows). Owner −1 means the
+// component touches no nonzero and never causes traffic.
+type VectorDistribution struct {
+	InOwner  []int
+	OutOwner []int
+}
+
+// BSPCost computes the BSP communication cost of the partitioning and
+// returns the cost together with the vector distribution used.
+func BSPCost(a *sparse.Matrix, parts []int, p int) (int64, *VectorDistribution) {
+	dist := GreedyVectorDistribution(a, parts, p)
+	cost := BSPCostWithDistribution(a, parts, p, dist)
+	return cost, dist
+}
+
+// GreedyVectorDistribution assigns each vector component to one of the
+// parts owning nonzeros in its column (input) or row (output), greedily
+// choosing the candidate part with the smallest accumulated send+receive
+// load so the h-relation stays small.
+func GreedyVectorDistribution(a *sparse.Matrix, parts []int, p int) *VectorDistribution {
+	dist := &VectorDistribution{
+		InOwner:  make([]int, a.Cols),
+		OutOwner: make([]int, a.Rows),
+	}
+	load := make([]int64, p) // accumulated communication load per part
+
+	cix := sparse.BuildColIndex(a)
+	stamp := make([]int, p)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	cand := make([]int, 0, p)
+	for j := 0; j < a.Cols; j++ {
+		cand = cand[:0]
+		for _, k := range cix.Col(j) {
+			pt := parts[k]
+			if stamp[pt] != j {
+				stamp[pt] = j
+				cand = append(cand, pt)
+			}
+		}
+		if len(cand) == 0 {
+			dist.InOwner[j] = -1
+			continue
+		}
+		best := cand[0]
+		for _, c := range cand[1:] {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		dist.InOwner[j] = best
+		// Owner sends v_j to the λ−1 other parts.
+		load[best] += int64(len(cand) - 1)
+	}
+
+	rix := sparse.BuildRowIndex(a)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for i := 0; i < a.Rows; i++ {
+		cand = cand[:0]
+		for _, k := range rix.Row(i) {
+			pt := parts[k]
+			if stamp[pt] != i {
+				stamp[pt] = i
+				cand = append(cand, pt)
+			}
+		}
+		if len(cand) == 0 {
+			dist.OutOwner[i] = -1
+			continue
+		}
+		best := cand[0]
+		for _, c := range cand[1:] {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		dist.OutOwner[i] = best
+		// Owner receives λ−1 partial sums for u_i.
+		load[best] += int64(len(cand) - 1)
+	}
+	return dist
+}
+
+// BSPCostWithDistribution computes the fan-out h-relation plus the fan-in
+// h-relation for a fixed vector distribution. Each h-relation is the
+// maximum over processors of max(words sent, words received) in that
+// phase.
+func BSPCostWithDistribution(a *sparse.Matrix, parts []int, p int, dist *VectorDistribution) int64 {
+	sendOut := make([]int64, p)
+	recvOut := make([]int64, p)
+	sendIn := make([]int64, p)
+	recvIn := make([]int64, p)
+
+	stamp := make([]int, p)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+
+	cix := sparse.BuildColIndex(a)
+	for j := 0; j < a.Cols; j++ {
+		owner := dist.InOwner[j]
+		if owner < 0 {
+			continue
+		}
+		for _, k := range cix.Col(j) {
+			pt := parts[k]
+			if stamp[pt] != j {
+				stamp[pt] = j
+				if pt != owner {
+					sendOut[owner]++
+					recvOut[pt]++
+				}
+			}
+		}
+	}
+
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	rix := sparse.BuildRowIndex(a)
+	for i := 0; i < a.Rows; i++ {
+		owner := dist.OutOwner[i]
+		if owner < 0 {
+			continue
+		}
+		for _, k := range rix.Row(i) {
+			pt := parts[k]
+			if stamp[pt] != i {
+				stamp[pt] = i
+				if pt != owner {
+					sendIn[pt]++
+					recvIn[owner]++
+				}
+			}
+		}
+	}
+
+	return hRelation(sendOut, recvOut) + hRelation(sendIn, recvIn)
+}
+
+func hRelation(send, recv []int64) int64 {
+	var h int64
+	for i := range send {
+		if send[i] > h {
+			h = send[i]
+		}
+		if recv[i] > h {
+			h = recv[i]
+		}
+	}
+	return h
+}
+
+// TotalTraffic returns the total number of words moved in both phases for
+// the given distribution; for any valid vector distribution this equals
+// the communication volume V.
+func TotalTraffic(a *sparse.Matrix, parts []int, p int, dist *VectorDistribution) int64 {
+	var words int64
+	stamp := make([]int, p)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	cix := sparse.BuildColIndex(a)
+	for j := 0; j < a.Cols; j++ {
+		owner := dist.InOwner[j]
+		if owner < 0 {
+			continue
+		}
+		for _, k := range cix.Col(j) {
+			pt := parts[k]
+			if stamp[pt] != j {
+				stamp[pt] = j
+				if pt != owner {
+					words++
+				}
+			}
+		}
+	}
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	rix := sparse.BuildRowIndex(a)
+	for i := 0; i < a.Rows; i++ {
+		owner := dist.OutOwner[i]
+		if owner < 0 {
+			continue
+		}
+		for _, k := range rix.Row(i) {
+			pt := parts[k]
+			if stamp[pt] != i {
+				stamp[pt] = i
+				if pt != owner {
+					words++
+				}
+			}
+		}
+	}
+	return words
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mediumgrain/internal/sparse"
+)
+
+// TestTotalTrafficEqualsVolume is the central consistency property: for
+// the greedy vector distribution (owners chosen among parts holding
+// nonzeros in the row/column), the total words moved in fan-out plus
+// fan-in equals the communication volume V of eqn (3).
+func TestTotalTrafficEqualsVolume(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPattern(rng, 1+rng.Intn(15), 1+rng.Intn(15), 70)
+		p := 2 + rng.Intn(5)
+		parts := randomParts(rng, a.NNZ(), p)
+		dist := GreedyVectorDistribution(a, parts, p)
+		return TotalTraffic(a, parts, p, dist) == Volume(a, parts, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSPCostZeroForSingleOwner(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomPattern(rng, 8, 8, 30)
+	parts := make([]int, a.NNZ()) // everything on part 0
+	cost, dist := BSPCost(a, parts, 2)
+	if cost != 0 {
+		t.Fatalf("cost = %d, want 0", cost)
+	}
+	for _, o := range dist.InOwner {
+		if o > 0 {
+			t.Fatal("input owner must be part 0 or -1")
+		}
+	}
+}
+
+func TestBSPCostBounds(t *testing.T) {
+	// BSP cost (sum of two h-relations) is at most 2·V and at least
+	// ceil(V_phase/p) per phase; check the upper bound plus positivity
+	// when communication exists.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPattern(rng, 2+rng.Intn(12), 2+rng.Intn(12), 60)
+		p := 2 + rng.Intn(4)
+		parts := randomParts(rng, a.NNZ(), p)
+		v := Volume(a, parts, p)
+		cost, _ := BSPCost(a, parts, p)
+		if cost < 0 || cost > 2*v {
+			return false
+		}
+		if v > 0 && cost == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorOwnersAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPattern(rng, 1+rng.Intn(10), 1+rng.Intn(10), 40)
+		p := 2 + rng.Intn(3)
+		parts := randomParts(rng, a.NNZ(), p)
+		dist := GreedyVectorDistribution(a, parts, p)
+		// owner of column j must be a part owning a nonzero in column j
+		colOwners := make([]map[int]bool, a.Cols)
+		rowOwners := make([]map[int]bool, a.Rows)
+		for j := range colOwners {
+			colOwners[j] = map[int]bool{}
+		}
+		for i := range rowOwners {
+			rowOwners[i] = map[int]bool{}
+		}
+		for k := range a.RowIdx {
+			rowOwners[a.RowIdx[k]][parts[k]] = true
+			colOwners[a.ColIdx[k]][parts[k]] = true
+		}
+		for j, o := range dist.InOwner {
+			if len(colOwners[j]) == 0 {
+				if o != -1 {
+					return false
+				}
+			} else if !colOwners[j][o] {
+				return false
+			}
+		}
+		for i, o := range dist.OutOwner {
+			if len(rowOwners[i]) == 0 {
+				if o != -1 {
+					return false
+				}
+			} else if !rowOwners[i][o] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSPCostWithCustomDistribution(t *testing.T) {
+	// Two nonzeros in one column split over two parts; whoever owns the
+	// vector entry, one word moves in fan-out. The single row of each is
+	// uncut, so fan-in is free.
+	a := sparse.New(2, 1)
+	a.AppendPattern(0, 0)
+	a.AppendPattern(1, 0)
+	a.Canonicalize()
+	parts := []int{0, 1}
+	dist := &VectorDistribution{InOwner: []int{0}, OutOwner: []int{0, 1}}
+	cost := BSPCostWithDistribution(a, parts, 2, dist)
+	if cost != 1 {
+		t.Fatalf("cost = %d, want 1", cost)
+	}
+	if words := TotalTraffic(a, parts, 2, dist); words != 1 {
+		t.Fatalf("traffic = %d, want 1", words)
+	}
+}
+
+func TestGreedyDistributionBalances(t *testing.T) {
+	// A column shared by all parts repeated many times: greedy owner
+	// selection should not put every owner on part 0.
+	a := sparse.New(4, 16)
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 4; i++ {
+			a.AppendPattern(i, j)
+		}
+	}
+	a.Canonicalize()
+	parts := make([]int, a.NNZ())
+	for k := range parts {
+		parts[k] = a.RowIdx[k] % 4
+	}
+	dist := GreedyVectorDistribution(a, parts, 4)
+	counts := map[int]int{}
+	for _, o := range dist.InOwner {
+		counts[o]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("greedy distribution degenerate: %v", counts)
+	}
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mediumgrain/internal/sparse"
+)
+
+func squarePattern(rng *rand.Rand, n, maxNNZ int) *sparse.Matrix {
+	a := sparse.New(n, n)
+	for k := 0; k < rng.Intn(maxNNZ+1); k++ {
+		a.AppendPattern(rng.Intn(n), rng.Intn(n))
+	}
+	a.Canonicalize()
+	return a
+}
+
+func TestSymmetricDistributionRejectsRectangular(t *testing.T) {
+	a := sparse.New(2, 3)
+	if _, err := SymmetricVectorDistribution(a, nil, 2); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+}
+
+func TestSymmetricDistributionIdenticalOwners(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := squarePattern(rng, 2+rng.Intn(12), 60)
+		p := 2 + rng.Intn(3)
+		parts := randomParts(rng, a.NNZ(), p)
+		dist, err := SymmetricVectorDistribution(a, parts, p)
+		if err != nil {
+			return false
+		}
+		for k := range dist.InOwner {
+			if dist.InOwner[k] != dist.OutOwner[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetricDistributionOwnersAreCandidates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := squarePattern(rng, 2+rng.Intn(10), 50)
+		p := 2 + rng.Intn(3)
+		parts := randomParts(rng, a.NNZ(), p)
+		dist, err := SymmetricVectorDistribution(a, parts, p)
+		if err != nil {
+			return false
+		}
+		colCands := candidateParts(a, parts, p, true)
+		rowCands := candidateParts(a, parts, p, false)
+		for k, o := range dist.InOwner {
+			if o == -1 {
+				if len(colCands[k]) != 0 || len(rowCands[k]) != 0 {
+					return false
+				}
+				continue
+			}
+			found := false
+			for _, c := range colCands[k] {
+				if c == o {
+					found = true
+				}
+			}
+			for _, c := range rowCands[k] {
+				if c == o {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetricVolumeAtLeastFreeVolume: the symmetric constraint can only
+// cost extra words relative to the unconstrained greedy distribution's
+// total traffic (which equals V).
+func TestSymmetricVolumeAtLeastFreeVolume(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := squarePattern(rng, 2+rng.Intn(12), 70)
+		p := 2 + rng.Intn(3)
+		parts := randomParts(rng, a.NNZ(), p)
+		symVol, err := SymmetricVolume(a, parts, p)
+		if err != nil {
+			return false
+		}
+		return symVol >= Volume(a, parts, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetricVolumeDiagonalMatrix(t *testing.T) {
+	// pure diagonal: every component's row and column share the owning
+	// part, so the symmetric constraint is free and volume is 0.
+	a := sparse.New(6, 6)
+	for i := 0; i < 6; i++ {
+		a.AppendPattern(i, i)
+	}
+	a.Canonicalize()
+	parts := []int{0, 0, 1, 1, 2, 2}
+	v, err := SymmetricVolume(a, parts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("diagonal symmetric volume = %d, want 0", v)
+	}
+}
+
+func TestSymmetricDistributionSingleOwnerCase(t *testing.T) {
+	// one part owns everything: no traffic regardless of constraint.
+	rng := rand.New(rand.NewSource(4))
+	a := squarePattern(rng, 8, 40)
+	parts := make([]int, a.NNZ())
+	v, err := SymmetricVolume(a, parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("single-owner symmetric volume = %d", v)
+	}
+}

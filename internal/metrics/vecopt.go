@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"mediumgrain/internal/sparse"
+)
+
+// OptimizeVectorDistribution improves a vector distribution by local
+// search on the BSP cost: it repeatedly reassigns the vector component
+// whose move to another candidate owner most reduces the per-processor
+// communication peak, until no improving move remains (or maxMoves is
+// reached). This mirrors the vector distribution step that Mondriaan
+// runs after matrix partitioning: the matrix partition fixes the total
+// volume, but owner placement still shapes the h-relation of Table II.
+//
+// The input distribution is not modified; the improved copy is returned
+// together with its BSP cost.
+func OptimizeVectorDistribution(a *sparse.Matrix, parts []int, p int, dist *VectorDistribution, maxMoves int) (*VectorDistribution, int64) {
+	if maxMoves <= 0 {
+		maxMoves = 4 * (a.Rows + a.Cols)
+	}
+	cur := &VectorDistribution{
+		InOwner:  append([]int(nil), dist.InOwner...),
+		OutOwner: append([]int(nil), dist.OutOwner...),
+	}
+
+	// Candidate owners per component: the parts holding nonzeros in that
+	// column/row.
+	colCands := candidateParts(a, parts, p, true)
+	rowCands := candidateParts(a, parts, p, false)
+
+	// Per-processor send/recv loads per phase.
+	sendOut := make([]int64, p)
+	recvOut := make([]int64, p)
+	sendIn := make([]int64, p)
+	recvIn := make([]int64, p)
+	for j, owner := range cur.InOwner {
+		if owner < 0 {
+			continue
+		}
+		for _, c := range colCands[j] {
+			if c != owner {
+				sendOut[owner]++
+				recvOut[c]++
+			}
+		}
+	}
+	for i, owner := range cur.OutOwner {
+		if owner < 0 {
+			continue
+		}
+		for _, c := range rowCands[i] {
+			if c != owner {
+				sendIn[c]++
+				recvIn[owner]++
+			}
+		}
+	}
+	cost := func() int64 { return hRelation(sendOut, recvOut) + hRelation(sendIn, recvIn) }
+
+	best := cost()
+	for move := 0; move < maxMoves; move++ {
+		improved := false
+
+		// Fan-out phase: moving v_j from owner o to candidate c swaps
+		// which processor does the sending.
+		for j, owner := range cur.InOwner {
+			if owner < 0 || len(colCands[j]) < 2 {
+				continue
+			}
+			lam := int64(len(colCands[j]))
+			for _, c := range colCands[j] {
+				if c == owner {
+					continue
+				}
+				sendOut[owner] -= lam - 1
+				recvOut[c]--
+				sendOut[c] += lam - 1
+				recvOut[owner]++
+				if nc := cost(); nc < best {
+					best = nc
+					cur.InOwner[j] = c
+					improved = true
+					break
+				}
+				// revert
+				sendOut[c] -= lam - 1
+				recvOut[owner]--
+				sendOut[owner] += lam - 1
+				recvOut[c]++
+			}
+		}
+
+		// Fan-in phase: moving u_i changes which processor receives.
+		for i, owner := range cur.OutOwner {
+			if owner < 0 || len(rowCands[i]) < 2 {
+				continue
+			}
+			lam := int64(len(rowCands[i]))
+			for _, c := range rowCands[i] {
+				if c == owner {
+					continue
+				}
+				recvIn[owner] -= lam - 1
+				sendIn[c]--
+				recvIn[c] += lam - 1
+				sendIn[owner]++
+				if nc := cost(); nc < best {
+					best = nc
+					cur.OutOwner[i] = c
+					improved = true
+					break
+				}
+				recvIn[c] -= lam - 1
+				sendIn[owner]--
+				recvIn[owner] += lam - 1
+				sendIn[c]++
+			}
+		}
+
+		if !improved {
+			break
+		}
+	}
+	return cur, best
+}
+
+// candidateParts lists, for every column (byCol) or row, the distinct
+// parts owning nonzeros there.
+func candidateParts(a *sparse.Matrix, parts []int, p int, byCol bool) [][]int {
+	n := a.Rows
+	if byCol {
+		n = a.Cols
+	}
+	out := make([][]int, n)
+	stamp := make([]int, p)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	if byCol {
+		cix := sparse.BuildColIndex(a)
+		for j := 0; j < n; j++ {
+			for _, k := range cix.Col(j) {
+				pt := parts[k]
+				if stamp[pt] != j {
+					stamp[pt] = j
+					out[j] = append(out[j], pt)
+				}
+			}
+		}
+	} else {
+		rix := sparse.BuildRowIndex(a)
+		for i := 0; i < n; i++ {
+			for _, k := range rix.Row(i) {
+				pt := parts[k]
+				if stamp[pt] != i {
+					stamp[pt] = i
+					out[i] = append(out[i], pt)
+				}
+			}
+		}
+	}
+	return out
+}

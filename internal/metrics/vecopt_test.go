@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mediumgrain/internal/sparse"
+)
+
+func TestOptimizeVectorDistributionNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPattern(rng, 2+rng.Intn(12), 2+rng.Intn(12), 70)
+		p := 2 + rng.Intn(4)
+		parts := randomParts(rng, a.NNZ(), p)
+		baseCost, base := BSPCost(a, parts, p)
+		opt, optCost := OptimizeVectorDistribution(a, parts, p, base, 0)
+		if optCost > baseCost {
+			return false
+		}
+		// reported cost must match recomputation
+		return BSPCostWithDistribution(a, parts, p, opt) == optCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizePreservesVolume(t *testing.T) {
+	// owner moves only shuffle the h-relation; total traffic stays V.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPattern(rng, 2+rng.Intn(10), 2+rng.Intn(10), 60)
+		p := 2 + rng.Intn(3)
+		parts := randomParts(rng, a.NNZ(), p)
+		_, base := BSPCost(a, parts, p)
+		opt, _ := OptimizeVectorDistribution(a, parts, p, base, 0)
+		return TotalTraffic(a, parts, p, opt) == Volume(a, parts, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeOwnersStayValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomPattern(rng, 10, 10, 60)
+	p := 3
+	parts := randomParts(rng, a.NNZ(), p)
+	_, base := BSPCost(a, parts, p)
+	opt, _ := OptimizeVectorDistribution(a, parts, p, base, 0)
+	colCands := candidateParts(a, parts, p, true)
+	for j, o := range opt.InOwner {
+		if len(colCands[j]) == 0 {
+			if o != -1 {
+				t.Fatalf("col %d owner %d but no candidates", j, o)
+			}
+			continue
+		}
+		found := false
+		for _, c := range colCands[j] {
+			if c == o {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("col %d owner %d not a candidate", j, o)
+		}
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomPattern(rng, 8, 8, 40)
+	parts := randomParts(rng, a.NNZ(), 3)
+	_, base := BSPCost(a, parts, 3)
+	inCopy := append([]int(nil), base.InOwner...)
+	outCopy := append([]int(nil), base.OutOwner...)
+	OptimizeVectorDistribution(a, parts, 3, base, 0)
+	for j := range inCopy {
+		if base.InOwner[j] != inCopy[j] {
+			t.Fatal("input InOwner mutated")
+		}
+	}
+	for i := range outCopy {
+		if base.OutOwner[i] != outCopy[i] {
+			t.Fatal("input OutOwner mutated")
+		}
+	}
+}
+
+func TestOptimizeFindsKnownImprovement(t *testing.T) {
+	// Column 0 spans parts {0,1}, column 1 spans {0,1}; a distribution
+	// putting both owners on part 0 has fan-out h = 2, the balanced one
+	// h = 1.
+	a := sparse.New(4, 2)
+	a.AppendPattern(0, 0)
+	a.AppendPattern(1, 0)
+	a.AppendPattern(2, 1)
+	a.AppendPattern(3, 1)
+	a.Canonicalize()
+	parts := []int{0, 1, 0, 1}
+	bad := &VectorDistribution{InOwner: []int{0, 0}, OutOwner: []int{0, 1, 0, 1}}
+	badCost := BSPCostWithDistribution(a, parts, 2, bad)
+	opt, optCost := OptimizeVectorDistribution(a, parts, 2, bad, 0)
+	if optCost >= badCost {
+		t.Fatalf("no improvement: %d -> %d (owners %v)", badCost, optCost, opt.InOwner)
+	}
+}
+
+func TestCandidatePartsEmptyRowsCols(t *testing.T) {
+	a := sparse.New(3, 3)
+	a.AppendPattern(0, 0)
+	a.Canonicalize()
+	cands := candidateParts(a, []int{0}, 2, true)
+	if len(cands[1]) != 0 || len(cands[2]) != 0 {
+		t.Fatal("empty columns have candidates")
+	}
+	if len(cands[0]) != 1 || cands[0][0] != 0 {
+		t.Fatalf("col 0 candidates = %v", cands[0])
+	}
+}

@@ -1,0 +1,228 @@
+// Package profile implements the comparison tooling of the paper's
+// evaluation: Dolan–Moré performance profiles (§IV) and normalized
+// geometric means (Tables I and II).
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table holds one metric value per (test case, method): Values[c][m] is
+// the metric of method m on case c. Smaller is better. Cases where every
+// method scores zero cannot be profiled and are dropped, mirroring the
+// paper ("matrices for which the lowest communication volume ... was
+// equal to zero were removed").
+type Table struct {
+	Methods []string
+	Cases   []string
+	Values  [][]float64
+}
+
+// NewTable allocates a table for the given methods.
+func NewTable(methods []string) *Table {
+	return &Table{Methods: append([]string(nil), methods...)}
+}
+
+// AddCase appends a test case with one value per method.
+func (t *Table) AddCase(name string, values []float64) error {
+	if len(values) != len(t.Methods) {
+		return fmt.Errorf("profile: case %q has %d values, want %d", name, len(values), len(t.Methods))
+	}
+	t.Cases = append(t.Cases, name)
+	t.Values = append(t.Values, append([]float64(nil), values...))
+	return nil
+}
+
+// Profile is one method's performance-profile curve: Fraction[i] is the
+// fraction of cases on which the method is within Tau[i] times the best.
+type Profile struct {
+	Method   string
+	Tau      []float64
+	Fraction []float64
+}
+
+// Profiles computes performance profiles over the tau grid. For each
+// retained case, ratio = value/best where best is the per-case minimum
+// over methods; fraction(τ) = |{cases: ratio ≤ τ}| / cases.
+//
+// A zero best with a nonzero method value yields ratio +Inf (never within
+// any finite τ); all-zero cases are dropped.
+func (t *Table) Profiles(taus []float64) []Profile {
+	nm := len(t.Methods)
+	ratios := make([][]float64, nm)
+	kept := 0
+	for c := range t.Values {
+		best := math.Inf(1)
+		for _, v := range t.Values[c] {
+			if v < best {
+				best = v
+			}
+		}
+		if best == 0 {
+			allZero := true
+			for _, v := range t.Values[c] {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				continue
+			}
+		}
+		kept++
+		for m, v := range t.Values[c] {
+			var r float64
+			switch {
+			case best == 0 && v == 0:
+				r = 1
+			case best == 0:
+				r = math.Inf(1)
+			default:
+				r = v / best
+			}
+			ratios[m] = append(ratios[m], r)
+		}
+	}
+
+	out := make([]Profile, nm)
+	for m := range t.Methods {
+		sort.Float64s(ratios[m])
+		p := Profile{Method: t.Methods[m], Tau: append([]float64(nil), taus...)}
+		p.Fraction = make([]float64, len(taus))
+		for i, tau := range taus {
+			// count ratios <= tau (with tolerance for fp division)
+			n := sort.SearchFloat64s(ratios[m], tau*(1+1e-12))
+			if kept > 0 {
+				p.Fraction[i] = float64(n) / float64(kept)
+			}
+		}
+		out[m] = p
+	}
+	return out
+}
+
+// DefaultTaus returns the τ grid of the paper's volume profiles
+// (1.0 to 2.0).
+func DefaultTaus() []float64 {
+	taus := make([]float64, 0, 21)
+	for x := 1.0; x <= 2.0+1e-9; x += 0.05 {
+		taus = append(taus, x)
+	}
+	return taus
+}
+
+// TimeTaus returns the wider τ grid of the time profile (Fig. 5, 1 to 6).
+func TimeTaus() []float64 {
+	taus := make([]float64, 0, 26)
+	for x := 1.0; x <= 6.0+1e-9; x += 0.2 {
+		taus = append(taus, x)
+	}
+	return taus
+}
+
+// GeoMeanNormalized returns, per method, the geometric mean over cases of
+// value/reference where the reference is the method with index ref —
+// exactly the normalization of Table I ("calculated relative to the
+// localbest method without iterative refinement"). Cases where the
+// reference or the method value is zero are skipped for that pair (a
+// zero cannot enter a geometric mean).
+func (t *Table) GeoMeanNormalized(ref int) []float64 {
+	nm := len(t.Methods)
+	sums := make([]float64, nm)
+	counts := make([]int, nm)
+	for c := range t.Values {
+		r := t.Values[c][ref]
+		if r <= 0 {
+			continue
+		}
+		for m, v := range t.Values[c] {
+			if v <= 0 {
+				continue
+			}
+			sums[m] += math.Log(v / r)
+			counts[m]++
+		}
+	}
+	out := make([]float64, nm)
+	for m := range out {
+		if counts[m] > 0 {
+			out[m] = math.Exp(sums[m] / float64(counts[m]))
+		} else {
+			out[m] = math.NaN()
+		}
+	}
+	return out
+}
+
+// FilterCases returns a new table containing only the cases for which
+// keep returns true (used to split by matrix class).
+func (t *Table) FilterCases(keep func(name string) bool) *Table {
+	out := NewTable(t.Methods)
+	for c, name := range t.Cases {
+		if keep(name) {
+			_ = out.AddCase(name, t.Values[c])
+		}
+	}
+	return out
+}
+
+// FormatProfiles renders profiles as an aligned text table: one row per
+// τ, one column per method. This is the textual equivalent of the
+// paper's figures.
+func FormatProfiles(profiles []Profile) string {
+	if len(profiles) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s", "tau")
+	for _, p := range profiles {
+		fmt.Fprintf(&b, "%10s", p.Method)
+	}
+	b.WriteByte('\n')
+	for i := range profiles[0].Tau {
+		fmt.Fprintf(&b, "%8.2f", profiles[0].Tau[i])
+		for _, p := range profiles {
+			fmt.Fprintf(&b, "%10.3f", p.Fraction[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatGeoMeans renders rows of normalized geometric means, one row per
+// label, marking the best (lowest) value with an asterisk — the textual
+// Table I / Table II.
+func FormatGeoMeans(methods []string, rows map[string][]float64, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s", "")
+	for _, m := range methods {
+		fmt.Fprintf(&b, "%10s", m)
+	}
+	b.WriteByte('\n')
+	for _, label := range order {
+		vals, ok := rows[label]
+		if !ok {
+			continue
+		}
+		best := math.Inf(1)
+		for _, v := range vals {
+			if !math.IsNaN(v) && v < best {
+				best = v
+			}
+		}
+		fmt.Fprintf(&b, "%6s", label)
+		for _, v := range vals {
+			mark := " "
+			if v == best {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%9.2f%s", v, mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

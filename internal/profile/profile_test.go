@@ -1,0 +1,163 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable([]string{"A", "B"})
+	// case1: A=10, B=20 (A best); case2: A=30, B=15 (B best)
+	if err := tbl.AddCase("case1", []float64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddCase("case2", []float64{30, 15}); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestAddCaseLengthCheck(t *testing.T) {
+	tbl := NewTable([]string{"A", "B"})
+	if err := tbl.AddCase("x", []float64{1}); err == nil {
+		t.Fatal("wrong-length case accepted")
+	}
+}
+
+func TestProfilesBasic(t *testing.T) {
+	tbl := buildTable(t)
+	profiles := tbl.Profiles([]float64{1.0, 2.0, 3.0})
+	if len(profiles) != 2 {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	a, b := profiles[0], profiles[1]
+	// method A: ratios 1.0 and 2.0 -> fractions 0.5, 1.0, 1.0
+	if a.Fraction[0] != 0.5 || a.Fraction[1] != 1.0 || a.Fraction[2] != 1.0 {
+		t.Fatalf("A fractions = %v", a.Fraction)
+	}
+	// method B: ratios 2.0 and 1.0 -> same curve here
+	if b.Fraction[0] != 0.5 || b.Fraction[1] != 1.0 {
+		t.Fatalf("B fractions = %v", b.Fraction)
+	}
+}
+
+func TestProfilesMonotone(t *testing.T) {
+	tbl := buildTable(t)
+	for _, p := range tbl.Profiles(DefaultTaus()) {
+		for i := 1; i < len(p.Fraction); i++ {
+			if p.Fraction[i] < p.Fraction[i-1] {
+				t.Fatalf("profile %s not monotone at %d", p.Method, i)
+			}
+		}
+		if last := p.Fraction[len(p.Fraction)-1]; last < 0 || last > 1 {
+			t.Fatalf("fraction out of range: %g", last)
+		}
+	}
+}
+
+func TestProfilesDropAllZeroCases(t *testing.T) {
+	tbl := NewTable([]string{"A", "B"})
+	_ = tbl.AddCase("zero", []float64{0, 0})
+	_ = tbl.AddCase("live", []float64{1, 2})
+	profiles := tbl.Profiles([]float64{1.0})
+	// only the live case counts: A is within 1.0 of best (it is best)
+	if profiles[0].Fraction[0] != 1.0 {
+		t.Fatalf("A fraction = %g, want 1.0", profiles[0].Fraction[0])
+	}
+	if profiles[1].Fraction[0] != 0.0 {
+		t.Fatalf("B fraction = %g, want 0.0", profiles[1].Fraction[0])
+	}
+}
+
+func TestProfilesZeroBestNonzeroOther(t *testing.T) {
+	tbl := NewTable([]string{"A", "B"})
+	_ = tbl.AddCase("x", []float64{0, 5})
+	profiles := tbl.Profiles([]float64{1.0, 100.0})
+	// A achieves the zero best; B can never be within any finite tau
+	if profiles[0].Fraction[0] != 1 {
+		t.Fatalf("A = %v", profiles[0].Fraction)
+	}
+	if profiles[1].Fraction[1] != 0 {
+		t.Fatalf("B = %v", profiles[1].Fraction)
+	}
+}
+
+func TestGeoMeanNormalized(t *testing.T) {
+	tbl := buildTable(t)
+	gm := tbl.GeoMeanNormalized(0)
+	if math.Abs(gm[0]-1.0) > 1e-12 {
+		t.Fatalf("reference geomean = %g, want 1", gm[0])
+	}
+	// B/A ratios: 2.0 and 0.5 -> geometric mean 1.0
+	if math.Abs(gm[1]-1.0) > 1e-12 {
+		t.Fatalf("B geomean = %g, want 1", gm[1])
+	}
+}
+
+func TestGeoMeanSkipsZeros(t *testing.T) {
+	tbl := NewTable([]string{"A", "B"})
+	_ = tbl.AddCase("z", []float64{0, 5})    // skipped: reference zero
+	_ = tbl.AddCase("ok", []float64{10, 20}) // counts
+	_ = tbl.AddCase("z2", []float64{10, 0})  // skipped for B only
+	gm := tbl.GeoMeanNormalized(0)
+	if math.Abs(gm[1]-2.0) > 1e-12 {
+		t.Fatalf("B geomean = %g, want 2", gm[1])
+	}
+}
+
+func TestGeoMeanEmpty(t *testing.T) {
+	tbl := NewTable([]string{"A"})
+	gm := tbl.GeoMeanNormalized(0)
+	if !math.IsNaN(gm[0]) {
+		t.Fatalf("empty geomean = %g, want NaN", gm[0])
+	}
+}
+
+func TestFilterCases(t *testing.T) {
+	tbl := buildTable(t)
+	sub := tbl.FilterCases(func(name string) bool { return name == "case1" })
+	if len(sub.Cases) != 1 || sub.Cases[0] != "case1" {
+		t.Fatalf("filtered cases = %v", sub.Cases)
+	}
+	if sub.Values[0][0] != 10 {
+		t.Fatal("filtered values wrong")
+	}
+}
+
+func TestDefaultAndTimeTaus(t *testing.T) {
+	d := DefaultTaus()
+	if d[0] != 1.0 || d[len(d)-1] < 1.99 {
+		t.Fatalf("default taus = %v", d)
+	}
+	tt := TimeTaus()
+	if tt[0] != 1.0 || tt[len(tt)-1] < 5.9 {
+		t.Fatalf("time taus = %v", tt)
+	}
+}
+
+func TestFormatProfiles(t *testing.T) {
+	tbl := buildTable(t)
+	out := FormatProfiles(tbl.Profiles([]float64{1.0, 1.5}))
+	if !strings.Contains(out, "tau") || !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("format missing headers:\n%s", out)
+	}
+	if FormatProfiles(nil) != "" {
+		t.Fatal("empty profiles must format to empty string")
+	}
+}
+
+func TestFormatGeoMeans(t *testing.T) {
+	out := FormatGeoMeans([]string{"A", "B"},
+		map[string][]float64{"All": {1.0, 0.8}}, []string{"All", "Missing"})
+	if !strings.Contains(out, "All") {
+		t.Fatalf("missing row label:\n%s", out)
+	}
+	if !strings.Contains(out, "0.80*") {
+		t.Fatalf("best value not starred:\n%s", out)
+	}
+	if strings.Contains(out, "Missing") {
+		t.Fatal("absent row rendered")
+	}
+}

@@ -1,0 +1,127 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mediumgrain/internal/gen"
+	"mediumgrain/internal/sparse"
+)
+
+func isPermutation(perm []int, n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestOrdersArePermutations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := sparse.New(n, n)
+		for k := 0; k < rng.Intn(60); k++ {
+			a.AppendPattern(rng.Intn(n), rng.Intn(n))
+		}
+		a.Canonicalize()
+		return isPermutation(BFSOrder(a), n) && isPermutation(RCMOrder(a), n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplySymmetricPreservesStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		a := sparse.New(n, n)
+		for k := 0; k < rng.Intn(50); k++ {
+			a.AppendPattern(rng.Intn(n), rng.Intn(n))
+		}
+		a.Canonicalize()
+		b := ApplySymmetric(a, RCMOrder(a))
+		if b.NNZ() != a.NNZ() {
+			return false
+		}
+		// symmetric permutation preserves pattern symmetry and diagonal
+		diagA, diagB := 0, 0
+		for k := range a.RowIdx {
+			if a.RowIdx[k] == a.ColIdx[k] {
+				diagA++
+			}
+			if b.RowIdx[k] == b.ColIdx[k] {
+				diagB++
+			}
+		}
+		return diagA == diagB && a.PatternSymmetry() == b.PatternSymmetry()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// scramble a banded matrix, then RCM should recover a small bandwidth
+	rng := rand.New(rand.NewSource(5))
+	band := gen.Banded(200, 2, 2)
+	scrambled := gen.PermuteSymmetric(rng, band)
+	bwScrambled := Bandwidth(scrambled)
+	recovered := ApplySymmetric(scrambled, RCMOrder(scrambled))
+	bwRecovered := Bandwidth(recovered)
+	if bwRecovered >= bwScrambled {
+		t.Fatalf("RCM did not reduce bandwidth: %d -> %d", bwScrambled, bwRecovered)
+	}
+	if bwRecovered > 10 {
+		t.Fatalf("RCM bandwidth %d too large for a scrambled 5-band", bwRecovered)
+	}
+}
+
+func TestBandwidthAndProfile(t *testing.T) {
+	a := gen.Tridiagonal(10)
+	if bw := Bandwidth(a); bw != 1 {
+		t.Fatalf("tridiagonal bandwidth = %d", bw)
+	}
+	if p := Profile(a); p != 9 {
+		t.Fatalf("tridiagonal profile = %d, want 9", p)
+	}
+	empty := sparse.New(4, 4)
+	if Bandwidth(empty) != 0 || Profile(empty) != 0 {
+		t.Fatal("empty matrix bandwidth/profile not zero")
+	}
+}
+
+func TestOrdersCoverDisconnectedComponents(t *testing.T) {
+	// two disconnected triangles plus an isolated vertex
+	a := sparse.New(7, 7)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		a.AppendPattern(e[0], e[1])
+		a.AppendPattern(e[1], e[0])
+	}
+	a.Canonicalize()
+	if !isPermutation(BFSOrder(a), 7) {
+		t.Fatal("BFS missed a component or vertex")
+	}
+	if !isPermutation(RCMOrder(a), 7) {
+		t.Fatal("RCM missed a component or vertex")
+	}
+}
+
+func TestOrdersDeterministic(t *testing.T) {
+	a := gen.PowerLawGraph(rand.New(rand.NewSource(6)), 100, 3)
+	o1 := RCMOrder(a)
+	o2 := RCMOrder(a)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("RCM not deterministic")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package report renders human-readable views of partitioned sparse
+// matrices: ASCII spy plots (the textual analogue of the paper's colored
+// matrix figures, e.g. Fig. 2 and Fig. 3) and detailed per-partition
+// statistics tables.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/sparse"
+)
+
+// partGlyphs are the characters used for parts 0..61; larger part ids
+// wrap around.
+const partGlyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// Spy renders the matrix pattern as a grid of characters: '.' for zero
+// positions and the owning part's glyph for nonzeros. Matrices larger
+// than maxDim rows or columns are downsampled by cell-majority: each
+// character covers a block of entries and shows the most frequent part
+// in the block ('.' only if the whole block is empty).
+func Spy(a *sparse.Matrix, parts []int, maxDim int) string {
+	if maxDim <= 0 {
+		maxDim = 64
+	}
+	rows, cols := a.Rows, a.Cols
+	rstep, cstep := 1, 1
+	if rows > maxDim {
+		rstep = (rows + maxDim - 1) / maxDim
+	}
+	if cols > maxDim {
+		cstep = (cols + maxDim - 1) / maxDim
+	}
+	gr := (rows + rstep - 1) / rstep
+	gc := (cols + cstep - 1) / cstep
+	if gr == 0 || gc == 0 {
+		return "(empty matrix)\n"
+	}
+
+	// counts[cell][part] via small maps; cells are gr*gc
+	counts := make([]map[int]int, gr*gc)
+	for k := range a.RowIdx {
+		cell := (a.RowIdx[k]/rstep)*gc + a.ColIdx[k]/cstep
+		if counts[cell] == nil {
+			counts[cell] = map[int]int{}
+		}
+		pt := 0
+		if parts != nil {
+			pt = parts[k]
+		}
+		counts[cell][pt]++
+	}
+
+	var b strings.Builder
+	for r := 0; r < gr; r++ {
+		for c := 0; c < gc; c++ {
+			m := counts[r*gc+c]
+			if len(m) == 0 {
+				b.WriteByte('.')
+				continue
+			}
+			bestPart, bestCt := 0, -1
+			// deterministic majority: lowest part id wins ties
+			ids := make([]int, 0, len(m))
+			for id := range m {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				if m[id] > bestCt {
+					bestPart, bestCt = id, m[id]
+				}
+			}
+			b.WriteByte(partGlyphs[bestPart%len(partGlyphs)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Stats renders a per-part statistics table: nonzeros, share of N,
+// rows/columns touched, and the cut summary (rows/cols with λ > 1),
+// followed by volume, imbalance, and BSP cost.
+func Stats(a *sparse.Matrix, parts []int, p int) string {
+	sizes := metrics.PartSizes(parts, p)
+	rowLambda, colLambda := metrics.Lambdas(a, parts, p)
+
+	rowsTouched := make([]int, p)
+	colsTouched := make([]int, p)
+	stamp := make([]int, p)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	rix := sparse.BuildRowIndex(a)
+	for i := 0; i < a.Rows; i++ {
+		for _, k := range rix.Row(i) {
+			if pt := parts[k]; stamp[pt] != i {
+				stamp[pt] = i
+				rowsTouched[pt]++
+			}
+		}
+	}
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	cix := sparse.BuildColIndex(a)
+	for j := 0; j < a.Cols; j++ {
+		for _, k := range cix.Col(j) {
+			if pt := parts[k]; stamp[pt] != j {
+				stamp[pt] = j
+				colsTouched[pt]++
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %8s %8s %8s\n", "part", "nonzeros", "share", "rows", "cols")
+	n := a.NNZ()
+	for i := 0; i < p; i++ {
+		share := 0.0
+		if n > 0 {
+			share = float64(sizes[i]) / float64(n)
+		}
+		fmt.Fprintf(&b, "%-6d %10d %7.1f%% %8d %8d\n", i, sizes[i], 100*share, rowsTouched[i], colsTouched[i])
+	}
+
+	cutRows, cutCols := 0, 0
+	maxRowLambda, maxColLambda := 0, 0
+	for _, l := range rowLambda {
+		if l > 1 {
+			cutRows++
+		}
+		if l > maxRowLambda {
+			maxRowLambda = l
+		}
+	}
+	for _, l := range colLambda {
+		if l > 1 {
+			cutCols++
+		}
+		if l > maxColLambda {
+			maxColLambda = l
+		}
+	}
+	fmt.Fprintf(&b, "cut rows: %d/%d (max lambda %d), cut cols: %d/%d (max lambda %d)\n",
+		cutRows, a.Rows, maxRowLambda, cutCols, a.Cols, maxColLambda)
+	fmt.Fprintf(&b, "volume: %d, imbalance: %.4f",
+		metrics.Volume(a, parts, p), metrics.Imbalance(parts, p))
+	cost, _ := metrics.BSPCost(a, parts, p)
+	fmt.Fprintf(&b, ", BSP cost: %d\n", cost)
+	return b.String()
+}
+
+// LambdaHistogram renders the distribution of row and column λ values —
+// how many rows/columns are shared by exactly k parts.
+func LambdaHistogram(a *sparse.Matrix, parts []int, p int) string {
+	rowLambda, colLambda := metrics.Lambdas(a, parts, p)
+	rh := make([]int, p+1)
+	ch := make([]int, p+1)
+	for _, l := range rowLambda {
+		rh[l]++
+	}
+	for _, l := range colLambda {
+		ch[l]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s\n", "lambda", "rows", "cols")
+	for l := 0; l <= p; l++ {
+		if rh[l] == 0 && ch[l] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8d %10d %10d\n", l, rh[l], ch[l])
+	}
+	return b.String()
+}

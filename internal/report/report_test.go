@@ -1,0 +1,115 @@
+package report
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mediumgrain/internal/gen"
+	"mediumgrain/internal/sparse"
+)
+
+func smallMatrix() (*sparse.Matrix, []int) {
+	a := sparse.New(2, 3)
+	a.AppendPattern(0, 0)
+	a.AppendPattern(0, 2)
+	a.AppendPattern(1, 1)
+	a.Canonicalize()
+	return a, []int{0, 1, 0}
+}
+
+func TestSpySmall(t *testing.T) {
+	a, parts := smallMatrix()
+	out := Spy(a, parts, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("spy has %d lines, want 2:\n%s", len(lines), out)
+	}
+	if lines[0] != "0.1" {
+		t.Fatalf("row 0 = %q, want \"0.1\"", lines[0])
+	}
+	if lines[1] != ".0." {
+		t.Fatalf("row 1 = %q, want \".0.\"", lines[1])
+	}
+}
+
+func TestSpyNilPartsDefaultsToZero(t *testing.T) {
+	a, _ := smallMatrix()
+	out := Spy(a, nil, 10)
+	if strings.ContainsAny(out, "123456789") {
+		t.Fatalf("nil parts must render everything as part 0:\n%s", out)
+	}
+	if !strings.Contains(out, "0") {
+		t.Fatal("no nonzeros rendered")
+	}
+}
+
+func TestSpyDownsamples(t *testing.T) {
+	a := gen.Laplacian2D(30, 30) // 900x900
+	parts := make([]int, a.NNZ())
+	out := Spy(a, parts, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) > 41 {
+		t.Fatalf("downsampled spy has %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) > 41 {
+			t.Fatalf("downsampled spy row width %d", len(l))
+		}
+	}
+}
+
+func TestSpyEmpty(t *testing.T) {
+	a := sparse.New(0, 0)
+	if out := Spy(a, nil, 10); !strings.Contains(out, "empty") {
+		t.Fatalf("empty spy = %q", out)
+	}
+}
+
+func TestSpyManyParts(t *testing.T) {
+	// parts beyond the glyph range must not panic
+	a := sparse.New(1, 3)
+	a.AppendPattern(0, 0)
+	a.AppendPattern(0, 1)
+	a.AppendPattern(0, 2)
+	a.Canonicalize()
+	out := Spy(a, []int{0, 61, 62}, 10)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := gen.Laplacian2D(8, 8)
+	rng := rand.New(rand.NewSource(1))
+	parts := make([]int, a.NNZ())
+	for k := range parts {
+		parts[k] = rng.Intn(3)
+	}
+	out := Stats(a, parts, 3)
+	for _, want := range []string{"part", "nonzeros", "volume:", "BSP cost:", "cut rows:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLambdaHistogram(t *testing.T) {
+	a, parts := smallMatrix()
+	out := LambdaHistogram(a, parts, 2)
+	if !strings.Contains(out, "lambda") {
+		t.Fatalf("histogram broken:\n%s", out)
+	}
+	// row 0 has lambda 2 (parts 0 and 1), row 1 lambda 1
+	if !strings.Contains(out, "2") {
+		t.Fatal("lambda-2 row missing")
+	}
+}
+
+func TestStatsEmptyMatrix(t *testing.T) {
+	a := sparse.New(2, 2)
+	out := Stats(a, nil, 2)
+	if !strings.Contains(out, "volume: 0") {
+		t.Fatalf("empty stats:\n%s", out)
+	}
+}

@@ -1,0 +1,90 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(b *testing.B, nnz int) *Matrix {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	a := New(2000, 2000)
+	for k := 0; k < nnz; k++ {
+		a.AppendPattern(rng.Intn(2000), rng.Intn(2000))
+	}
+	a.Canonicalize()
+	return a
+}
+
+func BenchmarkCanonicalize(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([]int, 50000)
+	cols := make([]int, 50000)
+	for k := range rows {
+		rows[k] = rng.Intn(2000)
+		cols[k] = rng.Intn(2000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := &Matrix{Rows: 2000, Cols: 2000,
+			RowIdx: append([]int(nil), rows...),
+			ColIdx: append([]int(nil), cols...)}
+		a.Canonicalize()
+	}
+}
+
+func BenchmarkBuildRowIndex(b *testing.B) {
+	a := benchMatrix(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildRowIndex(a)
+	}
+}
+
+func BenchmarkToCSRMulVec(b *testing.B) {
+	a := benchMatrix(b, 50000)
+	c := a.ToCSR()
+	x := make([]float64, a.Cols)
+	for j := range x {
+		x[j] = float64(j)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MulVec(x)
+	}
+}
+
+func BenchmarkPatternSymmetry(b *testing.B) {
+	a := benchMatrix(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.PatternSymmetry()
+	}
+}
+
+func BenchmarkMatrixMarketWrite(b *testing.B) {
+	a := benchMatrix(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixMarketRead(b *testing.B) {
+	a := benchMatrix(b, 20000)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadMatrixMarket(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket checks that the parser never panics and that any
+// successfully parsed matrix is structurally valid and round-trips.
+func FuzzReadMatrixMarket(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n",
+		"%%MatrixMarket matrix coordinate pattern general\n3 4 2\n1 2\n3 4\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1\n3 1 2\n",
+		"%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 -1\n",
+		"%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 0\n",
+		"garbage",
+		"%%MatrixMarket matrix coordinate real general\n999999 999999 1\n1 1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("parser returned invalid matrix: %v", err)
+		}
+		// successful parses must survive a write/read round trip
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		b, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		ac := a.Clone()
+		ac.Canonicalize()
+		bc := b.Clone()
+		bc.Canonicalize()
+		if ac.NNZ() != bc.NNZ() || ac.Rows != bc.Rows || ac.Cols != bc.Cols {
+			t.Fatalf("round trip changed shape: %v vs %v", ac, bc)
+		}
+	})
+}

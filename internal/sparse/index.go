@@ -1,0 +1,101 @@
+package sparse
+
+// RowIndex is a CSR-style index over the nonzeros of a Matrix: for each
+// row it lists the positions (into the COO slices) of the nonzeros of
+// that row. It does not copy coordinates, so it stays valid as long as
+// the matrix is not mutated.
+type RowIndex struct {
+	Ptr []int // len Rows+1
+	Nz  []int // len NNZ; indices into the COO arrays, grouped by row
+}
+
+// ColIndex is the CSC-style analogue of RowIndex.
+type ColIndex struct {
+	Ptr []int
+	Nz  []int
+}
+
+// BuildRowIndex groups the nonzero positions of a by row using a
+// counting sort; O(NNZ + Rows).
+func BuildRowIndex(a *Matrix) *RowIndex {
+	ptr := make([]int, a.Rows+1)
+	for _, i := range a.RowIdx {
+		ptr[i+1]++
+	}
+	for i := 0; i < a.Rows; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	nz := make([]int, a.NNZ())
+	next := make([]int, a.Rows)
+	copy(next, ptr[:a.Rows])
+	for k, i := range a.RowIdx {
+		nz[next[i]] = k
+		next[i]++
+	}
+	return &RowIndex{Ptr: ptr, Nz: nz}
+}
+
+// BuildColIndex groups the nonzero positions of a by column.
+func BuildColIndex(a *Matrix) *ColIndex {
+	ptr := make([]int, a.Cols+1)
+	for _, j := range a.ColIdx {
+		ptr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		ptr[j+1] += ptr[j]
+	}
+	nz := make([]int, a.NNZ())
+	next := make([]int, a.Cols)
+	copy(next, ptr[:a.Cols])
+	for k, j := range a.ColIdx {
+		nz[next[j]] = k
+		next[j]++
+	}
+	return &ColIndex{Ptr: ptr, Nz: nz}
+}
+
+// Row returns the nonzero positions of row i.
+func (ix *RowIndex) Row(i int) []int { return ix.Nz[ix.Ptr[i]:ix.Ptr[i+1]] }
+
+// Col returns the nonzero positions of column j.
+func (ix *ColIndex) Col(j int) []int { return ix.Nz[ix.Ptr[j]:ix.Ptr[j+1]] }
+
+// CSR is a compressed-sparse-row matrix with values, used by the SpMV
+// substrate. Rows are contiguous; columns within a row are in COO order.
+type CSR struct {
+	Rows, Cols int
+	Ptr        []int
+	Col        []int
+	Val        []float64
+}
+
+// ToCSR converts the matrix to CSR form. Pattern matrices get value 1.0
+// for every nonzero so SpMV remains meaningful.
+func (a *Matrix) ToCSR() *CSR {
+	ix := BuildRowIndex(a)
+	c := &CSR{Rows: a.Rows, Cols: a.Cols, Ptr: ix.Ptr}
+	c.Col = make([]int, a.NNZ())
+	c.Val = make([]float64, a.NNZ())
+	for pos, k := range ix.Nz {
+		c.Col[pos] = a.ColIdx[k]
+		if a.Val != nil {
+			c.Val[pos] = a.Val[k]
+		} else {
+			c.Val[pos] = 1
+		}
+	}
+	return c
+}
+
+// MulVec computes y = A*x sequentially; the reference SpMV.
+func (c *CSR) MulVec(x []float64) []float64 {
+	y := make([]float64, c.Rows)
+	for i := 0; i < c.Rows; i++ {
+		s := 0.0
+		for p := c.Ptr[i]; p < c.Ptr[i+1]; p++ {
+			s += c.Val[p] * x[c.Col[p]]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,135 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildRowIndex(t *testing.T) {
+	a := mustMatrix(t, 3, 3, [][2]int{{2, 0}, {0, 1}, {2, 2}, {0, 0}})
+	ix := BuildRowIndex(a)
+	if got := len(ix.Row(0)); got != 2 {
+		t.Errorf("row 0 has %d nonzeros, want 2", got)
+	}
+	if got := len(ix.Row(1)); got != 0 {
+		t.Errorf("row 1 has %d nonzeros, want 0", got)
+	}
+	if got := len(ix.Row(2)); got != 2 {
+		t.Errorf("row 2 has %d nonzeros, want 2", got)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for _, k := range ix.Row(i) {
+			if a.RowIdx[k] != i {
+				t.Errorf("row index lists nonzero %d (row %d) under row %d", k, a.RowIdx[k], i)
+			}
+		}
+	}
+}
+
+func TestBuildColIndex(t *testing.T) {
+	a := mustMatrix(t, 3, 4, [][2]int{{0, 3}, {1, 3}, {2, 0}})
+	ix := BuildColIndex(a)
+	if got := len(ix.Col(3)); got != 2 {
+		t.Errorf("col 3 has %d nonzeros, want 2", got)
+	}
+	if got := len(ix.Col(1)); got != 0 {
+		t.Errorf("col 1 has %d nonzeros, want 0", got)
+	}
+	for j := 0; j < a.Cols; j++ {
+		for _, k := range ix.Col(j) {
+			if a.ColIdx[k] != j {
+				t.Errorf("col index lists nonzero %d (col %d) under col %d", k, a.ColIdx[k], j)
+			}
+		}
+	}
+}
+
+func TestIndexesCoverAllNonzeros(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 1+rng.Intn(12), 1+rng.Intn(12), 50)
+		rix := BuildRowIndex(a)
+		cix := BuildColIndex(a)
+		seenR := make([]bool, a.NNZ())
+		for i := 0; i < a.Rows; i++ {
+			for _, k := range rix.Row(i) {
+				if seenR[k] {
+					return false
+				}
+				seenR[k] = true
+			}
+		}
+		seenC := make([]bool, a.NNZ())
+		for j := 0; j < a.Cols; j++ {
+			for _, k := range cix.Col(j) {
+				if seenC[k] {
+					return false
+				}
+				seenC[k] = true
+			}
+		}
+		for k := range seenR {
+			if !seenR[k] || !seenC[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToCSRAndMulVec(t *testing.T) {
+	a := New(2, 3)
+	a.Val = []float64{}
+	a.Append(0, 0, 2)
+	a.Append(0, 2, 3)
+	a.Append(1, 1, -1)
+	c := a.ToCSR()
+	y := c.MulVec([]float64{1, 2, 3})
+	if y[0] != 2*1+3*3 || y[1] != -2 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestToCSRPatternUsesOnes(t *testing.T) {
+	a := mustMatrix(t, 2, 2, [][2]int{{0, 0}, {0, 1}, {1, 1}})
+	y := a.ToCSR().MulVec([]float64{5, 7})
+	if y[0] != 12 || y[1] != 7 {
+		t.Fatalf("pattern MulVec = %v, want [12 7]", y)
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := randomMatrix(rng, rows, cols, 30)
+		a.Val = make([]float64, a.NNZ())
+		for k := range a.Val {
+			a.Val[k] = rng.NormFloat64()
+		}
+		x := make([]float64, cols)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		y := a.ToCSR().MulVec(x)
+		// dense reference
+		ref := make([]float64, rows)
+		for k := range a.RowIdx {
+			ref[a.RowIdx[k]] += a.Val[k] * x[a.ColIdx[k]]
+		}
+		for i := range y {
+			if math.Abs(y[i]-ref[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package sparse provides the sparse-matrix substrate used throughout the
+// medium-grain partitioning library: a coordinate-format (COO) matrix
+// type with optional numerical values, compressed row/column indexes,
+// structural transforms, Matrix Market I/O, and pattern analysis.
+//
+// The partitioning problem is purely structural, so the canonical type
+// Matrix stores the nonzero pattern as parallel coordinate slices; values
+// are optional and carried along only for SpMV verification.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Matrix is a sparse matrix in coordinate (COO) format.
+//
+// The k-th nonzero is (RowIdx[k], ColIdx[k]), with value Val[k] when Val
+// is non-nil. A nil Val means a pattern matrix; all structural algorithms
+// in this module operate on the pattern only.
+//
+// Invariants after Validate/Canonicalize: 0 <= RowIdx[k] < Rows,
+// 0 <= ColIdx[k] < Cols, entries sorted by (row, col) and unique.
+type Matrix struct {
+	Rows, Cols int
+	RowIdx     []int
+	ColIdx     []int
+	Val        []float64 // optional; nil for pattern-only matrices
+}
+
+// New returns an empty matrix with the given dimensions.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols}
+}
+
+// NNZ returns the number of stored nonzeros.
+func (a *Matrix) NNZ() int { return len(a.RowIdx) }
+
+// IsSquare reports whether the matrix has as many rows as columns.
+func (a *Matrix) IsSquare() bool { return a.Rows == a.Cols }
+
+// HasValues reports whether numerical values are stored.
+func (a *Matrix) HasValues() bool { return a.Val != nil }
+
+// Append adds a nonzero at (i, j). If the matrix carries values the
+// entry gets value v; on a pattern matrix v is ignored.
+func (a *Matrix) Append(i, j int, v float64) {
+	a.RowIdx = append(a.RowIdx, i)
+	a.ColIdx = append(a.ColIdx, j)
+	if a.Val != nil {
+		a.Val = append(a.Val, v)
+	}
+}
+
+// AppendPattern adds a structural nonzero at (i, j).
+func (a *Matrix) AppendPattern(i, j int) { a.Append(i, j, 0) }
+
+// Clone returns a deep copy of the matrix.
+func (a *Matrix) Clone() *Matrix {
+	b := &Matrix{Rows: a.Rows, Cols: a.Cols}
+	b.RowIdx = append([]int(nil), a.RowIdx...)
+	b.ColIdx = append([]int(nil), a.ColIdx...)
+	if a.Val != nil {
+		b.Val = append([]float64(nil), a.Val...)
+	}
+	return b
+}
+
+// Validate checks the structural invariants of the matrix: consistent
+// slice lengths, in-range coordinates, and non-negative dimensions.
+func (a *Matrix) Validate() error {
+	if a.Rows < 0 || a.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", a.Rows, a.Cols)
+	}
+	if len(a.RowIdx) != len(a.ColIdx) {
+		return fmt.Errorf("sparse: row/col index length mismatch %d != %d", len(a.RowIdx), len(a.ColIdx))
+	}
+	if a.Val != nil && len(a.Val) != len(a.RowIdx) {
+		return fmt.Errorf("sparse: value length %d != nnz %d", len(a.Val), len(a.RowIdx))
+	}
+	for k := range a.RowIdx {
+		if a.RowIdx[k] < 0 || a.RowIdx[k] >= a.Rows {
+			return fmt.Errorf("sparse: nonzero %d has row %d out of range [0,%d)", k, a.RowIdx[k], a.Rows)
+		}
+		if a.ColIdx[k] < 0 || a.ColIdx[k] >= a.Cols {
+			return fmt.Errorf("sparse: nonzero %d has col %d out of range [0,%d)", k, a.ColIdx[k], a.Cols)
+		}
+	}
+	return nil
+}
+
+// ErrDuplicate is returned by CheckDuplicates when the matrix stores the
+// same coordinate more than once.
+var ErrDuplicate = errors.New("sparse: duplicate coordinate")
+
+// CheckDuplicates reports whether any coordinate appears more than once.
+func (a *Matrix) CheckDuplicates() error {
+	seen := make(map[[2]int]struct{}, a.NNZ())
+	for k := range a.RowIdx {
+		key := [2]int{a.RowIdx[k], a.ColIdx[k]}
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("%w at (%d,%d)", ErrDuplicate, key[0], key[1])
+		}
+		seen[key] = struct{}{}
+	}
+	return nil
+}
+
+// SortCOO sorts the nonzeros by (row, col), keeping values aligned.
+func (a *Matrix) SortCOO() {
+	s := cooSorter{a}
+	sort.Sort(s)
+}
+
+type cooSorter struct{ a *Matrix }
+
+func (s cooSorter) Len() int { return s.a.NNZ() }
+func (s cooSorter) Less(i, j int) bool {
+	if s.a.RowIdx[i] != s.a.RowIdx[j] {
+		return s.a.RowIdx[i] < s.a.RowIdx[j]
+	}
+	return s.a.ColIdx[i] < s.a.ColIdx[j]
+}
+func (s cooSorter) Swap(i, j int) {
+	a := s.a
+	a.RowIdx[i], a.RowIdx[j] = a.RowIdx[j], a.RowIdx[i]
+	a.ColIdx[i], a.ColIdx[j] = a.ColIdx[j], a.ColIdx[i]
+	if a.Val != nil {
+		a.Val[i], a.Val[j] = a.Val[j], a.Val[i]
+	}
+}
+
+// Canonicalize sorts the entries by (row, col) and merges duplicates by
+// summing their values (or dropping repeats for pattern matrices).
+func (a *Matrix) Canonicalize() {
+	if a.NNZ() == 0 {
+		return
+	}
+	a.SortCOO()
+	w := 0
+	for k := 0; k < a.NNZ(); k++ {
+		if w > 0 && a.RowIdx[k] == a.RowIdx[w-1] && a.ColIdx[k] == a.ColIdx[w-1] {
+			if a.Val != nil {
+				a.Val[w-1] += a.Val[k]
+			}
+			continue
+		}
+		a.RowIdx[w] = a.RowIdx[k]
+		a.ColIdx[w] = a.ColIdx[k]
+		if a.Val != nil {
+			a.Val[w] = a.Val[k]
+		}
+		w++
+	}
+	a.RowIdx = a.RowIdx[:w]
+	a.ColIdx = a.ColIdx[:w]
+	if a.Val != nil {
+		a.Val = a.Val[:w]
+	}
+}
+
+// Transpose returns a new matrix that is the transpose of a.
+func (a *Matrix) Transpose() *Matrix {
+	b := &Matrix{Rows: a.Cols, Cols: a.Rows}
+	b.RowIdx = append([]int(nil), a.ColIdx...)
+	b.ColIdx = append([]int(nil), a.RowIdx...)
+	if a.Val != nil {
+		b.Val = append([]float64(nil), a.Val...)
+	}
+	return b
+}
+
+// RowCounts returns the number of nonzeros in each row.
+func (a *Matrix) RowCounts() []int {
+	c := make([]int, a.Rows)
+	for _, i := range a.RowIdx {
+		c[i]++
+	}
+	return c
+}
+
+// ColCounts returns the number of nonzeros in each column.
+func (a *Matrix) ColCounts() []int {
+	c := make([]int, a.Cols)
+	for _, j := range a.ColIdx {
+		c[j]++
+	}
+	return c
+}
+
+// Equal reports whether a and b have the same dimensions and the same
+// canonical pattern (values ignored). Both matrices are left unmodified.
+func Equal(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	ac, bc := a.Clone(), b.Clone()
+	ac.Canonicalize()
+	bc.Canonicalize()
+	if ac.NNZ() != bc.NNZ() {
+		return false
+	}
+	for k := range ac.RowIdx {
+		if ac.RowIdx[k] != bc.RowIdx[k] || ac.ColIdx[k] != bc.ColIdx[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, e.g. "sparse 5x7, 12 nnz".
+func (a *Matrix) String() string {
+	return fmt.Sprintf("sparse %dx%d, %d nnz", a.Rows, a.Cols, a.NNZ())
+}
+
+// Dense returns the pattern as a dense boolean grid; intended for tests
+// and tiny illustrations only.
+func (a *Matrix) Dense() [][]bool {
+	d := make([][]bool, a.Rows)
+	for i := range d {
+		d[i] = make([]bool, a.Cols)
+	}
+	for k := range a.RowIdx {
+		d[a.RowIdx[k]][a.ColIdx[k]] = true
+	}
+	return d
+}
+
+// PatternSymmetry returns the fraction of off-diagonal nonzeros a(i,j)
+// whose mirror a(j,i) is also present. A square matrix with symmetry 1.0
+// is structurally symmetric (the class "Sym" in the paper); symmetry < 1
+// on a square matrix is the class "Sqr". Non-square matrices return 0.
+// A matrix whose off-diagonal part is empty is symmetric by convention.
+func (a *Matrix) PatternSymmetry() float64 {
+	if a.Rows != a.Cols {
+		return 0
+	}
+	set := make(map[[2]int]struct{}, a.NNZ())
+	for k := range a.RowIdx {
+		set[[2]int{a.RowIdx[k], a.ColIdx[k]}] = struct{}{}
+	}
+	offDiag, mirrored := 0, 0
+	for k := range a.RowIdx {
+		i, j := a.RowIdx[k], a.ColIdx[k]
+		if i == j {
+			continue
+		}
+		offDiag++
+		if _, ok := set[[2]int{j, i}]; ok {
+			mirrored++
+		}
+	}
+	if offDiag == 0 {
+		return 1
+	}
+	return float64(mirrored) / float64(offDiag)
+}
+
+// Class labels the matrix the way the paper's test set is split.
+type Class int
+
+const (
+	// ClassRectangular marks matrices with Rows != Cols ("Rec").
+	ClassRectangular Class = iota
+	// ClassSymmetric marks square matrices with pattern symmetry 1 ("Sym").
+	ClassSymmetric
+	// ClassSquareNonSym marks square matrices with symmetry < 1 ("Sqr").
+	ClassSquareNonSym
+)
+
+// String returns the paper's abbreviation for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassRectangular:
+		return "Rec"
+	case ClassSymmetric:
+		return "Sym"
+	case ClassSquareNonSym:
+		return "Sqr"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Classify returns the paper's class of the matrix.
+func (a *Matrix) Classify() Class {
+	if a.Rows != a.Cols {
+		return ClassRectangular
+	}
+	if a.PatternSymmetry() == 1 {
+		return ClassSymmetric
+	}
+	return ClassSquareNonSym
+}

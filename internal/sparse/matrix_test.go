@@ -1,0 +1,280 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustMatrix(t *testing.T, rows, cols int, nz [][2]int) *Matrix {
+	t.Helper()
+	a := New(rows, cols)
+	for _, e := range nz {
+		a.AppendPattern(e[0], e[1])
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return a
+}
+
+func TestNewEmpty(t *testing.T) {
+	a := New(3, 4)
+	if a.NNZ() != 0 {
+		t.Fatalf("NNZ = %d, want 0", a.NNZ())
+	}
+	if a.IsSquare() {
+		t.Fatal("3x4 reported square")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAppendAndCounts(t *testing.T) {
+	a := mustMatrix(t, 3, 3, [][2]int{{0, 0}, {0, 1}, {1, 1}, {2, 2}, {2, 0}})
+	rc := a.RowCounts()
+	cc := a.ColCounts()
+	if rc[0] != 2 || rc[1] != 1 || rc[2] != 2 {
+		t.Errorf("RowCounts = %v", rc)
+	}
+	if cc[0] != 2 || cc[1] != 2 || cc[2] != 1 {
+		t.Errorf("ColCounts = %v", cc)
+	}
+}
+
+func TestValidateOutOfRange(t *testing.T) {
+	a := New(2, 2)
+	a.AppendPattern(2, 0)
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected row out-of-range error")
+	}
+	b := New(2, 2)
+	b.AppendPattern(0, -1)
+	if err := b.Validate(); err == nil {
+		t.Fatal("expected col out-of-range error")
+	}
+}
+
+func TestValidateLengthMismatch(t *testing.T) {
+	a := New(2, 2)
+	a.RowIdx = []int{0}
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	b := New(2, 2)
+	b.AppendPattern(0, 0)
+	b.Val = []float64{1, 2}
+	if err := b.Validate(); err == nil {
+		t.Fatal("expected value length mismatch error")
+	}
+}
+
+func TestCheckDuplicates(t *testing.T) {
+	a := mustMatrix(t, 2, 2, [][2]int{{0, 0}, {1, 1}})
+	if err := a.CheckDuplicates(); err != nil {
+		t.Fatalf("unexpected duplicate: %v", err)
+	}
+	a.AppendPattern(0, 0)
+	if err := a.CheckDuplicates(); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+func TestCanonicalizeSortsAndDedups(t *testing.T) {
+	a := New(3, 3)
+	a.Val = []float64{}
+	a.Append(2, 1, 5)
+	a.Append(0, 2, 1)
+	a.Append(2, 1, 7) // duplicate; values must sum
+	a.Append(0, 0, 2)
+	a.Canonicalize()
+	if a.NNZ() != 3 {
+		t.Fatalf("NNZ after canonicalize = %d, want 3", a.NNZ())
+	}
+	wantRows := []int{0, 0, 2}
+	wantCols := []int{0, 2, 1}
+	wantVals := []float64{2, 1, 12}
+	for k := range wantRows {
+		if a.RowIdx[k] != wantRows[k] || a.ColIdx[k] != wantCols[k] || a.Val[k] != wantVals[k] {
+			t.Errorf("entry %d = (%d,%d,%g), want (%d,%d,%g)",
+				k, a.RowIdx[k], a.ColIdx[k], a.Val[k], wantRows[k], wantCols[k], wantVals[k])
+		}
+	}
+}
+
+func TestCanonicalizePatternDropsDuplicates(t *testing.T) {
+	a := New(2, 2)
+	a.AppendPattern(1, 1)
+	a.AppendPattern(1, 1)
+	a.AppendPattern(0, 0)
+	a.Canonicalize()
+	if a.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", a.NNZ())
+	}
+	if err := a.CheckDuplicates(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalizeEmpty(t *testing.T) {
+	a := New(5, 5)
+	a.Canonicalize() // must not panic
+	if a.NNZ() != 0 {
+		t.Fatal("empty matrix gained nonzeros")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := mustMatrix(t, 2, 2, [][2]int{{0, 1}})
+	b := a.Clone()
+	b.AppendPattern(1, 0)
+	if a.NNZ() != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if b.NNZ() != 2 {
+		t.Fatal("Clone lost an append")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := mustMatrix(t, 2, 3, [][2]int{{0, 2}, {1, 0}})
+	b := a.Transpose()
+	if b.Rows != 3 || b.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d, want 3x2", b.Rows, b.Cols)
+	}
+	want := mustMatrix(t, 3, 2, [][2]int{{2, 0}, {0, 1}})
+	if !Equal(b, want) {
+		t.Fatal("transpose pattern wrong")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 1+rng.Intn(20), 1+rng.Intn(20), 30)
+		return Equal(a, a.Transpose().Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mustMatrix(t, 2, 2, [][2]int{{0, 0}, {1, 1}})
+	b := mustMatrix(t, 2, 2, [][2]int{{1, 1}, {0, 0}}) // different order
+	if !Equal(a, b) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	c := mustMatrix(t, 2, 2, [][2]int{{0, 0}, {1, 0}})
+	if Equal(a, c) {
+		t.Fatal("different patterns reported equal")
+	}
+	d := mustMatrix(t, 2, 3, [][2]int{{0, 0}, {1, 1}})
+	if Equal(a, d) {
+		t.Fatal("different dims reported equal")
+	}
+}
+
+func TestDense(t *testing.T) {
+	a := mustMatrix(t, 2, 2, [][2]int{{0, 1}})
+	d := a.Dense()
+	if d[0][1] != true || d[0][0] || d[1][0] || d[1][1] {
+		t.Fatalf("Dense = %v", d)
+	}
+}
+
+func TestPatternSymmetry(t *testing.T) {
+	sym := mustMatrix(t, 3, 3, [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 0}})
+	if s := sym.PatternSymmetry(); s != 1 {
+		t.Errorf("symmetric matrix symmetry = %g, want 1", s)
+	}
+	asym := mustMatrix(t, 3, 3, [][2]int{{0, 1}, {1, 0}, {1, 2}})
+	if s := asym.PatternSymmetry(); s != 2.0/3.0 {
+		t.Errorf("symmetry = %g, want 2/3", s)
+	}
+	rect := mustMatrix(t, 2, 3, [][2]int{{0, 1}})
+	if s := rect.PatternSymmetry(); s != 0 {
+		t.Errorf("rectangular symmetry = %g, want 0", s)
+	}
+	diagOnly := mustMatrix(t, 2, 2, [][2]int{{0, 0}, {1, 1}})
+	if s := diagOnly.PatternSymmetry(); s != 1 {
+		t.Errorf("diagonal-only symmetry = %g, want 1", s)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		a    *Matrix
+		want Class
+	}{
+		{mustMatrix(t, 2, 3, [][2]int{{0, 0}}), ClassRectangular},
+		{mustMatrix(t, 2, 2, [][2]int{{0, 1}, {1, 0}}), ClassSymmetric},
+		{mustMatrix(t, 2, 2, [][2]int{{0, 1}}), ClassSquareNonSym},
+	}
+	for i, c := range cases {
+		if got := c.a.Classify(); got != c.want {
+			t.Errorf("case %d: Classify = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassRectangular.String() != "Rec" || ClassSymmetric.String() != "Sym" || ClassSquareNonSym.String() != "Sqr" {
+		t.Fatal("class abbreviations changed")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class must stringify")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	a := mustMatrix(t, 2, 3, [][2]int{{0, 0}})
+	if got, want := a.String(), "sparse 2x3, 1 nnz"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// randomMatrix builds a canonical random pattern with up to maxNNZ
+// nonzeros.
+func randomMatrix(rng *rand.Rand, rows, cols, maxNNZ int) *Matrix {
+	a := New(rows, cols)
+	n := rng.Intn(maxNNZ + 1)
+	for k := 0; k < n; k++ {
+		a.AppendPattern(rng.Intn(rows), rng.Intn(cols))
+	}
+	a.Canonicalize()
+	return a
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 1+rng.Intn(15), 1+rng.Intn(15), 40)
+		b := a.Clone()
+		b.Canonicalize()
+		return Equal(a, b) && a.NNZ() == b.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalizeSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 1+rng.Intn(15), 1+rng.Intn(15), 40)
+		for k := 1; k < a.NNZ(); k++ {
+			if a.RowIdx[k-1] > a.RowIdx[k] {
+				return false
+			}
+			if a.RowIdx[k-1] == a.RowIdx[k] && a.ColIdx[k-1] >= a.ColIdx[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

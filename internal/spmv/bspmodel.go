@@ -1,0 +1,94 @@
+package spmv
+
+import (
+	"fmt"
+
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/sparse"
+)
+
+// BSP machine model (Valiant; used throughout Bisseling's "Parallel
+// Scientific Computation", the paper's ref [1]): a superstep with local
+// work w and h-relation h costs w + g·h + l, where g is the per-word
+// communication gap and l the synchronization latency, all in flop
+// units. The 4-phase SpMV costs
+//
+//	T = max_i(2·|A_i|)  +  g·(h_fanout + h_fanin)  +  4·l
+//
+// (two flops per nonzero; four supersteps). This model turns the paper's
+// communication metrics into predicted runtimes and speedups.
+
+// Machine holds BSP parameters in flop units.
+type Machine struct {
+	// FlopRate is the sequential speed in flops/second (used only to
+	// convert to seconds; predictions in flops don't need it).
+	FlopRate float64
+	// G is the communication gap: flop-equivalents per data word.
+	G float64
+	// L is the synchronization cost in flop-equivalents per superstep.
+	L float64
+}
+
+// Prediction is the modelled cost breakdown of one parallel SpMV.
+type Prediction struct {
+	CompFlops int64   // max_i 2·|A_i|
+	CommWords int64   // h_fanout + h_fanin
+	SyncSteps int     // supersteps (4)
+	TotalCost float64 // flop-equivalents
+	Seconds   float64 // TotalCost / FlopRate (0 if FlopRate unset)
+	// SequentialFlops is 2·N, the single-processor work; Speedup is the
+	// modelled sequential/parallel ratio.
+	SequentialFlops int64
+	Speedup         float64
+}
+
+// Predict evaluates the BSP cost model for a partitioning on machine m
+// under the greedy vector distribution.
+func Predict(a *sparse.Matrix, parts []int, p int, m Machine) (*Prediction, error) {
+	return PredictWithDistribution(a, parts, p, m, nil)
+}
+
+// PredictWithDistribution is Predict with an explicit vector
+// distribution (nil falls back to the greedy one).
+func PredictWithDistribution(a *sparse.Matrix, parts []int, p int, m Machine, vec *metrics.VectorDistribution) (*Prediction, error) {
+	if err := metrics.ValidateParts(a, parts, p); err != nil {
+		return nil, err
+	}
+	if m.G < 0 || m.L < 0 {
+		return nil, fmt.Errorf("spmv: negative machine parameters g=%g l=%g", m.G, m.L)
+	}
+	sizes := metrics.PartSizes(parts, p)
+	var maxSize int64
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	var cost int64
+	if vec == nil {
+		cost, _ = metrics.BSPCost(a, parts, p)
+	} else {
+		cost = metrics.BSPCostWithDistribution(a, parts, p, vec)
+	}
+
+	pred := &Prediction{
+		CompFlops:       2 * maxSize,
+		CommWords:       cost,
+		SyncSteps:       4,
+		SequentialFlops: 2 * int64(a.NNZ()),
+	}
+	pred.TotalCost = float64(pred.CompFlops) + m.G*float64(pred.CommWords) + m.L*float64(pred.SyncSteps)
+	if m.FlopRate > 0 {
+		pred.Seconds = pred.TotalCost / m.FlopRate
+	}
+	if pred.TotalCost > 0 {
+		pred.Speedup = float64(pred.SequentialFlops) / pred.TotalCost
+	}
+	return pred, nil
+}
+
+// String renders the prediction compactly.
+func (pr *Prediction) String() string {
+	return fmt.Sprintf("comp %d flops, comm %d words, %d syncs, cost %.0f, speedup %.2f",
+		pr.CompFlops, pr.CommWords, pr.SyncSteps, pr.TotalCost, pr.Speedup)
+}

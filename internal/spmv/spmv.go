@@ -1,0 +1,317 @@
+// Package spmv is the parallel sparse matrix–vector multiplication
+// substrate that motivates the partitioning problem (paper §I). It
+// executes the standard four-phase BSP algorithm — (1) fan-out, (2) local
+// multiplication, (3) fan-in, (4) summation of partial sums — on p
+// goroutine "processors" that exchange data only through per-phase
+// message channels, and counts every word actually communicated.
+//
+// The measured traffic of a run equals the communication volume V of the
+// partitioning (eqn (3)) under the greedy vector distribution, which the
+// tests verify; the numerical result equals the sequential reference.
+package spmv
+
+import (
+	"fmt"
+	"sync"
+
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/sparse"
+)
+
+// Distribution describes a complete data distribution for parallel SpMV:
+// nonzero ownership plus input/output vector ownership.
+type Distribution struct {
+	P      int
+	Parts  []int // owner of each nonzero, COO order
+	Vector *metrics.VectorDistribution
+}
+
+// NewDistribution bundles a nonzero partitioning with the greedy vector
+// distribution of the metrics package.
+func NewDistribution(a *sparse.Matrix, parts []int, p int) (*Distribution, error) {
+	if err := metrics.ValidateParts(a, parts, p); err != nil {
+		return nil, err
+	}
+	return &Distribution{
+		P:      p,
+		Parts:  append([]int(nil), parts...),
+		Vector: metrics.GreedyVectorDistribution(a, parts, p),
+	}, nil
+}
+
+// Stats aggregates the traffic observed during a parallel run.
+type Stats struct {
+	// FanoutWords and FaninWords count vector components and partial
+	// sums moved between distinct processors in phases (1) and (3).
+	FanoutWords int64
+	FaninWords  int64
+	// SendMax/RecvMax are per-phase h-relation components: the maximum
+	// over processors of words sent/received.
+	FanoutSendMax, FanoutRecvMax int64
+	FaninSendMax, FaninRecvMax   int64
+	// LocalMults counts multiplications per processor (load balance).
+	LocalMults []int64
+}
+
+// TotalWords returns the total traffic of both phases; equals the
+// communication volume of the partitioning.
+func (s *Stats) TotalWords() int64 { return s.FanoutWords + s.FaninWords }
+
+// BSPCost returns fan-out h + fan-in h, the Table II metric.
+func (s *Stats) BSPCost() int64 {
+	h1 := s.FanoutSendMax
+	if s.FanoutRecvMax > h1 {
+		h1 = s.FanoutRecvMax
+	}
+	h2 := s.FaninSendMax
+	if s.FaninRecvMax > h2 {
+		h2 = s.FaninRecvMax
+	}
+	return h1 + h2
+}
+
+// word is one message payload unit: an indexed value.
+type word struct {
+	idx int
+	val float64
+}
+
+// processor holds the static local data of one BSP processor.
+type processor struct {
+	id int
+	// local nonzeros
+	rows, cols []int
+	vals       []float64
+	// owned vector components
+	ownedIn  []int // columns whose v_j this processor owns
+	ownedOut []int // rows whose u_i this processor owns
+	// fanOutDst[j] lists processors needing v_j (excluding self).
+	fanOutDst map[int][]int
+	// needsIn lists columns used locally but owned elsewhere.
+	faninDst map[int]int // row -> owner processor (for partial sums), excluding self
+}
+
+// Run multiplies a by x in parallel under the distribution and returns
+// the result vector together with communication statistics. Pattern
+// matrices multiply with implicit value 1.
+func Run(a *sparse.Matrix, dist *Distribution, x []float64) ([]float64, *Stats, error) {
+	if len(x) != a.Cols {
+		return nil, nil, fmt.Errorf("spmv: x length %d != cols %d", len(x), a.Cols)
+	}
+	p := dist.P
+	procs := buildProcessors(a, dist)
+
+	// Per-phase mailboxes: mail[phase][dst] is filled by senders, then
+	// read by dst after the phase barrier (classic BSP superstep).
+	fanoutMail := make([][][]word, p)
+	faninMail := make([][][]word, p)
+	for i := 0; i < p; i++ {
+		fanoutMail[i] = make([][]word, p)
+		faninMail[i] = make([][]word, p)
+	}
+
+	stats := &Stats{LocalMults: make([]int64, p)}
+	var mu sync.Mutex
+
+	// Phase 1: fan-out. Each processor sends its owned v_j to every
+	// processor that has nonzeros in column j.
+	var wg sync.WaitGroup
+	sendOut := make([]int64, p)
+	for pi := 0; pi < p; pi++ {
+		wg.Add(1)
+		go func(pr *processor) {
+			defer wg.Done()
+			var sent int64
+			for _, j := range pr.ownedIn {
+				for _, dst := range pr.fanOutDst[j] {
+					mu.Lock()
+					fanoutMail[dst][pr.id] = append(fanoutMail[dst][pr.id], word{j, x[j]})
+					mu.Unlock()
+					sent++
+				}
+			}
+			sendOut[pr.id] = sent
+		}(procs[pi])
+	}
+	wg.Wait()
+
+	// Phase 2: local multiplication, using received + owned components.
+	partials := make([]map[int]float64, p)
+	recvOut := make([]int64, p)
+	for pi := 0; pi < p; pi++ {
+		wg.Add(1)
+		go func(pr *processor) {
+			defer wg.Done()
+			local := make(map[int]float64)
+			var received int64
+			for src := 0; src < p; src++ {
+				for _, w := range fanoutMail[pr.id][src] {
+					local[w.idx] = w.val
+					received++
+				}
+			}
+			for _, j := range pr.ownedIn {
+				local[j] = x[j]
+			}
+			sums := make(map[int]float64)
+			for t := range pr.rows {
+				sums[pr.rows[t]] += pr.vals[t] * local[pr.cols[t]]
+			}
+			partials[pr.id] = sums
+			recvOut[pr.id] = received
+			mu.Lock()
+			stats.LocalMults[pr.id] = int64(len(pr.rows))
+			mu.Unlock()
+		}(procs[pi])
+	}
+	wg.Wait()
+
+	// Phase 3: fan-in. Each processor sends partial sums of rows it does
+	// not own to the row owner.
+	sendIn := make([]int64, p)
+	for pi := 0; pi < p; pi++ {
+		wg.Add(1)
+		go func(pr *processor) {
+			defer wg.Done()
+			var sent int64
+			for i, s := range partials[pr.id] {
+				if dst, remote := pr.faninDst[i]; remote {
+					mu.Lock()
+					faninMail[dst][pr.id] = append(faninMail[dst][pr.id], word{i, s})
+					mu.Unlock()
+					sent++
+				}
+			}
+			sendIn[pr.id] = sent
+		}(procs[pi])
+	}
+	wg.Wait()
+
+	// Phase 4: summation by the output-vector owners.
+	y := make([]float64, a.Rows)
+	recvIn := make([]int64, p)
+	for pi := 0; pi < p; pi++ {
+		wg.Add(1)
+		go func(pr *processor) {
+			defer wg.Done()
+			var received int64
+			acc := make(map[int]float64)
+			for _, i := range pr.ownedOut {
+				if s, ok := partials[pr.id][i]; ok {
+					acc[i] = s
+				}
+			}
+			for src := 0; src < p; src++ {
+				for _, w := range faninMail[pr.id][src] {
+					acc[w.idx] += w.val
+					received++
+				}
+			}
+			mu.Lock()
+			for i, s := range acc {
+				y[i] = s
+			}
+			mu.Unlock()
+			recvIn[pr.id] = received
+		}(procs[pi])
+	}
+	wg.Wait()
+
+	for i := 0; i < p; i++ {
+		stats.FanoutWords += sendOut[i]
+		stats.FaninWords += sendIn[i]
+		if sendOut[i] > stats.FanoutSendMax {
+			stats.FanoutSendMax = sendOut[i]
+		}
+		if recvOut[i] > stats.FanoutRecvMax {
+			stats.FanoutRecvMax = recvOut[i]
+		}
+		if sendIn[i] > stats.FaninSendMax {
+			stats.FaninSendMax = sendIn[i]
+		}
+		if recvIn[i] > stats.FaninRecvMax {
+			stats.FaninRecvMax = recvIn[i]
+		}
+	}
+	return y, stats, nil
+}
+
+// buildProcessors distributes the static data per the distribution.
+func buildProcessors(a *sparse.Matrix, dist *Distribution) []*processor {
+	p := dist.P
+	procs := make([]*processor, p)
+	for i := 0; i < p; i++ {
+		procs[i] = &processor{
+			id:        i,
+			fanOutDst: make(map[int][]int),
+			faninDst:  make(map[int]int),
+		}
+	}
+	for k := range a.RowIdx {
+		pr := procs[dist.Parts[k]]
+		pr.rows = append(pr.rows, a.RowIdx[k])
+		pr.cols = append(pr.cols, a.ColIdx[k])
+		if a.Val != nil {
+			pr.vals = append(pr.vals, a.Val[k])
+		} else {
+			pr.vals = append(pr.vals, 1)
+		}
+	}
+
+	// Vector ownership.
+	for j, owner := range dist.Vector.InOwner {
+		if owner >= 0 {
+			procs[owner].ownedIn = append(procs[owner].ownedIn, j)
+		}
+	}
+	for i, owner := range dist.Vector.OutOwner {
+		if owner >= 0 {
+			procs[owner].ownedOut = append(procs[owner].ownedOut, i)
+		}
+	}
+
+	// Fan-out destinations: distinct non-owner processors per column.
+	cix := sparse.BuildColIndex(a)
+	seen := make([]int, p)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for j := 0; j < a.Cols; j++ {
+		owner := dist.Vector.InOwner[j]
+		if owner < 0 {
+			continue
+		}
+		for _, k := range cix.Col(j) {
+			pt := dist.Parts[k]
+			if seen[pt] != j {
+				seen[pt] = j
+				if pt != owner {
+					procs[owner].fanOutDst[j] = append(procs[owner].fanOutDst[j], pt)
+				}
+			}
+		}
+	}
+
+	// Fan-in destinations: processors with partials for row i send to
+	// the owner of u_i.
+	rix := sparse.BuildRowIndex(a)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for i := 0; i < a.Rows; i++ {
+		owner := dist.Vector.OutOwner[i]
+		if owner < 0 {
+			continue
+		}
+		for _, k := range rix.Row(i) {
+			pt := dist.Parts[k]
+			if seen[pt] != i {
+				seen[pt] = i
+				if pt != owner {
+					procs[pt].faninDst[i] = owner
+				}
+			}
+		}
+	}
+	return procs
+}

@@ -1,0 +1,297 @@
+// Package mediumgrain is a Go implementation of the medium-grain method
+// for fast 2D bipartitioning of sparse matrices (Pelt & Bisseling, IPDPS
+// 2014), together with the classical baselines it is evaluated against
+// (row-net, column-net, localbest, fine-grain), the iterative-refinement
+// post-process of the paper, recursive bisection to general p, a
+// from-scratch multilevel FM hypergraph partitioner, and a parallel SpMV
+// substrate for validating communication volumes.
+//
+// Quick start:
+//
+//	a, _ := mediumgrain.ReadMatrixMarketFile("matrix.mtx")
+//	opts := mediumgrain.DefaultOptions()
+//	opts.Refine = true // apply the paper's iterative refinement
+//	res, _ := mediumgrain.Bipartition(a, mediumgrain.MethodMediumGrain,
+//	    opts, mediumgrain.NewRNG(42))
+//	fmt.Println("communication volume:", res.Volume)
+//
+// The exported types are aliases of the internal implementation packages
+// so that the whole surface is reachable from this single import.
+package mediumgrain
+
+import (
+	"math/rand"
+	"os"
+
+	"mediumgrain/internal/cartesian"
+	"mediumgrain/internal/core"
+	"mediumgrain/internal/distio"
+	"mediumgrain/internal/hgpart"
+	"mediumgrain/internal/kway"
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/sparse"
+	"mediumgrain/internal/spmv"
+)
+
+// Matrix is a sparse matrix in coordinate format; see the methods on the
+// type for construction, I/O, and pattern analysis.
+type Matrix = sparse.Matrix
+
+// Class labels a matrix rectangular / symmetric / square non-symmetric,
+// the three groups of the paper's evaluation.
+type Class = sparse.Class
+
+// Matrix classes.
+const (
+	ClassRectangular  = sparse.ClassRectangular
+	ClassSymmetric    = sparse.ClassSymmetric
+	ClassSquareNonSym = sparse.ClassSquareNonSym
+)
+
+// Method selects a partitioning method.
+type Method = core.Method
+
+// Partitioning methods. MethodMediumGrain is the paper's contribution and
+// the recommended default; MethodLocalBest is the strongest 1D baseline.
+const (
+	MethodRowNet      = core.MethodRowNet
+	MethodColNet      = core.MethodColNet
+	MethodLocalBest   = core.MethodLocalBest
+	MethodFineGrain   = core.MethodFineGrain
+	MethodMediumGrain = core.MethodMediumGrain
+)
+
+// ParseMethod converts an abbreviation ("MG", "LB", "FG", "RN", "CN") or
+// full name ("mediumgrain", ...) into a Method.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// Options configures a partitioning run; see DefaultOptions.
+type Options = core.Options
+
+// Result is the outcome of a partitioning run: the per-nonzero part
+// assignment and its communication volume.
+type Result = core.Result
+
+// SplitStrategy selects the medium-grain initial split (Algorithm 1 by
+// default); alternatives exist for ablation studies.
+type SplitStrategy = core.SplitStrategy
+
+// Initial-split strategies.
+const (
+	SplitNNZ    = core.SplitNNZ
+	SplitRandom = core.SplitRandom
+	SplitAllAc  = core.SplitAllAc
+	SplitAllAr  = core.SplitAllAr
+)
+
+// PartitionerConfig tunes the underlying multilevel hypergraph
+// bipartitioner.
+type PartitionerConfig = hgpart.Config
+
+// MondriaanLikeConfig returns the engine preset mimicking Mondriaan's
+// internal hypergraph partitioner (the paper's primary engine).
+func MondriaanLikeConfig() PartitionerConfig { return hgpart.ConfigMondriaanLike() }
+
+// AltConfig returns the alternative engine preset standing in for PaToH
+// in the paper's Fig. 6 / Table II experiments.
+func AltConfig() PartitionerConfig { return hgpart.ConfigAlt() }
+
+// DefaultOptions returns the paper's experimental settings: ε = 0.03 and
+// the Mondriaan-like engine, without iterative refinement.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewRNG returns a seeded random source; every randomized choice of the
+// library is driven by the rng passed in, so equal seeds give equal
+// partitionings.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// NewMatrix returns an empty rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return sparse.New(rows, cols) }
+
+// ReadMatrixMarketFile loads a sparse matrix from a Matrix Market file.
+func ReadMatrixMarketFile(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sparse.ReadMatrixMarket(f)
+}
+
+// WriteMatrixMarketFile stores a matrix in Matrix Market format.
+func WriteMatrixMarketFile(path string, a *Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sparse.WriteMatrixMarket(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Bipartition splits the nonzeros of a into two parts with the given
+// method. The result satisfies the load-balance constraint
+// max|A_i| ≤ (1+ε)·N/2 and reports the communication volume V.
+func Bipartition(a *Matrix, method Method, opts Options, rng *rand.Rand) (*Result, error) {
+	return core.Bipartition(a, method, opts, rng)
+}
+
+// Partition distributes the nonzeros of a over p parts by recursive
+// bisection with the given method.
+func Partition(a *Matrix, p int, method Method, opts Options, rng *rand.Rand) (*Result, error) {
+	return core.Partition(a, p, method, opts, rng)
+}
+
+// IterativeRefine applies the paper's Algorithm 2 to an existing
+// bipartitioning of a (parts[k] ∈ {0,1} per nonzero) and returns an
+// improved partitioning with never-larger communication volume. It can
+// post-process the output of any method.
+func IterativeRefine(a *Matrix, parts []int, opts Options, rng *rand.Rand) []int {
+	return core.IterativeRefine(a, parts, opts, rng)
+}
+
+// VCycleRefine is the hMetis-style multilevel alternative to
+// IterativeRefine discussed in §III-C of the paper: restricted
+// coarsening that respects the current bipartition followed by FM at all
+// levels, alternating medium-grain encoding directions. More expensive
+// than IterativeRefine, sometimes stronger; also monotone.
+func VCycleRefine(a *Matrix, parts []int, opts Options, rng *rand.Rand) []int {
+	return core.VCycleRefine(a, parts, opts, rng)
+}
+
+// FullIterative runs the paper's future-work "full iterative method"
+// (§V): every iteration re-encodes the best bipartitioning found so far
+// as a medium-grain split and performs a complete multilevel partitioning
+// of the composite hypergraph, trading computation time for quality. The
+// best result over `iterations` rounds is returned; one round equals a
+// plain medium-grain run.
+func FullIterative(a *Matrix, iterations int, opts Options, rng *rand.Rand) (*Result, error) {
+	return core.FullIterative(a, iterations, opts, rng)
+}
+
+// InitialSplit computes the medium-grain split A = Ar + Ac (Algorithm 1
+// for SplitNNZ); inRow[k] is true when nonzero k belongs to the row
+// group Ar.
+func InitialSplit(a *Matrix, strategy SplitStrategy, rng *rand.Rand) []bool {
+	return core.Split(a, strategy, rng)
+}
+
+// InitialSplitParallel is the multi-goroutine formulation of Algorithm 1
+// sketched in the paper's §V; its output is identical to
+// InitialSplit(a, SplitNNZ, rng) for equal rng seeds.
+func InitialSplitParallel(a *Matrix, rng *rand.Rand, workers int) []bool {
+	return core.SplitParallel(a, rng, workers)
+}
+
+// Volume returns the communication volume (eqn (3) of the paper) of a
+// p-way nonzero partitioning.
+func Volume(a *Matrix, parts []int, p int) int64 { return metrics.Volume(a, parts, p) }
+
+// BSPCost returns the BSP communication cost (Table II metric): fan-out
+// h-relation plus fan-in h-relation under a greedy vector distribution.
+func BSPCost(a *Matrix, parts []int, p int) int64 {
+	c, _ := metrics.BSPCost(a, parts, p)
+	return c
+}
+
+// Imbalance returns the achieved load imbalance ε' of a partitioning:
+// max_i |A_i| = (1+ε')·N/p.
+func Imbalance(parts []int, p int) float64 { return metrics.Imbalance(parts, p) }
+
+// KWayRefine post-processes a p-way partitioning with direct k-way
+// greedy refinement under the λ−1 metric: individual nonzeros move
+// between any pair of parts when that reduces volume and keeps balance.
+// Useful after recursive bisection, whose splits are optimized in
+// isolation. parts is modified in place; the final volume is returned.
+func KWayRefine(a *Matrix, parts []int, p int, eps float64, rng *rand.Rand) int64 {
+	return kway.Refine(a, parts, p, kway.Options{Eps: eps}, rng)
+}
+
+// CartesianResult is a coarse-grain p×q Cartesian partitioning (rows
+// into p stripes, columns into q under multi-constraint balance).
+type CartesianResult = cartesian.Result
+
+// CartesianPartition runs the coarse-grain method of Çatalyürek &
+// Aykanat (the rigid 2D baseline the medium-grain method relaxes, paper
+// §II): phase 1 partitions rows into p stripes, phase 2 partitions
+// columns into q parts balancing every stripe simultaneously.
+func CartesianPartition(a *Matrix, p, q int, opts Options, rng *rand.Rand) (*CartesianResult, error) {
+	return cartesian.Partition(a, p, q, opts, rng)
+}
+
+// VectorDistribution assigns input-vector and output-vector components
+// to processors (-1 for components touching no nonzero).
+type VectorDistribution = metrics.VectorDistribution
+
+// OptimizeVectorDistribution improves vector-component placement by
+// local search on the BSP cost; the matrix partition (and hence the
+// total volume) is unchanged. Pass maxMoves 0 for the default budget.
+func OptimizeVectorDistribution(a *Matrix, parts []int, p int, dist *VectorDistribution, maxMoves int) (*VectorDistribution, int64) {
+	return metrics.OptimizeVectorDistribution(a, parts, p, dist, maxMoves)
+}
+
+// DistributedBundle is the on-disk form of a distributed matrix: the
+// pattern, per-nonzero owners, and vector-component owners.
+type DistributedBundle = distio.Bundle
+
+// NewDistributedBundle assembles and validates a bundle; a nil vec
+// derives the greedy vector distribution.
+func NewDistributedBundle(a *Matrix, parts []int, p int, vec *VectorDistribution) (*DistributedBundle, error) {
+	return distio.NewBundle(a, parts, p, vec)
+}
+
+// WriteDistributed stores a bundle as <dir>/<name>.{mtx,parts,invec,outvec}.
+func WriteDistributed(dir, name string, b *DistributedBundle) error {
+	return distio.Write(dir, name, b)
+}
+
+// ReadDistributed loads and validates a bundle written by
+// WriteDistributed.
+func ReadDistributed(dir, name string) (*DistributedBundle, error) {
+	return distio.Read(dir, name)
+}
+
+// Distribution is a full data distribution for parallel SpMV: nonzero
+// owners plus input/output vector owners.
+type Distribution = spmv.Distribution
+
+// SpMVStats reports the communication observed during a parallel SpMV
+// run.
+type SpMVStats = spmv.Stats
+
+// NewDistribution derives a parallel-SpMV data distribution from a
+// nonzero partitioning, choosing vector owners greedily.
+func NewDistribution(a *Matrix, parts []int, p int) (*Distribution, error) {
+	return spmv.NewDistribution(a, parts, p)
+}
+
+// RunSpMV executes the four-phase parallel SpMV (fan-out, local multiply,
+// fan-in, summation) on goroutine processors and returns y = A·x with
+// communication statistics; the measured traffic equals Volume.
+func RunSpMV(a *Matrix, dist *Distribution, x []float64) ([]float64, *SpMVStats, error) {
+	return spmv.Run(a, dist, x)
+}
+
+// BSPMachine holds BSP machine parameters (flop rate, per-word gap g,
+// per-superstep latency l) for runtime prediction.
+type BSPMachine = spmv.Machine
+
+// BSPPrediction is the modelled cost breakdown of one parallel SpMV.
+type BSPPrediction = spmv.Prediction
+
+// PredictSpMV evaluates the BSP cost model T = w + g·h + 4·l for a
+// partitioning on the given machine, returning computation, traffic,
+// total cost, and modelled speedup.
+func PredictSpMV(a *Matrix, parts []int, p int, m BSPMachine) (*BSPPrediction, error) {
+	return spmv.Predict(a, parts, p, m)
+}
+
+// SymmetricVolume returns the total SpMV communication when the input
+// and output vectors of a square matrix must share one distribution
+// (the constraint of the enhanced models reviewed in the paper's §II);
+// it is at least Volume.
+func SymmetricVolume(a *Matrix, parts []int, p int) (int64, error) {
+	return metrics.SymmetricVolume(a, parts, p)
+}
