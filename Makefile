@@ -1,0 +1,30 @@
+# Single entry point shared by CI and local runs.
+
+GO       ?= go
+DATE     := $(shell date -u +%F)
+BENCHOUT ?= BENCH_$(DATE).json
+
+.PHONY: build test race bench bench-json lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short-mode benchmark smoke run: compiles and executes every benchmark
+# once so the parallel paths are exercised without burning CI minutes.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Full benchmark grid; writes the machine-readable report.
+bench-json:
+	$(GO) run ./cmd/mgbench -out $(BENCHOUT)
+
+lint:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi

@@ -104,6 +104,50 @@ func TestPublicKWayRefine(t *testing.T) {
 	}
 }
 
+func TestPublicPartitionWorkers(t *testing.T) {
+	a := gen.Laplacian2D(14, 14)
+	opts := mediumgrain.DefaultOptions()
+	opts.Workers = 1
+	seq, err := mediumgrain.Partition(a, 8, mediumgrain.MethodMediumGrain, opts, mediumgrain.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	par, err := mediumgrain.Partition(a, 8, mediumgrain.MethodMediumGrain, opts, mediumgrain.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Volume != seq.Volume {
+		t.Fatalf("Workers=4 volume %d != Workers=1 volume %d", par.Volume, seq.Volume)
+	}
+	for k := range seq.Parts {
+		if seq.Parts[k] != par.Parts[k] {
+			t.Fatalf("Workers=4 parts differ from Workers=1 at nonzero %d", k)
+		}
+	}
+}
+
+func TestPublicKWayRefineParallel(t *testing.T) {
+	a := gen.Laplacian2D(12, 12)
+	res, err := mediumgrain.Partition(a, 8, mediumgrain.MethodMediumGrain,
+		mediumgrain.DefaultOptions(), mediumgrain.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqParts := append([]int(nil), res.Parts...)
+	seqVol := mediumgrain.KWayRefine(a, seqParts, 8, 0.03, mediumgrain.NewRNG(8))
+	parParts := append([]int(nil), res.Parts...)
+	parVol := mediumgrain.KWayRefineParallel(a, parParts, 8, 0.03, 4, mediumgrain.NewRNG(8))
+	if parVol != seqVol {
+		t.Fatalf("parallel k-way volume %d != sequential %d", parVol, seqVol)
+	}
+	for k := range seqParts {
+		if seqParts[k] != parParts[k] {
+			t.Fatalf("parallel k-way parts differ at nonzero %d", k)
+		}
+	}
+}
+
 func TestPublicPredictSpMV(t *testing.T) {
 	a := gen.Laplacian2D(10, 10)
 	res, err := mediumgrain.Partition(a, 4, mediumgrain.MethodMediumGrain,

@@ -1,0 +1,186 @@
+// Command mgbench runs a fixed partitioning-benchmark grid and emits a
+// machine-readable JSON report, so every commit can be compared on wall
+// time, parallel speedup, communication volume, and balance with one
+// command:
+//
+//	mgbench -out BENCH_2026-07-29.json        # full grid
+//	mgbench -quick                            # CI smoke grid
+//
+// The grid crosses a fixed subset of the synthetic corpus (plus one
+// larger generated mesh) with part counts, the medium-grain method, and
+// worker counts {1, GOMAXPROCS}; each (matrix, p, workers) point is
+// timed over -runs repetitions and the best wall time is reported.
+// Speedups are relative to the Workers=1 entry of the same grid point.
+// The JSON layout is internal/report.BenchReport (schema
+// "mediumgrain-bench/1").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mediumgrain/internal/core"
+	"mediumgrain/internal/corpus"
+	"mediumgrain/internal/gen"
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/report"
+	"mediumgrain/internal/sparse"
+)
+
+type gridMatrix struct {
+	name  string
+	a     *sparse.Matrix
+	class sparse.Class
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mgbench: ")
+
+	var (
+		outPath = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		runs    = flag.Int("runs", 3, "repetitions per grid point; best wall time is kept")
+		seed    = flag.Int64("seed", 20140519, "random seed for generators and partitioning")
+		scale   = flag.Int("scale", 1, "corpus scale factor")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker count benchmarked against workers=1")
+		quick   = flag.Bool("quick", false, "CI smoke mode: small grid, 1 run")
+		eps     = flag.Float64("eps", 0.03, "allowed load imbalance")
+	)
+	flag.Parse()
+	if *quick {
+		*runs = 1
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *outPath == "" {
+		*outPath = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+
+	fmt.Printf("mgbench: workers=%d (GOMAXPROCS=%d), runs=%d, seed=%d, quick=%v\n",
+		*workers, runtime.GOMAXPROCS(0), *runs, *seed, *quick)
+
+	grid := buildGrid(*seed, *scale, *quick)
+	pValues := []int{2, 16, 64}
+	if *quick {
+		pValues = []int{2, 64}
+	}
+	workerValues := []int{1, *workers}
+	if *workers == 1 {
+		workerValues = []int{1}
+	}
+
+	rep := report.NewBenchReport(time.Now().UTC().Format(time.RFC3339), *seed, *runs)
+	for _, gm := range grid {
+		for _, p := range pValues {
+			for _, w := range workerValues {
+				entry, err := runPoint(gm, p, "MG", w, *eps, *seed, *runs)
+				if err != nil {
+					log.Fatalf("%s p=%d workers=%d: %v", gm.name, p, w, err)
+				}
+				rep.Entries = append(rep.Entries, entry)
+				fmt.Printf("%-14s p=%-3d workers=%-2d  %8.1f ms  volume=%-7d imbalance=%.4f\n",
+					gm.name, p, w, entry.WallMS, entry.Volume, entry.Imbalance)
+			}
+		}
+	}
+	rep.FillSpeedups()
+
+	if err := rep.WriteJSONFile(*outPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreport written to %s\n", *outPath)
+	printSpeedupSummary(rep, *workers)
+	_ = os.Stdout.Sync()
+}
+
+// buildGrid selects the benchmark matrices: a fixed corpus subset
+// spanning all three classes plus one larger generated mesh that gives
+// the p=64 recursion enough work to measure.
+func buildGrid(seed int64, scale int, quick bool) []gridMatrix {
+	instances := corpus.Build(corpus.Options{Scale: scale, Seed: seed})
+	names := []string{"lap2d-24", "powerlaw-3", "er-sq-1", "bip-tall"}
+	if quick {
+		names = []string{"lap2d-24", "bip-tall"}
+	}
+	var grid []gridMatrix
+	for _, name := range names {
+		in, err := corpus.Find(instances, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid = append(grid, gridMatrix{name: in.Name, a: in.A, class: in.Class})
+	}
+	if !quick {
+		big := gen.Laplacian2D(120*scale, 120*scale)
+		grid = append(grid, gridMatrix{name: "lap2d-120", a: big, class: big.Classify()})
+	}
+	return grid
+}
+
+// runPoint times Partition for one grid point, keeping the best wall
+// time over runs; quality metrics come from the last run (all runs use
+// the same seed and are identical for Workers >= 1).
+func runPoint(gm gridMatrix, p int, method string, workers int, eps float64, seed int64, runs int) (report.BenchEntry, error) {
+	m, err := core.ParseMethod(method)
+	if err != nil {
+		return report.BenchEntry{}, err
+	}
+	opts := core.DefaultOptions()
+	opts.Eps = eps
+	opts.Workers = workers
+
+	var best time.Duration
+	var res *core.Result
+	for r := 0; r < runs; r++ {
+		rng := rand.New(rand.NewSource(seed))
+		start := time.Now()
+		res, err = core.Partition(gm.a, p, m, opts, rng)
+		elapsed := time.Since(start)
+		if err != nil {
+			return report.BenchEntry{}, err
+		}
+		if r == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return report.BenchEntry{
+		Matrix:    gm.name,
+		Class:     gm.class.String(),
+		Rows:      gm.a.Rows,
+		Cols:      gm.a.Cols,
+		NNZ:       gm.a.NNZ(),
+		P:         p,
+		Method:    method,
+		Workers:   workers,
+		WallMS:    float64(best.Microseconds()) / 1000,
+		Volume:    res.Volume,
+		Imbalance: metrics.Imbalance(res.Parts, p),
+	}, nil
+}
+
+func printSpeedupSummary(rep *report.BenchReport, workers int) {
+	if workers == 1 {
+		fmt.Println("single worker benchmarked; no speedup column")
+		return
+	}
+	var sum float64
+	var n int
+	for _, e := range rep.Entries {
+		if e.Workers == workers && e.SpeedupVsSeq > 0 {
+			sum += e.SpeedupVsSeq
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Printf("mean speedup (workers=%d vs 1) over %d grid points: %.2fx\n", workers, n, sum/float64(n))
+	}
+}

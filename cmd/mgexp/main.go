@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"mediumgrain/internal/corpus"
 	"mediumgrain/internal/experiments"
@@ -31,13 +32,19 @@ func main() {
 	log.SetPrefix("mgexp: ")
 
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3, fig4, fig5, table1, fig6, table2, optstudy, symvec, all")
-		runs  = flag.Int("runs", 3, "runs per (matrix, method); the paper uses 10")
-		scale = flag.Int("scale", 1, "corpus scale factor")
-		seed  = flag.Int64("seed", 7, "random seed")
-		p64   = flag.Int("p", 64, "large part count for fig6(b)/table2")
+		exp     = flag.String("exp", "all", "experiment: fig3, fig4, fig5, table1, fig6, table2, optstudy, symvec, all")
+		runs    = flag.Int("runs", 3, "runs per (matrix, method); the paper uses 10")
+		scale   = flag.Int("scale", 1, "corpus scale factor")
+		seed    = flag.Int64("seed", 7, "random seed")
+		p64     = flag.Int("p", 64, "large part count for fig6(b)/table2")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "matrices evaluated concurrently")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "mgexp: exp=%s runs=%d scale=%d seed=%d workers=%d\n",
+		*exp, *runs, *scale, *seed, *workers)
 
 	instances := corpus.Build(corpus.Options{Scale: *scale, Seed: *seed})
 	specs := experiments.PaperMethods()
@@ -49,7 +56,7 @@ func main() {
 
 	if needMondriaan {
 		opts := experiments.DefaultRunOptions()
-		opts.Runs, opts.Seed = *runs, *seed
+		opts.Runs, opts.Seed, opts.Workers = *runs, *seed, *workers
 		opts.Config = hgpart.ConfigMondriaanLike()
 		var err error
 		fmt.Fprintf(os.Stderr, "running %d matrices x %d methods x %d runs (mondriaan-like engine)...\n",
@@ -61,7 +68,7 @@ func main() {
 	}
 	if needAlt {
 		opts := experiments.DefaultRunOptions()
-		opts.Runs, opts.Seed = *runs, *seed
+		opts.Runs, opts.Seed, opts.Workers = *runs, *seed, *workers
 		opts.Config = hgpart.ConfigAlt()
 		var err error
 		fmt.Fprintf(os.Stderr, "running %d matrices x %d methods x %d runs (alt engine, p=2)...\n",

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mgpart -in matrix.mtx [-method MG] [-p 2] [-eps 0.03] [-ir]
-//	       [-engine mondriaan|alt] [-seed 1] [-out parts.txt]
+//	       [-engine mondriaan|alt] [-seed 1] [-workers N] [-out parts.txt]
 //
 // The output lists one part id per nonzero, in the (row-sorted) order of
 // the input file's nonzeros after canonicalization.
@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"mediumgrain"
@@ -36,6 +37,7 @@ func main() {
 		ir      = flag.Bool("ir", false, "apply iterative refinement")
 		engine  = flag.String("engine", "mondriaan", "hypergraph engine: mondriaan or alt")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel engine (0 = sequential legacy path)")
 		outPath = flag.String("out", "", "write part assignment (one id per line)")
 		spy     = flag.Bool("spy", false, "print an ASCII spy plot of the partitioned matrix")
 		stats   = flag.Bool("stats", false, "print per-part statistics and the lambda histogram")
@@ -58,9 +60,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *workers < 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	opts := mediumgrain.DefaultOptions()
 	opts.Eps = *eps
 	opts.Refine = *ir
+	opts.Workers = *workers
 	switch *engine {
 	case "mondriaan":
 		opts.Config = mediumgrain.MondriaanLikeConfig()
@@ -77,12 +83,12 @@ func main() {
 	}
 	if *kway {
 		before := res.Volume
-		res.Volume = mediumgrain.KWayRefine(a, res.Parts, *p, *eps, rng)
+		res.Volume = mediumgrain.KWayRefineParallel(a, res.Parts, *p, *eps, *workers, rng)
 		fmt.Printf("k-way refinement: volume %d -> %d\n", before, res.Volume)
 	}
 
 	fmt.Printf("matrix:    %v (class %v)\n", a, a.Classify())
-	fmt.Printf("method:    %v  refine=%v  engine=%s  p=%d  eps=%g\n", m, *ir, *engine, *p, *eps)
+	fmt.Printf("method:    %v  refine=%v  engine=%s  p=%d  eps=%g  workers=%d\n", m, *ir, *engine, *p, *eps, *workers)
 	fmt.Printf("volume:    %d\n", res.Volume)
 	fmt.Printf("imbalance: %.4f (allowed %.4f)\n", mediumgrain.Imbalance(res.Parts, *p), *eps)
 	fmt.Printf("BSP cost:  %d\n", mediumgrain.BSPCost(a, res.Parts, *p))

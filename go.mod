@@ -1,0 +1,3 @@
+module mediumgrain
+
+go 1.24

@@ -29,6 +29,42 @@ func BenchmarkSplitParallel(b *testing.B) {
 	}
 }
 
+// benchmarkRecursive times Partition at the given p and worker count;
+// workers=1 is the sequential execution of the parallel engine, so the
+// w1-vs-wN sub-benchmark ratio is the engine's parallel speedup.
+func benchmarkRecursive(b *testing.B, p, workers int) {
+	a := gen.Laplacian2D(90, 90)
+	opts := DefaultOptions()
+	opts.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(a, p, MethodMediumGrain, opts, rand.New(rand.NewSource(42))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecursiveP16(b *testing.B) {
+	b.Run("w1", func(b *testing.B) { benchmarkRecursive(b, 16, 1) })
+	b.Run("wmax", func(b *testing.B) { benchmarkRecursive(b, 16, -1) })
+}
+
+func BenchmarkRecursiveP64(b *testing.B) {
+	b.Run("w1", func(b *testing.B) { benchmarkRecursive(b, 64, 1) })
+	b.Run("wmax", func(b *testing.B) { benchmarkRecursive(b, 64, -1) })
+}
+
+// BenchmarkRecursiveParallelLegacy pins the cost of the Workers=0 path
+// so regressions to the historical sequential algorithms stay visible.
+func BenchmarkRecursiveParallelLegacy(b *testing.B) {
+	a := gen.Laplacian2D(90, 90)
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(a, 64, MethodMediumGrain, DefaultOptions(), rand.New(rand.NewSource(42))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkBuildBModel(b *testing.B) {
 	a := gen.PowerLawGraph(rand.New(rand.NewSource(3)), 3000, 4)
 	inRow := Split(a, SplitNNZ, rand.New(rand.NewSource(4)))

@@ -8,6 +8,7 @@ import (
 	"mediumgrain/internal/hgpart"
 	"mediumgrain/internal/hypergraph"
 	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/pool"
 	"mediumgrain/internal/sparse"
 )
 
@@ -82,6 +83,34 @@ type Options struct {
 	// TargetFrac is the desired weight fraction of part 0 (default 0.5);
 	// recursive bisection uses uneven fractions for non-power-of-two p.
 	TargetFrac float64
+	// Workers selects the parallel engine. 0 is the sequential legacy
+	// path, preserving the exact per-seed results of earlier versions.
+	// Any other value (negative = runtime.GOMAXPROCS(0)) switches to the
+	// worker-pool engine: recursive bisection fans disjoint subproblems
+	// out over a shared pool with per-subproblem RNG streams, the
+	// multilevel partitioner matches and initializes concurrently, and
+	// metric evaluation splits row/column scans. For a given seed the
+	// engine's results are bit-identical for every Workers >= 1.
+	Workers int
+}
+
+// engineConfig returns the hypergraph-engine config with the parallel
+// algorithms enabled when the run requests workers.
+func (o Options) engineConfig() hgpart.Config {
+	cfg := o.Config
+	if o.Workers != 0 {
+		cfg.Workers = o.Workers
+	}
+	return cfg
+}
+
+// newPool returns the shared worker pool for this run, nil for the
+// sequential legacy path.
+func (o Options) newPool() *pool.Pool {
+	if o.Workers == 0 {
+		return nil
+	}
+	return pool.New(o.Workers)
 }
 
 // DefaultOptions returns the paper's experimental settings: ε = 0.03,
@@ -106,6 +135,12 @@ type Result struct {
 // Bipartition splits the nonzeros of a into two parts using the given
 // method. rng drives all randomized choices, making runs reproducible.
 func Bipartition(a *sparse.Matrix, method Method, opts Options, rng *rand.Rand) (*Result, error) {
+	return bipartitionPool(a, method, opts, rng, opts.newPool())
+}
+
+// bipartitionPool is Bipartition running on a shared worker pool (nil =
+// inline). Partition threads one pool through the whole recursion.
+func bipartitionPool(a *sparse.Matrix, method Method, opts Options, rng *rand.Rand, pl *pool.Pool) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,23 +157,23 @@ func Bipartition(a *sparse.Matrix, method Method, opts Options, rng *rand.Rand) 
 	var parts []int
 	switch method {
 	case MethodRowNet:
-		parts = bipartitionRowNet(a, opts, rng)
+		parts = bipartitionRowNet(a, opts, rng, pl)
 	case MethodColNet:
-		parts = bipartitionColNet(a, opts, rng)
+		parts = bipartitionColNet(a, opts, rng, pl)
 	case MethodLocalBest:
-		p1 := bipartitionRowNet(a, opts, rng)
-		p2 := bipartitionColNet(a, opts, rng)
-		v1 := metrics.Volume(a, p1, 2)
-		v2 := metrics.Volume(a, p2, 2)
+		p1 := bipartitionRowNet(a, opts, rng, pl)
+		p2 := bipartitionColNet(a, opts, rng, pl)
+		v1 := metrics.VolumePool(a, p1, 2, pl)
+		v2 := metrics.VolumePool(a, p2, 2, pl)
 		if v1 <= v2 {
 			parts = p1
 		} else {
 			parts = p2
 		}
 	case MethodFineGrain:
-		parts = bipartitionFineGrain(a, opts, rng)
+		parts = bipartitionFineGrain(a, opts, rng, pl)
 	case MethodMediumGrain:
-		parts = bipartitionMediumGrain(a, opts, rng)
+		parts = bipartitionMediumGrain(a, opts, rng, pl)
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", method)
 	}
@@ -148,7 +183,7 @@ func Bipartition(a *sparse.Matrix, method Method, opts Options, rng *rand.Rand) 
 	}
 	return &Result{
 		Parts:   parts,
-		Volume:  metrics.Volume(a, parts, 2),
+		Volume:  metrics.VolumePool(a, parts, 2, pl),
 		Method:  method,
 		Refined: opts.Refine,
 	}, nil
@@ -172,32 +207,37 @@ func caps(nnz int, opts Options) [2]int64 {
 	return [2]int64{c0, c1}
 }
 
-func bipartitionRowNet(a *sparse.Matrix, opts Options, rng *rand.Rand) []int {
+func bipartitionRowNet(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool) []int {
 	h := hypergraph.RowNet(a)
-	colParts, _ := hgpart.BipartitionCaps(h, caps(a.NNZ(), opts), rng, opts.Config)
+	colParts, _ := hgpart.BipartitionCapsPool(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
 	return hypergraph.VertexPartsToNonzeros(a, colParts)
 }
 
-func bipartitionColNet(a *sparse.Matrix, opts Options, rng *rand.Rand) []int {
+func bipartitionColNet(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool) []int {
 	h := hypergraph.ColNet(a)
-	rowParts, _ := hgpart.BipartitionCaps(h, caps(a.NNZ(), opts), rng, opts.Config)
+	rowParts, _ := hgpart.BipartitionCapsPool(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
 	return hypergraph.RowPartsToNonzeros(a, rowParts)
 }
 
-func bipartitionFineGrain(a *sparse.Matrix, opts Options, rng *rand.Rand) []int {
+func bipartitionFineGrain(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool) []int {
 	h := hypergraph.FineGrain(a)
-	parts, _ := hgpart.BipartitionCaps(h, caps(a.NNZ(), opts), rng, opts.Config)
+	parts, _ := hgpart.BipartitionCapsPool(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
 	return parts
 }
 
-func bipartitionMediumGrain(a *sparse.Matrix, opts Options, rng *rand.Rand) []int {
-	inRow := Split(a, opts.Split, rng)
+func bipartitionMediumGrain(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool) []int {
+	var inRow []bool
+	if opts.Workers != 0 && opts.Split == SplitNNZ {
+		inRow = SplitParallelPool(a, rng, pl)
+	} else {
+		inRow = Split(a, opts.Split, rng)
+	}
 	bm, err := BuildBModel(a, inRow)
 	if err != nil {
 		// BuildBModel only fails on length mismatch, impossible here.
 		panic(err)
 	}
-	vparts, _ := hgpart.BipartitionCaps(bm.H, caps(a.NNZ(), opts), rng, opts.Config)
+	vparts, _ := hgpart.BipartitionCapsPool(bm.H, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
 	parts := bm.NonzeroParts(vparts)
 	// Degenerate splits can produce indivisible vertices heavier than the
 	// balance cap (e.g. a matrix that is one dense column groups into a
@@ -206,7 +246,7 @@ func bipartitionMediumGrain(a *sparse.Matrix, opts Options, rng *rand.Rand) []in
 	sizes := metrics.PartSizes(parts, 2)
 	limits := caps(a.NNZ(), opts)
 	if sizes[0] > limits[0] || sizes[1] > limits[1] {
-		return bipartitionFineGrain(a, opts, rng)
+		return bipartitionFineGrain(a, opts, rng, pl)
 	}
 	return parts
 }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mediumgrain/internal/gen"
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/pool"
+	"mediumgrain/internal/sparse"
+)
+
+func parallelTestMatrices() map[string]*sparse.Matrix {
+	rng := rand.New(rand.NewSource(99))
+	return map[string]*sparse.Matrix{
+		"lap2d":    gen.Laplacian2D(18, 18),
+		"powerlaw": gen.PowerLawGraph(rng, 300, 4),
+		"rect":     gen.ErdosRenyi(rng, 150, 260, 0.012),
+	}
+}
+
+// TestPartitionParallelEquivalence is the core determinism guarantee of
+// the worker-pool engine: for every method and seed, Partition with
+// Workers: N >= 1 returns bit-identical parts (hence identical volume
+// and imbalance) to the sequential execution of the same engine
+// (Workers: 1), for several worker counts.
+func TestPartitionParallelEquivalence(t *testing.T) {
+	for name, a := range parallelTestMatrices() {
+		for _, method := range []Method{MethodMediumGrain, MethodFineGrain, MethodLocalBest} {
+			for _, seed := range []int64{1, 17, 424242} {
+				opts := DefaultOptions()
+				opts.Workers = 1
+				ref, err := Partition(a, 8, method, opts, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatalf("%s/%v/seed=%d: sequential run failed: %v", name, method, seed, err)
+				}
+				for _, workers := range []int{2, 4, 7} {
+					opts.Workers = workers
+					got, err := Partition(a, 8, method, opts, rand.New(rand.NewSource(seed)))
+					if err != nil {
+						t.Fatalf("%s/%v/seed=%d/w=%d: parallel run failed: %v", name, method, seed, workers, err)
+					}
+					if !reflect.DeepEqual(got.Parts, ref.Parts) {
+						t.Errorf("%s/%v/seed=%d: Workers=%d parts differ from Workers=1", name, method, seed, workers)
+					}
+					if got.Volume != ref.Volume {
+						t.Errorf("%s/%v/seed=%d: Workers=%d volume %d != sequential %d",
+							name, method, seed, workers, got.Volume, ref.Volume)
+					}
+					if gi, ri := metrics.Imbalance(got.Parts, 8), metrics.Imbalance(ref.Parts, 8); gi != ri {
+						t.Errorf("%s/%v/seed=%d: Workers=%d imbalance %g != sequential %g",
+							name, method, seed, workers, gi, ri)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionParallelValid checks the engine against the paper's
+// constraints rather than against the sequential path: every parallel
+// partitioning must be a valid p-way assignment within the balance
+// budget, for non-power-of-two p too.
+func TestPartitionParallelValid(t *testing.T) {
+	for name, a := range parallelTestMatrices() {
+		for _, p := range []int{2, 5, 16} {
+			opts := DefaultOptions()
+			opts.Workers = -1 // GOMAXPROCS
+			res, err := Partition(a, p, MethodMediumGrain, opts, rand.New(rand.NewSource(3)))
+			if err != nil {
+				t.Fatalf("%s/p=%d: %v", name, p, err)
+			}
+			if err := metrics.ValidateParts(a, res.Parts, p); err != nil {
+				t.Errorf("%s/p=%d: %v", name, p, err)
+			}
+			if err := metrics.CheckBalance(res.Parts, p, opts.Eps); err != nil {
+				t.Errorf("%s/p=%d: %v", name, p, err)
+			}
+			if got := metrics.Volume(a, res.Parts, p); got != res.Volume {
+				t.Errorf("%s/p=%d: reported volume %d != recomputed %d", name, p, res.Volume, got)
+			}
+		}
+	}
+}
+
+// TestPartitionLegacyPathUnchanged guards the Workers == 0 contract: the
+// zero value must run the historical sequential algorithms, which a
+// pool-of-one run of the new engine is free to differ from — but both
+// must be valid.
+func TestPartitionLegacyPathUnchanged(t *testing.T) {
+	a := parallelTestMatrices()["lap2d"]
+	legacy1, err := Partition(a, 4, MethodMediumGrain, DefaultOptions(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy2, err := Partition(a, 4, MethodMediumGrain, DefaultOptions(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy1.Parts, legacy2.Parts) {
+		t.Error("legacy path is not deterministic for a fixed seed")
+	}
+	if err := metrics.CheckBalance(legacy1.Parts, 4, 0.03); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBipartitionParallelEquivalence covers the p = 2 entry point, where
+// the pool accelerates only the multilevel partitioner and the metric
+// evaluation.
+func TestBipartitionParallelEquivalence(t *testing.T) {
+	for name, a := range parallelTestMatrices() {
+		for _, seed := range []int64{2, 29} {
+			opts := DefaultOptions()
+			opts.Workers = 1
+			ref, err := Bipartition(a, MethodMediumGrain, opts, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Workers = 4
+			got, err := Bipartition(a, MethodMediumGrain, opts, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Parts, ref.Parts) || got.Volume != ref.Volume {
+				t.Errorf("%s/seed=%d: Workers=4 bipartition differs from Workers=1", name, seed)
+			}
+		}
+	}
+}
+
+// TestSplitParallelPoolBitIdentical is the regression guard of the
+// paper's §V claim as implemented here: SplitParallel (and its
+// pool-sharing variant) stays bit-identical to the sequential Split for
+// equal seeds, across worker counts and matrix shapes.
+func TestSplitParallelPoolBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mats := map[string]*sparse.Matrix{
+		"square": gen.PowerLawGraph(rng, 400, 4),
+		"tall":   gen.ErdosRenyi(rng, 500, 90, 0.02),
+		"wide":   gen.ErdosRenyi(rng, 90, 500, 0.02),
+	}
+	for name, a := range mats {
+		for _, seed := range []int64{1, 2, 77} {
+			seq := Split(a, SplitNNZ, rand.New(rand.NewSource(seed)))
+			for _, workers := range []int{1, 2, 5} {
+				par := SplitParallel(a, rand.New(rand.NewSource(seed)), workers)
+				if !reflect.DeepEqual(par, seq) {
+					t.Errorf("%s/seed=%d/workers=%d: SplitParallel differs from Split", name, seed, workers)
+				}
+			}
+			pooled := SplitParallelPool(a, rand.New(rand.NewSource(seed)), pool.New(3))
+			if !reflect.DeepEqual(pooled, seq) {
+				t.Errorf("%s/seed=%d: SplitParallelPool differs from Split", name, seed)
+			}
+			nilPool := SplitParallelPool(a, rand.New(rand.NewSource(seed)), nil)
+			if !reflect.DeepEqual(nilPool, seq) {
+				t.Errorf("%s/seed=%d: SplitParallelPool(nil) differs from Split", name, seed)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/pool"
 	"mediumgrain/internal/sparse"
 )
 
@@ -14,6 +15,13 @@ import (
 // also be used in a recursive bisection scheme to obtain partitionings
 // into p parts"). The global imbalance budget ε is spread over the
 // ⌈log2 p⌉ bisection levels so the final partitioning satisfies eqn (1).
+//
+// With opts.Workers != 0 the recursion runs on a shared worker pool: the
+// two halves of every bisection are disjoint subproblems and execute
+// concurrently, each with its own RNG stream seeded from the parent
+// stream in a fixed order, so the result is bit-identical for every
+// worker count >= 1 (Workers == 0 keeps the legacy sequential path and
+// its historical per-seed results).
 func Partition(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand) (*Result, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("core: p must be >= 1, got %d", p)
@@ -34,12 +42,19 @@ func Partition(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.R
 	for k := range all {
 		all[k] = k
 	}
-	if err := bisectRec(a, all, 0, p, parts, method, opts, delta, rng); err != nil {
-		return nil, err
+	pl := opts.newPool()
+	if pl == nil {
+		if err := bisectRec(a, all, 0, p, parts, method, opts, delta, rng); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := bisectRecPool(a, all, 0, p, parts, method, opts, delta, rng, pl); err != nil {
+			return nil, err
+		}
 	}
 	return &Result{
 		Parts:   parts,
-		Volume:  metrics.Volume(a, parts, p),
+		Volume:  metrics.VolumePool(a, parts, p, pl),
 		Method:  method,
 		Refined: opts.Refine,
 	}, nil
@@ -78,6 +93,53 @@ func bisectRec(a *sparse.Matrix, subset []int, base, q int, parts []int, method 
 		return err
 	}
 	return bisectRec(a, right, base+q0, q1, parts, method, opts, delta, rng)
+}
+
+// bisectRecPool is bisectRec on a shared worker pool. Each node draws
+// the two child seeds from its own rng in a fixed order before forking,
+// so every subtree owns an independent deterministic RNG stream and the
+// partitioning does not depend on scheduling. The two recursive calls
+// write disjoint index sets of parts, making the concurrent writes safe.
+func bisectRecPool(a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, pl *pool.Pool) error {
+	if q == 1 {
+		for _, k := range subset {
+			parts[k] = base
+		}
+		return nil
+	}
+	q0 := (q + 1) / 2
+	q1 := q - q0
+
+	sub, fwd := submatrix(a, subset)
+	localOpts := opts
+	localOpts.Eps = delta
+	localOpts.TargetFrac = float64(q0) / float64(q)
+	res, err := bipartitionPool(sub, method, localOpts, rng, pl)
+	if err != nil {
+		return err
+	}
+
+	var left, right []int
+	for sk, k := range fwd {
+		if res.Parts[sk] == 0 {
+			left = append(left, k)
+		} else {
+			right = append(right, k)
+		}
+	}
+	seedL, seedR := rng.Int63(), rng.Int63()
+	var errL, errR error
+	pl.Fork(func() {
+		errL = bisectRecPool(a, left, base, q0, parts, method, opts, delta,
+			rand.New(rand.NewSource(seedL)), pl)
+	}, func() {
+		errR = bisectRecPool(a, right, base+q0, q1, parts, method, opts, delta,
+			rand.New(rand.NewSource(seedR)), pl)
+	})
+	if errL != nil {
+		return errL
+	}
+	return errR
 }
 
 // submatrix extracts the nonzeros listed in subset into a standalone

@@ -2,9 +2,8 @@ package core
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"mediumgrain/internal/pool"
 	"mediumgrain/internal/sparse"
 )
 
@@ -13,7 +12,7 @@ import (
 // nonzero a_ij knows both scores sr(i) and sc(j), then deciding on
 // inclusion of nonzeros in either Ar or Ac". In shared memory the
 // broadcast is the precomputed score arrays; the per-nonzero decisions
-// are independent and are made by `workers` goroutines over contiguous
+// are independent and are fanned out over a worker pool in contiguous
 // ranges.
 //
 // The output is bit-identical to the sequential Split with the same rng:
@@ -21,9 +20,12 @@ import (
 // drawn once, before the parallel phase. The one-off post-pass remains
 // sequential — it is a cheap O(N) scan.
 func SplitParallel(a *sparse.Matrix, rng *rand.Rand, workers int) []bool {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	return SplitParallelPool(a, rng, pool.New(workers))
+}
+
+// SplitParallelPool is SplitParallel running on a shared worker pool
+// (nil = inline); Partition threads its recursion pool through here.
+func SplitParallelPool(a *sparse.Matrix, rng *rand.Rand, pl *pool.Pool) []bool {
 	nzr := a.RowCounts()
 	nzc := a.ColCounts()
 
@@ -38,38 +40,23 @@ func SplitParallel(a *sparse.Matrix, rng *rand.Rand, workers int) []bool {
 	}
 
 	inRow := make([]bool, a.NNZ())
-	var wg sync.WaitGroup
-	chunk := (a.NNZ() + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if lo >= a.NNZ() {
-			break
-		}
-		if hi > a.NNZ() {
-			hi = a.NNZ()
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for k := lo; k < hi; k++ {
-				i, j := a.RowIdx[k], a.ColIdx[k]
-				switch {
-				case nzc[j] == 1:
-					inRow[k] = true
-				case nzr[i] == 1:
-					inRow[k] = false
-				case nzr[i] < nzc[j]:
-					inRow[k] = true
-				case nzr[i] > nzc[j]:
-					inRow[k] = false
-				default:
-					inRow[k] = tieRow
-				}
+	pl.ForEach(a.NNZ(), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i, j := a.RowIdx[k], a.ColIdx[k]
+			switch {
+			case nzc[j] == 1:
+				inRow[k] = true
+			case nzr[i] == 1:
+				inRow[k] = false
+			case nzr[i] < nzc[j]:
+				inRow[k] = true
+			case nzr[i] > nzc[j]:
+				inRow[k] = false
+			default:
+				inRow[k] = tieRow
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 
 	oneOffPostPass(a, inRow, nzr, nzc)
 	return inRow

@@ -43,7 +43,7 @@ func BenchmarkFMPass(b *testing.B) {
 		b.StopTimer()
 		s := newBipState(h, append([]int(nil), parts...), maxW)
 		b.StartTimer()
-		fmPass(s, rng, Config{})
+		fmPass(s, rng, Config{}, nil)
 	}
 }
 
@@ -54,7 +54,7 @@ func BenchmarkCoarsenOneLevel(b *testing.B) {
 	maxClusterWt := balancedCaps(h.TotalWeight(), 0.03)[0] / 3
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		vmap, numCoarse := match(h, rng, cfg, maxClusterWt)
+		vmap, numCoarse := match(h, rng, cfg, maxClusterWt, nil)
 		contract(h, vmap, numCoarse)
 	}
 }

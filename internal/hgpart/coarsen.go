@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"mediumgrain/internal/hypergraph"
+	"mediumgrain/internal/pool"
 )
 
 // Multilevel coarsening: vertices are pairwise matched — by default with
@@ -23,7 +24,7 @@ type level struct {
 // match pairs up vertices and returns the fine→coarse vertex map and the
 // number of coarse vertices. maxClusterWt bounds merged weights so no
 // coarse vertex becomes unplaceable under the balance constraint.
-func match(h *hypergraph.Hypergraph, rng *rand.Rand, cfg Config, maxClusterWt int64) ([]int32, int) {
+func match(h *hypergraph.Hypergraph, rng *rand.Rand, cfg Config, maxClusterWt int64, pl *pool.Pool) ([]int32, int) {
 	nv := h.NumVerts
 	mate := make([]int32, nv)
 	for i := range mate {
@@ -36,9 +37,12 @@ func match(h *hypergraph.Hypergraph, rng *rand.Rand, cfg Config, maxClusterWt in
 		netLimit = defaultMatchingNetLimit
 	}
 
-	if cfg.RandomMatching {
+	switch {
+	case cfg.RandomMatching:
 		matchRandom(h, order, mate, netLimit, maxClusterWt)
-	} else {
+	case cfg.Workers != 0:
+		matchProposal(h, order, mate, netLimit, maxClusterWt, pl)
+	default:
 		matchHeavyConnectivity(h, order, mate, netLimit, maxClusterWt)
 	}
 
@@ -168,7 +172,7 @@ func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int) *hypergraph
 
 // coarsen produces the multilevel hierarchy, stopping when the hypergraph
 // is small enough or matching stalls.
-func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config) []level {
+func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config, pl *pool.Pool) []level {
 	coarsenTo := cfg.CoarsenTo
 	if coarsenTo <= 0 {
 		coarsenTo = defaultCoarsenTo
@@ -187,7 +191,7 @@ func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config) 
 	var levels []level
 	cur := h
 	for cur.NumVerts > coarsenTo {
-		vmap, numCoarse := match(cur, rng, cfg, maxClusterWt)
+		vmap, numCoarse := match(cur, rng, cfg, maxClusterWt, pl)
 		if float64(numCoarse) > stall*float64(cur.NumVerts) {
 			break // matching stalled; further levels would not shrink
 		}

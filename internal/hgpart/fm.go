@@ -4,7 +4,13 @@ import (
 	"math/rand"
 
 	"mediumgrain/internal/hypergraph"
+	"mediumgrain/internal/pool"
 )
+
+// parallelGainThreshold is the vertex count above which fmPass computes
+// initial gains on the worker pool; below it the fan-out overhead
+// dominates. The result is identical either way.
+const parallelGainThreshold = 2048
 
 // bipState tracks the incremental quantities FM needs: per-net pin counts
 // on each side, part weights, and the current cut.
@@ -133,7 +139,7 @@ func (s *bipState) move(v int32, buckets *gainBuckets, locked []bool) {
 // once; the pass ends at exhaustion or after cfg.EarlyExit consecutive
 // moves without a new best state, and rolls back to the best visited
 // state. Returns true if the pass improved the cut or the balance.
-func fmPass(s *bipState, rng *rand.Rand, cfg Config) bool {
+func fmPass(s *bipState, rng *rand.Rand, cfg Config, pl *pool.Pool) bool {
 	h := s.h
 	nv := h.NumVerts
 	if nv == 0 {
@@ -152,8 +158,24 @@ func fmPass(s *bipState, rng *rand.Rand, cfg Config) bool {
 	buckets := newGainBuckets(nv, maxDeg)
 	locked := make([]bool, nv)
 	order := rng.Perm(nv)
-	for _, v := range order {
-		buckets.insert(int32(v), s.parts[v], s.gainOf(int32(v)))
+	if pl.Workers() > 1 && nv >= parallelGainThreshold {
+		// Parallel gain initialization: gainOf only reads the pin counts,
+		// so all gains can be computed concurrently; bucket insertion
+		// keeps the sequential order, making the buckets bit-identical to
+		// the inline loop below.
+		gains := make([]int32, nv)
+		pl.ForEach(nv, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				gains[v] = s.gainOf(int32(v))
+			}
+		})
+		for _, v := range order {
+			buckets.insert(int32(v), s.parts[v], gains[v])
+		}
+	} else {
+		for _, v := range order {
+			buckets.insert(int32(v), s.parts[v], s.gainOf(int32(v)))
+		}
 	}
 
 	startCut, startOver := s.cut, s.overload()
@@ -250,15 +272,16 @@ func selectMove(s *bipState, buckets *gainBuckets, slack int64) int32 {
 }
 
 // refine runs FM passes until a pass yields no improvement or MaxPasses
-// is reached. It mutates parts in place and returns the final cut.
-func refine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {
+// is reached. It mutates parts in place and returns the final cut. pl
+// accelerates gain initialization of large passes; nil runs inline.
+func refine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) int64 {
 	s := newBipState(h, parts, maxW)
 	passes := cfg.MaxPasses
 	if passes <= 0 {
 		passes = defaultMaxPasses
 	}
 	for i := 0; i < passes; i++ {
-		if !fmPass(s, rng, cfg) {
+		if !fmPass(s, rng, cfg, pl) {
 			break
 		}
 	}
@@ -271,13 +294,13 @@ func refine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand
 // (Algorithm 2, line 16). parts is modified in place; the cut-net value
 // after refinement is returned. The cut never increases.
 func RefineBipartition(h *hypergraph.Hypergraph, parts []int, eps float64, rng *rand.Rand, cfg Config) int64 {
-	return refine(h, parts, balancedCaps(h.TotalWeight(), eps), rng, cfg)
+	return refine(h, parts, balancedCaps(h.TotalWeight(), eps), rng, cfg, nil)
 }
 
 // RefineBipartitionCaps is RefineBipartition with explicit per-part
 // weight caps (for uneven targets during recursive bisection).
 func RefineBipartitionCaps(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {
-	return refine(h, parts, maxW, rng, cfg)
+	return refine(h, parts, maxW, rng, cfg, nil)
 }
 
 // balancedCaps returns the per-part weight caps (1+eps)·W/2, rounded so a

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"mediumgrain/internal/hypergraph"
+	"mediumgrain/internal/pool"
 )
 
 // Defaults for Config zero values.
@@ -41,6 +42,13 @@ type Config struct {
 	// EarlyExit aborts an FM pass after this many consecutive moves
 	// without a new best state (0 = full passes).
 	EarlyExit int
+	// Workers selects the parallel engine: 0 keeps the legacy sequential
+	// algorithms; any other value switches matching to deterministic
+	// proposal rounds and initial partitioning to independent seeded
+	// tries, both of which produce identical results for every worker
+	// count (execution is spread over the pool passed to
+	// BipartitionCapsPool, or runs inline when that pool is nil).
+	Workers int
 }
 
 // ConfigMondriaanLike mimics Mondriaan's internal hypergraph partitioner:
@@ -83,12 +91,21 @@ func Bipartition(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Conf
 // BipartitionCaps is Bipartition with explicit per-part weight caps,
 // needed by recursive bisection with uneven targets.
 func BipartitionCaps(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config) ([]int, int64) {
+	return BipartitionCapsPool(h, maxW, rng, cfg, nil)
+}
+
+// BipartitionCapsPool is BipartitionCaps executing on a shared worker
+// pool. The pool only affects wall-clock time: for a given cfg and rng
+// seed the result is bit-identical whether pl is nil (inline execution)
+// or any pool size, because all randomized choices are drawn from rng in
+// a fixed order before work is fanned out.
+func BipartitionCapsPool(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) ([]int, int64) {
 	parts := make([]int, h.NumVerts)
 	if h.NumVerts == 0 {
 		return parts, 0
 	}
 
-	levels := coarsen(h, capsToEps(h, maxW), rng, cfg)
+	levels := coarsen(h, capsToEps(h, maxW), rng, cfg, pl)
 	coarsest := h
 	if len(levels) > 0 {
 		coarsest = levels[len(levels)-1].coarse
@@ -96,8 +113,8 @@ func BipartitionCaps(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cf
 
 	// Weight caps carry over unchanged: contraction preserves total
 	// weight.
-	cparts := initialPartition(coarsest, maxW, rng, cfg)
-	refine(coarsest, cparts, maxW, rng, cfg)
+	cparts := initialPartition(coarsest, maxW, rng, cfg, pl)
+	refine(coarsest, cparts, maxW, rng, cfg, pl)
 
 	// Project back up, refining at every level (the V-cycle downstroke).
 	for li := len(levels) - 1; li >= 0; li-- {
@@ -109,10 +126,12 @@ func BipartitionCaps(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cf
 		}
 		fparts := make([]int, fine.NumVerts)
 		vmap := levels[li].map_
-		for v := 0; v < fine.NumVerts; v++ {
-			fparts[v] = cparts[vmap[v]]
-		}
-		refine(fine, fparts, maxW, rng, cfg)
+		pl.ForEach(fine.NumVerts, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				fparts[v] = cparts[vmap[v]]
+			}
+		})
+		refine(fine, fparts, maxW, rng, cfg, pl)
 		cparts = fparts
 	}
 	copy(parts, cparts)
@@ -143,11 +162,48 @@ func minInt64(a, b int64) int64 {
 
 // initialPartition tries cfg.InitTries initial bipartitions of the
 // coarsest hypergraph, FM-refines each, and keeps the best by
-// (overload, cut).
-func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config) []int {
+// (overload, cut). With cfg.Workers != 0 the tries run as independent
+// subproblems on the pool, each with its own RNG stream seeded from rng
+// in try order; the winner (lowest try index among ties) is therefore
+// the same for every pool size.
+func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) []int {
 	tries := cfg.InitTries
 	if tries <= 0 {
 		tries = defaultInitTries
+	}
+	if cfg.Workers != 0 {
+		seeds := make([]int64, tries)
+		for t := range seeds {
+			seeds[t] = rng.Int63()
+		}
+		type try struct {
+			parts     []int
+			cut, over int64
+		}
+		results := make([]try, tries)
+		pl.ForEach(tries, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				rt := rand.New(rand.NewSource(seeds[t]))
+				var parts []int
+				if cfg.GreedyInit {
+					parts = greedyGrow(h, maxW, rt)
+				} else {
+					parts = randomAssign(h, maxW, rt)
+				}
+				// The pool is already saturated with whole tries; the
+				// inner refinement runs inline.
+				cut := refine(h, parts, maxW, rt, cfg, nil)
+				s := newBipState(h, parts, maxW)
+				results[t] = try{parts, cut, s.overload()}
+			}
+		})
+		best := 0
+		for t := 1; t < tries; t++ {
+			if better(results[t].cut, results[t].over, results[best].cut, results[best].over) {
+				best = t
+			}
+		}
+		return results[best].parts
 	}
 	var bestParts []int
 	var bestCut, bestOver int64
@@ -158,7 +214,7 @@ func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, c
 		} else {
 			parts = randomAssign(h, maxW, rng)
 		}
-		cut := refine(h, parts, maxW, rng, cfg)
+		cut := refine(h, parts, maxW, rng, cfg, nil)
 		s := newBipState(h, parts, maxW)
 		over := s.overload()
 		if bestParts == nil || better(cut, over, bestCut, bestOver) {

@@ -57,7 +57,7 @@ func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *ran
 
 	// Refine at the coarsest level, then project down refining each
 	// level; the finest refinement writes through to the caller's parts.
-	refine(cur, curParts, maxW, rng, cfg)
+	refine(cur, curParts, maxW, rng, cfg, nil)
 	for li := len(levels) - 1; li >= 0; li-- {
 		var fine *hypergraph.Hypergraph
 		var fparts []int
@@ -70,7 +70,7 @@ func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *ran
 		for v := 0; v < fine.NumVerts; v++ {
 			fparts[v] = levels[li].parts[vmap[v]]
 		}
-		refine(fine, fparts, maxW, rng, cfg)
+		refine(fine, fparts, maxW, rng, cfg, nil)
 	}
 	return h.ConnectivityMinusOne(parts, 2)
 }

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/pool"
 	"mediumgrain/internal/sparse"
 )
 
@@ -23,6 +24,11 @@ type Options struct {
 	// (default 8); each pass applies every positive-gain feasible move
 	// it encounters.
 	MaxPasses int
+	// Workers parallelizes the per-row/per-column count construction and
+	// the final volume evaluation (0 = sequential). The greedy move loop
+	// itself stays sequential, so results are identical for every worker
+	// count.
+	Workers int
 }
 
 // Refine improves parts in place and returns the resulting volume. The
@@ -38,21 +44,61 @@ func Refine(a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) 
 		maxPasses = 8
 	}
 
+	var pl *pool.Pool
+	if opts.Workers != 0 {
+		pl = pool.New(opts.Workers)
+	}
+
 	// Per-row and per-column part counts.
 	rowCt := make([][]int32, a.Rows)
-	for i := range rowCt {
-		rowCt[i] = make([]int32, p)
-	}
 	colCt := make([][]int32, a.Cols)
-	for j := range colCt {
-		colCt[j] = make([]int32, p)
-	}
 	sizes := make([]int64, p)
-	for k := range a.RowIdx {
-		pt := parts[k]
-		rowCt[a.RowIdx[k]][pt]++
-		colCt[a.ColIdx[k]][pt]++
-		sizes[pt]++
+	var rix *sparse.RowIndex
+	var cix *sparse.ColIndex
+	if pl == nil {
+		// Sequential path: one fused pass over the COO arrays.
+		for i := range rowCt {
+			rowCt[i] = make([]int32, p)
+		}
+		for j := range colCt {
+			colCt[j] = make([]int32, p)
+		}
+		for k := range a.RowIdx {
+			pt := parts[k]
+			rowCt[a.RowIdx[k]][pt]++
+			colCt[a.ColIdx[k]][pt]++
+			sizes[pt]++
+		}
+	} else {
+		// Parallel path: sizes is a cheap single scan and stays
+		// sequential; the histograms are filled concurrently over
+		// row/column ranges (each row and column is owned by exactly one
+		// chunk). The indexes depend only on the pattern and are reused
+		// for the final volume evaluation.
+		for _, pt := range parts {
+			sizes[pt]++
+		}
+		pl.Fork(func() {
+			rix = sparse.BuildRowIndex(a)
+			pl.ForEach(a.Rows, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					rowCt[i] = make([]int32, p)
+					for _, k := range rix.Row(i) {
+						rowCt[i][parts[k]]++
+					}
+				}
+			})
+		}, func() {
+			cix = sparse.BuildColIndex(a)
+			pl.ForEach(a.Cols, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					colCt[j] = make([]int32, p)
+					for _, k := range cix.Col(j) {
+						colCt[j][parts[k]]++
+					}
+				}
+			})
+		})
 	}
 
 	limit := int64((1 + opts.Eps) * float64(n) / float64(p))
@@ -128,5 +174,20 @@ func Refine(a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) 
 			break
 		}
 	}
-	return metrics.Volume(a, parts, p)
+	if pl == nil {
+		return metrics.Volume(a, parts, p)
+	}
+	lr, lc := metrics.LambdasIndexed(a, parts, p, rix, cix, pl)
+	var v int64
+	for _, l := range lr {
+		if l > 1 {
+			v += int64(l - 1)
+		}
+	}
+	for _, l := range lc {
+		if l > 1 {
+			v += int64(l - 1)
+		}
+	}
+	return v
 }

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mediumgrain/internal/pool"
+	"mediumgrain/internal/sparse"
+)
+
+func randomPartitioned(seed int64, rows, cols, nnz, p int) (*sparse.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	a := sparse.New(rows, cols)
+	seen := map[[2]int]bool{}
+	for a.NNZ() < nnz {
+		ij := [2]int{rng.Intn(rows), rng.Intn(cols)}
+		if !seen[ij] {
+			seen[ij] = true
+			a.AppendPattern(ij[0], ij[1])
+		}
+	}
+	parts := make([]int, a.NNZ())
+	for k := range parts {
+		parts[k] = rng.Intn(p)
+	}
+	return a, parts
+}
+
+func TestVolumePoolMatchesSequential(t *testing.T) {
+	for _, tc := range []struct{ rows, cols, nnz, p int }{
+		{1, 1, 1, 2},
+		{40, 40, 300, 2},
+		{200, 80, 1500, 8},
+		{64, 300, 2000, 64},
+	} {
+		a, parts := randomPartitioned(int64(tc.rows*1000+tc.p), tc.rows, tc.cols, tc.nnz, tc.p)
+		want := Volume(a, parts, tc.p)
+		wantLR, wantLC := Lambdas(a, parts, tc.p)
+		for _, workers := range []int{1, 2, 4, 9} {
+			pl := pool.New(workers)
+			if got := VolumePool(a, parts, tc.p, pl); got != want {
+				t.Errorf("%dx%d p=%d workers=%d: VolumePool %d != Volume %d",
+					tc.rows, tc.cols, tc.p, workers, got, want)
+			}
+			lr, lc := LambdasPool(a, parts, tc.p, pl)
+			if !reflect.DeepEqual(lr, wantLR) || !reflect.DeepEqual(lc, wantLC) {
+				t.Errorf("%dx%d p=%d workers=%d: LambdasPool differs from Lambdas",
+					tc.rows, tc.cols, tc.p, workers)
+			}
+		}
+		if got := VolumePool(a, parts, tc.p, nil); got != want {
+			t.Errorf("nil pool: VolumePool %d != Volume %d", got, want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// BenchSchema versions the benchmark-report JSON layout; bump it when a
+// field changes meaning so downstream tooling can dispatch.
+const BenchSchema = "mediumgrain-bench/1"
+
+// BenchEntry is one grid point of a benchmark run: a (matrix, p, method,
+// workers) combination with its measured wall time and quality metrics.
+type BenchEntry struct {
+	Matrix  string `json:"matrix"`
+	Class   string `json:"class"`
+	Rows    int    `json:"rows"`
+	Cols    int    `json:"cols"`
+	NNZ     int    `json:"nnz"`
+	P       int    `json:"p"`
+	Method  string `json:"method"`
+	Workers int    `json:"workers"`
+	// WallMS is the best-of-runs wall-clock time of the partitioning
+	// call in milliseconds (best-of mirrors Go's benchstat convention of
+	// reporting the least-noisy observation).
+	WallMS float64 `json:"wall_ms"`
+	// SpeedupVsSeq is WallMS(workers=1) / WallMS for this entry's grid
+	// point; 0 when no sequential counterpart exists in the grid.
+	SpeedupVsSeq float64 `json:"speedup_vs_seq,omitempty"`
+	Volume       int64   `json:"volume"`
+	Imbalance    float64 `json:"imbalance"`
+}
+
+// BenchReport is the machine-readable output of cmd/mgbench.
+type BenchReport struct {
+	Schema     string       `json:"schema"`
+	CreatedUTC string       `json:"created_utc"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Seed       int64        `json:"seed"`
+	Runs       int          `json:"runs"`
+	Entries    []BenchEntry `json:"entries"`
+}
+
+// NewBenchReport returns a report header stamped with the current
+// toolchain and machine facts. createdUTC is RFC 3339; the caller
+// supplies it so report generation stays testable.
+func NewBenchReport(createdUTC string, seed int64, runs int) *BenchReport {
+	return &BenchReport{
+		Schema:     BenchSchema,
+		CreatedUTC: createdUTC,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Runs:       runs,
+	}
+}
+
+// FillSpeedups computes SpeedupVsSeq for every entry from the Workers=1
+// entry of the same (matrix, p, method) grid point.
+func (r *BenchReport) FillSpeedups() {
+	type key struct {
+		matrix, method string
+		p              int
+	}
+	seq := make(map[key]float64)
+	for _, e := range r.Entries {
+		if e.Workers == 1 {
+			seq[key{e.Matrix, e.Method, e.P}] = e.WallMS
+		}
+	}
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		if base, ok := seq[key{e.Matrix, e.Method, e.P}]; ok && e.WallMS > 0 {
+			e.SpeedupVsSeq = base / e.WallMS
+		}
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the report to path, creating or truncating it.
+func (r *BenchReport) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBenchJSON parses a report and checks its schema tag.
+func ReadBenchJSON(rd io.Reader) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("report: decoding bench JSON: %w", err)
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("report: unexpected bench schema %q (want %q)", r.Schema, BenchSchema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *BenchReport {
+	r := NewBenchReport("2026-07-29T00:00:00Z", 7, 3)
+	r.Entries = []BenchEntry{
+		{Matrix: "lap2d", Class: "symmetric", Rows: 100, Cols: 100, NNZ: 500,
+			P: 64, Method: "MG", Workers: 1, WallMS: 80, Volume: 123, Imbalance: 0.01},
+		{Matrix: "lap2d", Class: "symmetric", Rows: 100, Cols: 100, NNZ: 500,
+			P: 64, Method: "MG", Workers: 4, WallMS: 20, Volume: 123, Imbalance: 0.01},
+		{Matrix: "other", Class: "rectangular", Rows: 10, Cols: 20, NNZ: 50,
+			P: 2, Method: "FG", Workers: 4, WallMS: 5, Volume: 9, Imbalance: 0.02},
+	}
+	return r
+}
+
+func TestFillSpeedups(t *testing.T) {
+	r := sampleReport()
+	r.FillSpeedups()
+	if got := r.Entries[0].SpeedupVsSeq; got != 1 {
+		t.Errorf("sequential entry speedup = %g, want 1", got)
+	}
+	if got := r.Entries[1].SpeedupVsSeq; got != 4 {
+		t.Errorf("parallel entry speedup = %g, want 4", got)
+	}
+	if got := r.Entries[2].SpeedupVsSeq; got != 0 {
+		t.Errorf("entry without sequential baseline speedup = %g, want 0", got)
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	r.FillSpeedups()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema": "mediumgrain-bench/1"`) {
+		t.Errorf("JSON missing schema tag:\n%s", buf.String())
+	}
+	got, err := ReadBenchJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 3 || got.Entries[1].SpeedupVsSeq != 4 || got.Seed != 7 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}
+
+func TestReadBenchJSONRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadBenchJSON(strings.NewReader(`{"schema":"other/9"}`)); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+}

@@ -15,6 +15,48 @@
 //	    opts, mediumgrain.NewRNG(42))
 //	fmt.Println("communication volume:", res.Volume)
 //
+// # Parallel execution
+//
+// Every partitioning entry point runs on a shared worker-pool engine
+// (internal/pool) selected by Options.Workers:
+//
+//   - Workers == 0 (the zero value) is the sequential legacy path; it
+//     preserves the exact per-seed results of earlier versions.
+//   - Workers == N >= 1 runs on a pool of N goroutines; N < 0 selects
+//     runtime.GOMAXPROCS(0).
+//
+// The pool is a counting semaphore threaded through the whole run.
+// Recursive bisection fans the two disjoint halves of every split out
+// over it (Partition on p parts exposes up to p-way task parallelism);
+// inside each bisection, the multilevel hypergraph partitioner matches
+// vertices with concurrent proposal rounds, runs its initial-partition
+// tries as independent subproblems, and initializes FM gains in
+// parallel; metric and k-way evaluation split their row/column scans.
+//
+// Determinism: with Workers >= 1 every random choice is drawn from a
+// deterministic stream — child subproblems receive RNG streams seeded
+// from the parent stream in a fixed order before the fork — so a given
+// seed produces bit-identical partitionings for every worker count and
+// any scheduling. Results may differ from the Workers == 0 legacy
+// algorithms (a different, parallel-friendly matching order), but both
+// paths are individually deterministic per seed. InitialSplitParallel
+// remains bit-identical to InitialSplit for equal seeds.
+//
+// # Benchmarking
+//
+// The cmd/mgbench runner executes a fixed experiment grid over the
+// synthetic corpus and writes a machine-readable report:
+//
+//	go run ./cmd/mgbench -out BENCH_$(date +%F).json
+//
+// Each JSON entry records matrix shape, p, method, worker count, wall
+// time in milliseconds, communication volume, achieved imbalance, and
+// the speedup of the parallel run over the Workers=1 run of the same
+// grid point ("speedup_vs_seq"); the header records the Go version,
+// GOMAXPROCS, and the seed, so reports are comparable across commits.
+// `make bench-json` is the one-command entry point, and CI runs a smoke
+// grid on every push.
+//
 // The exported types are aliases of the internal implementation packages
 // so that the whole surface is reachable from this single import.
 package mediumgrain
@@ -139,7 +181,9 @@ func Bipartition(a *Matrix, method Method, opts Options, rng *rand.Rand) (*Resul
 }
 
 // Partition distributes the nonzeros of a over p parts by recursive
-// bisection with the given method.
+// bisection with the given method. With opts.Workers set, the disjoint
+// subproblems of the bisection tree run concurrently on the worker-pool
+// engine (see the package comment for the determinism guarantees).
 func Partition(a *Matrix, p int, method Method, opts Options, rng *rand.Rand) (*Result, error) {
 	return core.Partition(a, p, method, opts, rng)
 }
@@ -207,6 +251,15 @@ func Imbalance(parts []int, p int) float64 { return metrics.Imbalance(parts, p) 
 // isolation. parts is modified in place; the final volume is returned.
 func KWayRefine(a *Matrix, parts []int, p int, eps float64, rng *rand.Rand) int64 {
 	return kway.Refine(a, parts, p, kway.Options{Eps: eps}, rng)
+}
+
+// KWayRefineParallel is KWayRefine with the count construction and
+// volume evaluation spread over `workers` goroutines (0 = sequential,
+// negative = GOMAXPROCS). The greedy move loop is sequential either
+// way, so the refined parts and returned volume are identical to
+// KWayRefine for equal seeds.
+func KWayRefineParallel(a *Matrix, parts []int, p int, eps float64, workers int, rng *rand.Rand) int64 {
+	return kway.Refine(a, parts, p, kway.Options{Eps: eps, Workers: workers}, rng)
 }
 
 // CartesianResult is a coarse-grain p×q Cartesian partitioning (rows
