@@ -4,7 +4,7 @@ GO       ?= go
 DATE     := $(shell date -u +%F)
 BENCHOUT ?= BENCH_$(DATE).json
 
-.PHONY: build test race bench bench-json lint
+.PHONY: build test race bench bench-json bench-diff lint
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ bench:
 # Full benchmark grid; writes the machine-readable report.
 bench-json:
 	$(GO) run ./cmd/mgbench -out $(BENCHOUT)
+
+# Compare two bench reports per grid point; exits nonzero when any
+# common point regresses communication volume by more than 5%.
+#   make bench-diff OLD=BENCH_old.json NEW=BENCH_new.json
+bench-diff:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-diff OLD=a.json NEW=b.json"; exit 2; }
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 lint:
 	$(GO) vet ./...

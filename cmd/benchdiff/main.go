@@ -1,0 +1,69 @@
+// Command benchdiff compares two mgbench JSON reports grid point by grid
+// point and fails when partitioning quality regresses:
+//
+//	benchdiff old.json new.json            # default 5% volume tolerance
+//	benchdiff -vol-tol 0.10 old.json new.json
+//
+// Wall-time and allocation changes are reported but never fail the run —
+// CI machines are too noisy for hard time gates — while a communication
+// volume more than the tolerance above the baseline on any common grid
+// point exits nonzero. `make bench-diff OLD=a.json NEW=b.json` is the
+// Makefile entry point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mediumgrain/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+
+	volTol := flag.Float64("vol-tol", 0.05, "allowed fractional volume regression per grid point")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatalf("usage: benchdiff [-vol-tol F] OLD.json NEW.json")
+	}
+
+	oldRep, err := readReport(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRep, err := readReport(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := report.DiffBench(oldRep, newRep)
+	fmt.Print(report.FormatDiff(rows))
+
+	bad := report.VolumeRegressions(rows, *volTol)
+	if len(bad) > 0 {
+		fmt.Printf("\n%d grid point(s) regressed volume by more than %.0f%%:\n", len(bad), *volTol*100)
+		for _, r := range bad {
+			if r.OldVolume == 0 {
+				fmt.Printf("  %s p=%d workers=%d: volume 0 -> %d (baseline was perfect)\n",
+					r.Matrix, r.P, r.Workers, r.NewVolume)
+			} else {
+				fmt.Printf("  %s p=%d workers=%d: volume %d -> %d (+%.1f%%)\n",
+					r.Matrix, r.P, r.Workers, r.OldVolume, r.NewVolume, (r.VolumeRatio-1)*100)
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nno volume regression beyond %.0f%% on %d common grid points\n", *volTol*100, len(rows))
+}
+
+func readReport(path string) (*report.BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return report.ReadBenchJSON(f)
+}

@@ -36,6 +36,12 @@ type gridMatrix struct {
 	name  string
 	a     *sparse.Matrix
 	class sparse.Class
+	// ps restricts this matrix to specific part counts (nil = the grid's
+	// defaults); the huge tier runs p=64 only.
+	ps []int
+	// runsOverride caps the repetitions (0 = the grid's -runs); the huge
+	// tier is timed once.
+	runsOverride int
 }
 
 func main() {
@@ -80,15 +86,24 @@ func main() {
 
 	rep := report.NewBenchReport(time.Now().UTC().Format(time.RFC3339), *seed, *runs)
 	for _, gm := range grid {
-		for _, p := range pValues {
+		ps := pValues
+		if gm.ps != nil {
+			ps = gm.ps
+		}
+		runsHere := *runs
+		if gm.runsOverride > 0 && gm.runsOverride < runsHere {
+			runsHere = gm.runsOverride
+		}
+		for _, p := range ps {
 			for _, w := range workerValues {
-				entry, err := runPoint(gm, p, "MG", w, *eps, *seed, *runs)
+				entry, err := runPoint(gm, p, "MG", w, *eps, *seed, runsHere)
 				if err != nil {
 					log.Fatalf("%s p=%d workers=%d: %v", gm.name, p, w, err)
 				}
 				rep.Entries = append(rep.Entries, entry)
-				fmt.Printf("%-14s p=%-3d workers=%-2d  %8.1f ms  volume=%-7d imbalance=%.4f\n",
-					gm.name, p, w, entry.WallMS, entry.Volume, entry.Imbalance)
+				fmt.Printf("%-14s p=%-3d workers=%-2d  %8.1f ms  volume=%-7d imbalance=%.4f  allocs/op=%-8d MB/op=%.1f\n",
+					gm.name, p, w, entry.WallMS, entry.Volume, entry.Imbalance,
+					entry.AllocsPerOp, float64(entry.BytesPerOp)/(1024*1024))
 			}
 		}
 	}
@@ -104,7 +119,11 @@ func main() {
 
 // buildGrid selects the benchmark matrices: a fixed corpus subset
 // spanning all three classes plus one larger generated mesh that gives
-// the p=64 recursion enough work to measure.
+// the p=64 recursion enough work to measure. Raising -scale above 1
+// additionally enables the huge tier: a grid Laplacian with at least a
+// million nonzeros (n = 330·scale per side, so -scale 2 ≈ 2.2M nnz and
+// -scale 3 ≈ 4.9M, mirroring the paper's 5M-nonzero corpus cutoff),
+// timed once at p=64 only so the full grid stays tractable.
 func buildGrid(seed int64, scale int, quick bool) []gridMatrix {
 	instances := corpus.Build(corpus.Options{Scale: scale, Seed: seed})
 	names := []string{"lap2d-24", "powerlaw-3", "er-sq-1", "bip-tall"}
@@ -123,6 +142,17 @@ func buildGrid(seed int64, scale int, quick bool) []gridMatrix {
 		big := gen.Laplacian2D(120*scale, 120*scale)
 		grid = append(grid, gridMatrix{name: "lap2d-120", a: big, class: big.Classify()})
 	}
+	if !quick && scale >= 2 {
+		n := 330 * scale
+		huge := gen.Laplacian2D(n, n)
+		grid = append(grid, gridMatrix{
+			name:         fmt.Sprintf("lap2d-huge-%d", n),
+			a:            huge,
+			class:        huge.Classify(),
+			ps:           []int{64},
+			runsOverride: 1,
+		})
+	}
 	return grid
 }
 
@@ -140,6 +170,8 @@ func runPoint(gm gridMatrix, p int, method string, workers int, eps float64, see
 
 	var best time.Duration
 	var res *core.Result
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	for r := 0; r < runs; r++ {
 		rng := rand.New(rand.NewSource(seed))
 		start := time.Now()
@@ -152,18 +184,21 @@ func runPoint(gm gridMatrix, p int, method string, workers int, eps float64, see
 			best = elapsed
 		}
 	}
+	runtime.ReadMemStats(&msAfter)
 	return report.BenchEntry{
-		Matrix:    gm.name,
-		Class:     gm.class.String(),
-		Rows:      gm.a.Rows,
-		Cols:      gm.a.Cols,
-		NNZ:       gm.a.NNZ(),
-		P:         p,
-		Method:    method,
-		Workers:   workers,
-		WallMS:    float64(best.Microseconds()) / 1000,
-		Volume:    res.Volume,
-		Imbalance: metrics.Imbalance(res.Parts, p),
+		Matrix:      gm.name,
+		Class:       gm.class.String(),
+		Rows:        gm.a.Rows,
+		Cols:        gm.a.Cols,
+		NNZ:         gm.a.NNZ(),
+		P:           p,
+		Method:      method,
+		Workers:     workers,
+		WallMS:      float64(best.Microseconds()) / 1000,
+		Volume:      res.Volume,
+		Imbalance:   metrics.Imbalance(res.Parts, p),
+		AllocsPerOp: (msAfter.Mallocs - msBefore.Mallocs) / uint64(runs),
+		BytesPerOp:  (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(runs),
 	}, nil
 }
 

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestBuildGridHugeTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a multi-million-nonzero mesh; skipped with -short")
+	}
+	grid := buildGrid(1, 2, false)
+	var huge *gridMatrix
+	for i := range grid {
+		if grid[i].name == "lap2d-huge-660" {
+			huge = &grid[i]
+		}
+	}
+	if huge == nil {
+		t.Fatal("-scale 2 grid is missing the huge tier")
+	}
+	if huge.a.NNZ() < 1_000_000 {
+		t.Fatalf("huge tier has only %d nonzeros, want >= 1M", huge.a.NNZ())
+	}
+	if len(huge.ps) != 1 || huge.ps[0] != 64 || huge.runsOverride != 1 {
+		t.Fatalf("huge tier must run once at p=64 only, got ps=%v runs=%d", huge.ps, huge.runsOverride)
+	}
+}
+
+func TestBuildGridDefaultHasNoHugeTier(t *testing.T) {
+	for _, gm := range buildGrid(1, 1, false) {
+		if gm.ps != nil || gm.runsOverride != 0 {
+			t.Fatalf("default grid contains a restricted entry: %+v", gm.name)
+		}
+	}
+}

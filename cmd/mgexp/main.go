@@ -38,13 +38,14 @@ func main() {
 		seed    = flag.Int64("seed", 7, "random seed")
 		p64     = flag.Int("p", 64, "large part count for fig6(b)/table2")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "matrices evaluated concurrently")
+		engineW = flag.Int("engine-workers", 0, "core.Options.Workers per partitioning call (0 = sequential legacy engine); use with -workers 1 for single-large-matrix sweeps")
 	)
 	flag.Parse()
 	if *workers < 1 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Fprintf(os.Stderr, "mgexp: exp=%s runs=%d scale=%d seed=%d workers=%d\n",
-		*exp, *runs, *scale, *seed, *workers)
+	fmt.Fprintf(os.Stderr, "mgexp: exp=%s runs=%d scale=%d seed=%d workers=%d engine-workers=%d\n",
+		*exp, *runs, *scale, *seed, *workers, *engineW)
 
 	instances := corpus.Build(corpus.Options{Scale: *scale, Seed: *seed})
 	specs := experiments.PaperMethods()
@@ -56,7 +57,7 @@ func main() {
 
 	if needMondriaan {
 		opts := experiments.DefaultRunOptions()
-		opts.Runs, opts.Seed, opts.Workers = *runs, *seed, *workers
+		opts.Runs, opts.Seed, opts.Workers, opts.EngineWorkers = *runs, *seed, *workers, *engineW
 		opts.Config = hgpart.ConfigMondriaanLike()
 		var err error
 		fmt.Fprintf(os.Stderr, "running %d matrices x %d methods x %d runs (mondriaan-like engine)...\n",
@@ -68,7 +69,7 @@ func main() {
 	}
 	if needAlt {
 		opts := experiments.DefaultRunOptions()
-		opts.Runs, opts.Seed, opts.Workers = *runs, *seed, *workers
+		opts.Runs, opts.Seed, opts.Workers, opts.EngineWorkers = *runs, *seed, *workers, *engineW
 		opts.Config = hgpart.ConfigAlt()
 		var err error
 		fmt.Fprintf(os.Stderr, "running %d matrices x %d methods x %d runs (alt engine, p=2)...\n",

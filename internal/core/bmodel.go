@@ -37,15 +37,28 @@ type BModel struct {
 
 // BuildBModel constructs the composite hypergraph for the given split.
 func BuildBModel(a *sparse.Matrix, inRow []bool) (*BModel, error) {
+	return buildBModel(a, inRow, nil, nil)
+}
+
+// buildBModel is BuildBModel reusing a caller-built index of a (nil
+// builds one privately) and drawing every assembly buffer from sc (nil
+// allocates fresh). The scratch-built model aliases sc's buffers — and
+// inRow, which the fresh path copies — so it is valid only until sc's
+// next use; that is the lifetime of one bisection node or refinement
+// round.
+func buildBModel(a *sparse.Matrix, inRow []bool, ix *sparse.Index, sc *scratch) (*BModel, error) {
 	if len(inRow) != a.NNZ() {
 		return nil, fmt.Errorf("core: split length %d != nnz %d", len(inRow), a.NNZ())
+	}
+	if ix == nil {
+		ix = sparse.NewIndex(a)
 	}
 	m, n := a.Rows, a.Cols
 
 	// Weights: vertex j < n owns the Ac nonzeros of column j; vertex n+i
 	// owns the Ar nonzeros of row i. (The dummy diagonal of B is
 	// excluded, matching "nzc(j)−1" in the paper.)
-	origWt := make([]int64, n+m)
+	origWt := sc.int64Buf(n + m)
 	for k := range a.RowIdx {
 		if inRow[k] {
 			origWt[n+a.RowIdx[k]]++
@@ -55,8 +68,7 @@ func BuildBModel(a *sparse.Matrix, inRow []bool) (*BModel, error) {
 	}
 
 	// Compact away zero-weight (dummy-only) vertices.
-	vertexOf := make([]int32, n+m)
-	var origOf []int32
+	vertexOf, origOf := sc.vertexBufs(n + m)
 	for o := range origWt {
 		if origWt[o] > 0 {
 			vertexOf[o] = int32(len(origOf))
@@ -65,23 +77,26 @@ func BuildBModel(a *sparse.Matrix, inRow []bool) (*BModel, error) {
 			vertexOf[o] = -1
 		}
 	}
-	wt := make([]int64, len(origOf))
+	if sc != nil {
+		sc.origOf = origOf
+	}
+	hb := sc.hbuild()
+	wt := hb.Weights(len(origOf))
 	for v, o := range origOf {
 		wt[v] = origWt[o]
 	}
 
-	b := hypergraph.NewBuilder(len(origOf), wt)
+	b := hb.Builder(len(origOf), wt)
 
 	// Net j (j < n): vertex j plus {n+i : a_ij ∈ Ar}. Build pin lists by
 	// bucketing the Ar nonzeros per column and Ac nonzeros per row.
-	cix := sparse.BuildColIndex(a)
 	pins := make([]int32, 0, 64)
 	for j := 0; j < n; j++ {
 		pins = pins[:0]
 		if v := vertexOf[j]; v >= 0 {
 			pins = append(pins, v)
 		}
-		for _, k := range cix.Col(j) {
+		for _, k := range ix.Col.Col(j) {
 			if inRow[k] {
 				pins = append(pins, vertexOf[n+a.RowIdx[k]])
 			}
@@ -92,13 +107,12 @@ func BuildBModel(a *sparse.Matrix, inRow []bool) (*BModel, error) {
 			b.AddNet(nil) // keep net ids aligned with rows of B
 		}
 	}
-	rix := sparse.BuildRowIndex(a)
 	for i := 0; i < m; i++ {
 		pins = pins[:0]
 		if v := vertexOf[n+i]; v >= 0 {
 			pins = append(pins, v)
 		}
-		for _, k := range rix.Row(i) {
+		for _, k := range ix.Row.Row(i) {
 			if !inRow[k] {
 				pins = append(pins, vertexOf[a.ColIdx[k]])
 			}
@@ -110,9 +124,13 @@ func BuildBModel(a *sparse.Matrix, inRow []bool) (*BModel, error) {
 		}
 	}
 
+	bmInRow := inRow
+	if sc == nil {
+		bmInRow = append([]bool(nil), inRow...)
+	}
 	return &BModel{
 		A:        a,
-		InRow:    append([]bool(nil), inRow...),
+		InRow:    bmInRow,
 		H:        b.Build(),
 		VertexOf: vertexOf,
 		OrigOf:   origOf,

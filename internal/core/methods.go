@@ -138,9 +138,30 @@ func Bipartition(a *sparse.Matrix, method Method, opts Options, rng *rand.Rand) 
 	return bipartitionPool(a, method, opts, rng, opts.newPool())
 }
 
+// tieShape is the logical shape of the enclosing problem, used only for
+// the medium-grain split's global tie orientation. Recursive bisection
+// hands compacted subproblems to bipartitionScratch with the root
+// matrix's shape so the compact path makes the exact tie choices (and
+// rng draws) of the legacy full-dimension extraction.
+type tieShape struct {
+	rows, cols int
+}
+
 // bipartitionPool is Bipartition running on a shared worker pool (nil =
 // inline). Partition threads one pool through the whole recursion.
 func bipartitionPool(a *sparse.Matrix, method Method, opts Options, rng *rand.Rand, pl *pool.Pool) (*Result, error) {
+	var sc *scratch
+	if pl != nil {
+		sc = &scratch{}
+	}
+	return bipartitionScratch(a, tieShape{a.Rows, a.Cols}, method, opts, rng, pl, sc)
+}
+
+// bipartitionScratch is the engine behind every bipartition entry point:
+// it indexes the matrix once and shares that CSR/CSC index between the
+// model build, iterative refinement, and the volume evaluation, drawing
+// all working memory from the per-worker scratch (nil = allocate).
+func bipartitionScratch(a *sparse.Matrix, shape tieShape, method Method, opts Options, rng *rand.Rand, pl *pool.Pool, sc *scratch) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -154,36 +175,37 @@ func bipartitionPool(a *sparse.Matrix, method Method, opts Options, rng *rand.Ra
 		return nil, fmt.Errorf("core: target fraction %g outside (0,1)", opts.TargetFrac)
 	}
 
+	ix := sc.index(a)
 	var parts []int
 	switch method {
 	case MethodRowNet:
-		parts = bipartitionRowNet(a, opts, rng, pl)
+		parts = bipartitionRowNet(a, opts, rng, pl, ix, sc)
 	case MethodColNet:
-		parts = bipartitionColNet(a, opts, rng, pl)
+		parts = bipartitionColNet(a, opts, rng, pl, ix, sc)
 	case MethodLocalBest:
-		p1 := bipartitionRowNet(a, opts, rng, pl)
-		p2 := bipartitionColNet(a, opts, rng, pl)
-		v1 := metrics.VolumePool(a, p1, 2, pl)
-		v2 := metrics.VolumePool(a, p2, 2, pl)
+		p1 := bipartitionRowNet(a, opts, rng, pl, ix, sc)
+		p2 := bipartitionColNet(a, opts, rng, pl, ix, sc)
+		v1 := metrics.VolumeIndexed(a, p1, 2, &ix.Row, &ix.Col, pl)
+		v2 := metrics.VolumeIndexed(a, p2, 2, &ix.Row, &ix.Col, pl)
 		if v1 <= v2 {
 			parts = p1
 		} else {
 			parts = p2
 		}
 	case MethodFineGrain:
-		parts = bipartitionFineGrain(a, opts, rng, pl)
+		parts = bipartitionFineGrain(a, opts, rng, pl, ix, sc)
 	case MethodMediumGrain:
-		parts = bipartitionMediumGrain(a, opts, rng, pl)
+		parts = bipartitionMediumGrain(a, shape, opts, rng, pl, ix, sc)
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", method)
 	}
 
 	if opts.Refine {
-		parts = IterativeRefine(a, parts, opts, rng)
+		parts = iterativeRefineIndexed(a, parts, opts, rng, ix, sc)
 	}
 	return &Result{
 		Parts:   parts,
-		Volume:  metrics.VolumePool(a, parts, 2, pl),
+		Volume:  metrics.VolumeIndexed(a, parts, 2, &ix.Row, &ix.Col, pl),
 		Method:  method,
 		Refined: opts.Refine,
 	}, nil
@@ -207,37 +229,40 @@ func caps(nnz int, opts Options) [2]int64 {
 	return [2]int64{c0, c1}
 }
 
-func bipartitionRowNet(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool) []int {
-	h := hypergraph.RowNet(a)
-	colParts, _ := hgpart.BipartitionCapsPool(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
+func bipartitionRowNet(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
+	h := hypergraph.RowNetIndexed(a, &ix.Row, sc.hbuild())
+	colParts, _ := hgpart.BipartitionCapsPoolScratch(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
 	return hypergraph.VertexPartsToNonzeros(a, colParts)
 }
 
-func bipartitionColNet(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool) []int {
-	h := hypergraph.ColNet(a)
-	rowParts, _ := hgpart.BipartitionCapsPool(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
+func bipartitionColNet(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
+	h := hypergraph.ColNetIndexed(a, &ix.Col, sc.hbuild())
+	rowParts, _ := hgpart.BipartitionCapsPoolScratch(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
 	return hypergraph.RowPartsToNonzeros(a, rowParts)
 }
 
-func bipartitionFineGrain(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool) []int {
-	h := hypergraph.FineGrain(a)
-	parts, _ := hgpart.BipartitionCapsPool(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
+func bipartitionFineGrain(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
+	h := hypergraph.FineGrainIndexed(a, ix, sc.hbuild())
+	parts, _ := hgpart.BipartitionCapsPoolScratch(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
 	return parts
 }
 
-func bipartitionMediumGrain(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool) []int {
+func bipartitionMediumGrain(a *sparse.Matrix, shape tieShape, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
 	var inRow []bool
-	if opts.Workers != 0 && opts.Split == SplitNNZ {
-		inRow = SplitParallelPool(a, rng, pl)
-	} else {
-		inRow = Split(a, opts.Split, rng)
+	switch {
+	case opts.Workers != 0 && opts.Split == SplitNNZ:
+		inRow = splitParallelShape(a, rng, shape.rows, shape.cols, pl)
+	case opts.Split == SplitNNZ:
+		inRow = splitNNZShape(a, rng, shape.rows, shape.cols, true)
+	default:
+		inRow = Split(a, opts.Split, rng) // the other strategies are shape-free
 	}
-	bm, err := BuildBModel(a, inRow)
+	bm, err := buildBModel(a, inRow, ix, sc)
 	if err != nil {
-		// BuildBModel only fails on length mismatch, impossible here.
+		// buildBModel only fails on length mismatch, impossible here.
 		panic(err)
 	}
-	vparts, _ := hgpart.BipartitionCapsPool(bm.H, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
+	vparts, _ := hgpart.BipartitionCapsPoolScratch(bm.H, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
 	parts := bm.NonzeroParts(vparts)
 	// Degenerate splits can produce indivisible vertices heavier than the
 	// balance cap (e.g. a matrix that is one dense column groups into a
@@ -246,7 +271,7 @@ func bipartitionMediumGrain(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *
 	sizes := metrics.PartSizes(parts, 2)
 	limits := caps(a.NNZ(), opts)
 	if sizes[0] > limits[0] || sizes[1] > limits[1] {
-		return bipartitionFineGrain(a, opts, rng, pl)
+		return bipartitionFineGrain(a, opts, rng, pl, ix, sc)
 	}
 	return parts
 }

@@ -23,6 +23,17 @@ import (
 // worker count >= 1 (Workers == 0 keeps the legacy sequential path and
 // its historical per-seed results).
 func Partition(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand) (*Result, error) {
+	return partitionMode(a, p, method, opts, rng, true)
+}
+
+// partitionMode is Partition with the subproblem-extraction mode
+// exposed: compact (the production path) relabels every bisection node
+// onto its occupied rows and columns, legacy (compact == false) emits
+// full-dimension copies. Both modes are bit-identical per seed for the
+// nonzero-vertex models (medium-grain, fine-grain); the equivalence
+// tests run both to prove it. The Workers == 0 path always uses the
+// legacy extraction, preserving historical per-seed results.
+func partitionMode(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, compact bool) (*Result, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("core: p must be >= 1, got %d", p)
 	}
@@ -48,7 +59,11 @@ func Partition(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.R
 			return nil, err
 		}
 	} else {
-		if err := bisectRecPool(a, all, 0, p, parts, method, opts, delta, rng, pl); err != nil {
+		st := newScratchStore(pl.Workers())
+		sc := st.get()
+		err := bisectRecPool(a, all, 0, p, parts, method, opts, delta, rng, pl, st, sc, compact)
+		st.put(sc)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -100,7 +115,14 @@ func bisectRec(a *sparse.Matrix, subset []int, base, q int, parts []int, method 
 // so every subtree owns an independent deterministic RNG stream and the
 // partitioning does not depend on scheduling. The two recursive calls
 // write disjoint index sets of parts, making the concurrent writes safe.
-func bisectRecPool(a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, pl *pool.Pool) error {
+//
+// With compact extraction each node works on the subproblem relabeled to
+// its occupied rows and columns — O(nnz(sub)) per node instead of the
+// O(Rows+Cols) that full-dimension copies cost at every tree level. The
+// continuing branch keeps its scratch (the parent's buffers are dead once
+// left/right are computed); the forked branch checks one out of the
+// run's store, bounding live scratches by the pool's concurrency.
+func bisectRecPool(a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, pl *pool.Pool, st *scratchStore, sc *scratch, compact bool) error {
 	if q == 1 {
 		for _, k := range subset {
 			parts[k] = base
@@ -110,11 +132,18 @@ func bisectRecPool(a *sparse.Matrix, subset []int, base, q int, parts []int, met
 	q0 := (q + 1) / 2
 	q1 := q - q0
 
-	sub, fwd := submatrix(a, subset)
+	var sub *sparse.Matrix
+	var fwd []int
+	if compact {
+		view := sc.cpt.Compact(a, subset)
+		sub, fwd = view.A, view.NzOf
+	} else {
+		sub, fwd = submatrix(a, subset)
+	}
 	localOpts := opts
 	localOpts.Eps = delta
 	localOpts.TargetFrac = float64(q0) / float64(q)
-	res, err := bipartitionPool(sub, method, localOpts, rng, pl)
+	res, err := bipartitionScratch(sub, tieShape{a.Rows, a.Cols}, method, localOpts, rng, pl, sc)
 	if err != nil {
 		return err
 	}
@@ -131,10 +160,12 @@ func bisectRecPool(a *sparse.Matrix, subset []int, base, q int, parts []int, met
 	var errL, errR error
 	pl.Fork(func() {
 		errL = bisectRecPool(a, left, base, q0, parts, method, opts, delta,
-			rand.New(rand.NewSource(seedL)), pl)
+			rand.New(rand.NewSource(seedL)), pl, st, sc, compact)
 	}, func() {
+		sc2 := st.get()
 		errR = bisectRecPool(a, right, base+q0, q1, parts, method, opts, delta,
-			rand.New(rand.NewSource(seedR)), pl)
+			rand.New(rand.NewSource(seedR)), pl, st, sc2, compact)
+		st.put(sc2)
 	})
 	if errL != nil {
 		return errL

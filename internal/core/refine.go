@@ -21,22 +21,32 @@ import (
 // input (the whole procedure is monotonically non-increasing), and the
 // balance constraint ε is maintained.
 func IterativeRefine(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand) []int {
+	return iterativeRefineIndexed(a, parts, opts, rng, nil, nil)
+}
+
+// iterativeRefineIndexed is IterativeRefine sharing a caller-built index
+// of a across every iteration's model build and volume evaluation (nil
+// builds one once), with working memory drawn from sc.
+func iterativeRefineIndexed(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand, ix *sparse.Index, sc *scratch) []int {
 	if opts.TargetFrac == 0 {
 		opts.TargetFrac = 0.5
+	}
+	if ix == nil {
+		ix = sparse.NewIndex(a)
 	}
 	cur := append([]int(nil), parts...)
 	dir := 0
 	vPrev2 := int64(-1) // V_{k-2}
-	vPrev := metrics.Volume(a, cur, 2)
+	vPrev := metrics.VolumeIndexed(a, cur, 2, &ix.Row, &ix.Col, nil)
 
 	// Algorithm 2 terminates because volume is non-increasing and
 	// integral; maxIter is a defensive bound only.
 	const maxIter = 1000
 	for k := 1; k <= maxIter; k++ {
-		next, ok := refineOnce(a, cur, dir, opts, rng)
+		next, ok := refineOnce(a, cur, dir, opts, rng, ix, sc)
 		var vk int64
 		if ok {
-			vk = metrics.Volume(a, next, 2)
+			vk = metrics.VolumeIndexed(a, next, 2, &ix.Row, &ix.Col, nil)
 		} else {
 			vk = vPrev
 			next = cur
@@ -62,9 +72,9 @@ func IterativeRefine(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand
 // refineOnce performs one iteration of Algorithm 2: encode, refine with a
 // single KL/FM run, decode. ok is false when the encoded model cannot be
 // seeded (never happens for valid 2-part inputs; defensive).
-func refineOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.Rand) ([]int, bool) {
+func refineOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.Rand, ix *sparse.Index, sc *scratch) ([]int, bool) {
 	// Direction 0: Ar ← A0, Ac ← A1. Direction 1: Ar ← A1, Ac ← A0.
-	inRow := make([]bool, len(parts))
+	inRow := sc.inRowBuf(len(parts))
 	for k, p := range parts {
 		if dir == 0 {
 			inRow[k] = p == 0
@@ -72,7 +82,7 @@ func refineOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.
 			inRow[k] = p == 1
 		}
 	}
-	bm, err := BuildBModel(a, inRow)
+	bm, err := buildBModel(a, inRow, ix, sc)
 	if err != nil {
 		return nil, false
 	}
@@ -80,6 +90,6 @@ func refineOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.
 	if err != nil {
 		return nil, false
 	}
-	hgpart.RefineBipartitionCaps(bm.H, vparts, caps(a.NNZ(), opts), rng, opts.Config)
+	hgpart.RefineBipartitionCapsScratch(bm.H, vparts, caps(a.NNZ(), opts), rng, opts.Config, sc.engine())
 	return bm.NonzeroParts(vparts), true
 }

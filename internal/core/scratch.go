@@ -1,0 +1,131 @@
+package core
+
+import (
+	"mediumgrain/internal/hgpart"
+	"mediumgrain/internal/hypergraph"
+	"mediumgrain/internal/sparse"
+)
+
+// scratch bundles the reusable per-worker buffers of the parallel
+// partitioning engine: the compactor and CSR/CSC index for subproblem
+// extraction, the hypergraph build arrays, the multilevel engine's
+// working sets, and the composite-model assembly buffers. Recursive
+// bisection hands one scratch to every concurrently active branch; a
+// branch reuses its scratch level after level, so the steady-state cost
+// of a bisection node is O(nnz(sub)) data movement with no
+// dimension-sized allocations.
+//
+// Scratches never influence results: every buffer is fully overwritten
+// (or epoch-guarded) before use, so a run with fresh scratches is
+// bit-identical to a run with recycled ones. A nil *scratch is valid
+// everywhere and means "allocate fresh".
+type scratch struct {
+	cpt sparse.Compactor
+	ix  sparse.Index
+	hb  hypergraph.Scratch
+	hg  hgpart.Scratch
+
+	// Composite-model (BModel) assembly buffers.
+	origWt   []int64
+	vertexOf []int32
+	origOf   []int32
+	inRow    []bool
+}
+
+// index returns the CSR/CSC index of a, reusing the scratch buckets.
+func (sc *scratch) index(a *sparse.Matrix) *sparse.Index {
+	if sc == nil {
+		return sparse.NewIndex(a)
+	}
+	sc.ix.Reset(a)
+	return &sc.ix
+}
+
+// hbuild returns the hypergraph build scratch (nil for a nil scratch).
+func (sc *scratch) hbuild() *hypergraph.Scratch {
+	if sc == nil {
+		return nil
+	}
+	return &sc.hb
+}
+
+// engine returns the multilevel-engine scratch (nil for a nil scratch).
+func (sc *scratch) engine() *hgpart.Scratch {
+	if sc == nil {
+		return nil
+	}
+	return &sc.hg
+}
+
+// int64Buf returns a zeroed length-n weight-assembly buffer.
+func (sc *scratch) int64Buf(n int) []int64 {
+	if sc == nil {
+		return make([]int64, n)
+	}
+	if cap(sc.origWt) < n {
+		sc.origWt = make([]int64, n)
+	}
+	sc.origWt = sc.origWt[:n]
+	clear(sc.origWt)
+	return sc.origWt
+}
+
+// vertexBufs returns the length-n original→vertex map (contents
+// unspecified) and an empty compact-vertex accumulator.
+func (sc *scratch) vertexBufs(n int) (vertexOf, origOf []int32) {
+	if sc == nil {
+		return make([]int32, n), nil
+	}
+	if cap(sc.vertexOf) < n {
+		sc.vertexOf = make([]int32, n)
+	}
+	sc.vertexOf = sc.vertexOf[:n]
+	return sc.vertexOf, sc.origOf[:0]
+}
+
+// inRowBuf returns a length-n split buffer (contents unspecified).
+func (sc *scratch) inRowBuf(n int) []bool {
+	if sc == nil {
+		return make([]bool, n)
+	}
+	if cap(sc.inRow) < n {
+		sc.inRow = make([]bool, n)
+	}
+	sc.inRow = sc.inRow[:n]
+	return sc.inRow
+}
+
+// scratchStore is the explicit free-list of per-worker scratches for one
+// Partition run. Branches of the bisection tree check a scratch out when
+// they fork and return it when they join, so the number of live
+// scratches is bounded by the pool's concurrency — one per worker —
+// without the nondeterministic lifetime of sync.Pool.
+type scratchStore struct {
+	ch chan *scratch
+}
+
+func newScratchStore(workers int) *scratchStore {
+	if workers < 1 {
+		workers = 1
+	}
+	return &scratchStore{ch: make(chan *scratch, workers)}
+}
+
+// get returns a free scratch, allocating one when none is checked in.
+func (st *scratchStore) get() *scratch {
+	select {
+	case sc := <-st.ch:
+		return sc
+	default:
+		return &scratch{}
+	}
+}
+
+// put checks a scratch back in; overflow beyond the worker count is
+// dropped for the GC.
+func (st *scratchStore) put(sc *scratch) {
+	select {
+	case st.ch <- sc:
+	default:
+	}
+}

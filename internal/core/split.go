@@ -75,6 +75,16 @@ func Split(a *sparse.Matrix, strategy SplitStrategy, rng *rand.Rand) []bool {
 // splitNNZ is Algorithm 1 plus (optionally) the one-off post-pass
 // described at the end of §III-B.
 func splitNNZ(a *sparse.Matrix, rng *rand.Rand, postPass bool) []bool {
+	return splitNNZShape(a, rng, a.Rows, a.Cols, postPass)
+}
+
+// splitNNZShape is splitNNZ with the global tie orientation decided from
+// the given logical shape instead of a's own dimensions. Recursive
+// bisection passes the root matrix's shape: a compacted subproblem drops
+// empty rows and columns, but its split must make the exact tie choices
+// (and consume the rng identically) that the legacy full-dimension
+// extraction made, or compact and legacy partitionings would diverge.
+func splitNNZShape(a *sparse.Matrix, rng *rand.Rand, shapeRows, shapeCols int, postPass bool) []bool {
 	nzr := a.RowCounts()
 	nzc := a.ColCounts()
 
@@ -82,9 +92,9 @@ func splitNNZ(a *sparse.Matrix, rng *rand.Rand, postPass bool) []bool {
 	// than columns prefer Ar, with fewer prefer Ac, random for square.
 	var tieRow bool
 	switch {
-	case a.Rows > a.Cols:
+	case shapeRows > shapeCols:
 		tieRow = true
-	case a.Rows < a.Cols:
+	case shapeRows < shapeCols:
 		tieRow = false
 	default:
 		tieRow = rng.Intn(2) == 0

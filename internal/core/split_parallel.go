@@ -26,14 +26,20 @@ func SplitParallel(a *sparse.Matrix, rng *rand.Rand, workers int) []bool {
 // SplitParallelPool is SplitParallel running on a shared worker pool
 // (nil = inline); Partition threads its recursion pool through here.
 func SplitParallelPool(a *sparse.Matrix, rng *rand.Rand, pl *pool.Pool) []bool {
+	return splitParallelShape(a, rng, a.Rows, a.Cols, pl)
+}
+
+// splitParallelShape is SplitParallelPool with the tie orientation
+// decided from the given logical shape; see splitNNZShape.
+func splitParallelShape(a *sparse.Matrix, rng *rand.Rand, shapeRows, shapeCols int, pl *pool.Pool) []bool {
 	nzr := a.RowCounts()
 	nzc := a.ColCounts()
 
 	var tieRow bool
 	switch {
-	case a.Rows > a.Cols:
+	case shapeRows > shapeCols:
 		tieRow = true
-	case a.Rows < a.Cols:
+	case shapeRows < shapeCols:
 		tieRow = false
 	default:
 		tieRow = rng.Intn(2) == 0

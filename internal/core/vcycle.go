@@ -5,6 +5,7 @@ import (
 
 	"mediumgrain/internal/hgpart"
 	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/pool"
 	"mediumgrain/internal/sparse"
 )
 
@@ -21,6 +22,10 @@ func VCycleRefine(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand) [
 	if opts.TargetFrac == 0 {
 		opts.TargetFrac = 0.5
 	}
+	// With opts.Workers != 0 the restricted matching runs as
+	// deterministic proposal rounds on a shared pool (identical results
+	// for every worker count); Workers == 0 keeps the sequential matcher.
+	pl := opts.newPool()
 	cur := append([]int(nil), parts...)
 	dir := 0
 	vPrev2 := int64(-1)
@@ -28,7 +33,7 @@ func VCycleRefine(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand) [
 
 	const maxIter = 100
 	for k := 1; k <= maxIter; k++ {
-		next, ok := vcycleOnce(a, cur, dir, opts, rng)
+		next, ok := vcycleOnce(a, cur, dir, opts, rng, pl)
 		var vk int64
 		if ok {
 			vk = metrics.Volume(a, next, 2)
@@ -50,7 +55,7 @@ func VCycleRefine(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand) [
 	return cur
 }
 
-func vcycleOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.Rand) ([]int, bool) {
+func vcycleOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.Rand, pl *pool.Pool) ([]int, bool) {
 	inRow := make([]bool, len(parts))
 	for k, p := range parts {
 		if dir == 0 {
@@ -67,6 +72,6 @@ func vcycleOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.
 	if err != nil {
 		return nil, false
 	}
-	hgpart.VCycleRefine(bm.H, vparts, caps(a.NNZ(), opts), rng, opts.Config)
+	hgpart.VCycleRefinePool(bm.H, vparts, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
 	return bm.NonzeroParts(vparts), true
 }

@@ -63,6 +63,14 @@ type RunOptions struct {
 	Seed int64
 	// Workers runs matrices concurrently (0 = GOMAXPROCS).
 	Workers int
+	// EngineWorkers is threaded into core.Options.Workers for every
+	// partitioning call: 0 keeps the sequential legacy engine (the
+	// historical per-seed results), any other value runs each matrix's
+	// partitioning on the worker-pool engine. Sweeps over one large
+	// matrix set Workers to 1 and EngineWorkers to the core count, so the
+	// pool parallelizes inside the single partitioning instead of across
+	// matrices.
+	EngineWorkers int
 }
 
 // DefaultRunOptions matches the paper's protocol at test-friendly scale.
@@ -129,7 +137,7 @@ func runOne(in corpus.Instance, specs []MethodSpec, opts RunOptions, seed int64)
 		var sumTime time.Duration
 		for r := 0; r < opts.Runs; r++ {
 			rng := rand.New(rand.NewSource(seed + int64(m)*131 + int64(r)*17))
-			o := core.Options{Eps: opts.Eps, Refine: spec.Refine, Config: opts.Config}
+			o := core.Options{Eps: opts.Eps, Refine: spec.Refine, Config: opts.Config, Workers: opts.EngineWorkers}
 			start := time.Now()
 			var parts []int
 			var vol int64

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"mediumgrain/internal/core"
 	"mediumgrain/internal/corpus"
 	"mediumgrain/internal/gen"
 	"mediumgrain/internal/hgpart"
@@ -230,5 +231,38 @@ func TestRunSymVec(t *testing.T) {
 	}
 	if !strings.Contains(SymVecReport(results), "mean overhead") {
 		t.Fatal("report broken")
+	}
+}
+
+// TestRunEngineWorkersDeterministic: threading core.Options.Workers
+// through RunOptions switches each partitioning call onto the pool
+// engine, whose results are bit-identical for every worker count; the
+// averaged sweep results must therefore agree between EngineWorkers 1
+// and 4 (single-matrix concurrency) exactly.
+func TestRunEngineWorkersDeterministic(t *testing.T) {
+	specs := []MethodSpec{{"MG", core.MethodMediumGrain, false}}
+	opts := DefaultRunOptions()
+	opts.Runs = 2
+	opts.Workers = 1
+	opts.EngineWorkers = 1
+	ref, err := Run(tinyInstances(), specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.EngineWorkers = 4
+	got, err := Run(tinyInstances(), specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("result count mismatch: %d vs %d", len(got), len(ref))
+	}
+	for i := range got {
+		for m := range got[i].AvgVolume {
+			if got[i].AvgVolume[m] != ref[i].AvgVolume[m] {
+				t.Errorf("%s: EngineWorkers=4 volume %g != EngineWorkers=1 volume %g",
+					got[i].Name, got[i].AvgVolume[m], ref[i].AvgVolume[m])
+			}
+		}
 	}
 }

@@ -43,7 +43,7 @@ func BenchmarkFMPass(b *testing.B) {
 		b.StopTimer()
 		s := newBipState(h, append([]int(nil), parts...), maxW)
 		b.StartTimer()
-		fmPass(s, rng, Config{}, nil)
+		fmPass(s, rng, Config{}, nil, nil)
 	}
 }
 
@@ -54,8 +54,8 @@ func BenchmarkCoarsenOneLevel(b *testing.B) {
 	maxClusterWt := balancedCaps(h.TotalWeight(), 0.03)[0] / 3
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		vmap, numCoarse := match(h, rng, cfg, maxClusterWt, nil)
-		contract(h, vmap, numCoarse)
+		vmap, numCoarse := match(h, rng, cfg, maxClusterWt, nil, nil)
+		contract(h, vmap, numCoarse, nil)
 	}
 }
 

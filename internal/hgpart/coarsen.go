@@ -23,13 +23,12 @@ type level struct {
 
 // match pairs up vertices and returns the fine→coarse vertex map and the
 // number of coarse vertices. maxClusterWt bounds merged weights so no
-// coarse vertex becomes unplaceable under the balance constraint.
-func match(h *hypergraph.Hypergraph, rng *rand.Rand, cfg Config, maxClusterWt int64, pl *pool.Pool) ([]int32, int) {
+// coarse vertex becomes unplaceable under the balance constraint. The
+// mate and connectivity arrays come from sc; the returned vmap is always
+// freshly allocated because the caller keeps it per level.
+func match(h *hypergraph.Hypergraph, rng *rand.Rand, cfg Config, maxClusterWt int64, pl *pool.Pool, sc *Scratch) ([]int32, int) {
 	nv := h.NumVerts
-	mate := make([]int32, nv)
-	for i := range mate {
-		mate[i] = -1
-	}
+	mate, conn := sc.matchBuffers(nv)
 	order := rng.Perm(nv)
 
 	netLimit := cfg.MatchingNetLimit
@@ -41,9 +40,9 @@ func match(h *hypergraph.Hypergraph, rng *rand.Rand, cfg Config, maxClusterWt in
 	case cfg.RandomMatching:
 		matchRandom(h, order, mate, netLimit, maxClusterWt)
 	case cfg.Workers != 0:
-		matchProposal(h, order, mate, netLimit, maxClusterWt, pl)
+		matchProposal(h, order, mate, nil, netLimit, maxClusterWt, pl)
 	default:
-		matchHeavyConnectivity(h, order, mate, netLimit, maxClusterWt)
+		matchHeavyConnectivity(h, order, mate, conn, netLimit, maxClusterWt)
 	}
 
 	// Assign coarse ids; unmatched vertices map alone.
@@ -70,8 +69,9 @@ func match(h *hypergraph.Hypergraph, rng *rand.Rand, cfg Config, maxClusterWt in
 // neighbor it shares the most nets with (ties go to the first-seen
 // candidate in the randomized sweep). Nets larger than netLimit are
 // skipped: they connect nearly everything and only slow matching down.
-func matchHeavyConnectivity(h *hypergraph.Hypergraph, order []int, mate []int32, netLimit int, maxClusterWt int64) {
-	conn := make([]int32, h.NumVerts) // scratch connectivity counters
+// conn is a zeroed scratch array of length NumVerts; every touched entry
+// is reset before returning.
+func matchHeavyConnectivity(h *hypergraph.Hypergraph, order []int, mate, conn []int32, netLimit int, maxClusterWt int64) {
 	cand := make([]int32, 0, 64)
 	for _, vi := range order {
 		v := int32(vi)
@@ -142,18 +142,17 @@ func matchRandom(h *hypergraph.Hypergraph, order []int, mate []int32, netLimit i
 // contract builds the coarse hypergraph induced by vmap: vertex weights
 // are summed, net pins are mapped and deduplicated, and nets that shrink
 // to a single pin are dropped (they can never be cut at this or any
-// coarser level).
-func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int) *hypergraph.Hypergraph {
+// coarser level). The coarse hypergraph's own arrays are freshly
+// allocated (it outlives the scratch turnover: the V-cycle revisits every
+// level on the way back up); only the dedup stamp and the per-net pin
+// accumulator come from sc.
+func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int, sc *Scratch) *hypergraph.Hypergraph {
 	wt := make([]int64, numCoarse)
 	for v := 0; v < h.NumVerts; v++ {
 		wt[vmap[v]] += h.VertWt[v]
 	}
 	b := hypergraph.NewBuilder(numCoarse, wt)
-	stamp := make([]int, numCoarse)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	pins := make([]int32, 0, 64)
+	stamp, pins := sc.contractBuffers(numCoarse)
 	for n := 0; n < h.NumNets; n++ {
 		pins = pins[:0]
 		for _, v := range h.NetPins(n) {
@@ -167,12 +166,13 @@ func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int) *hypergraph
 			b.AddNet(pins)
 		}
 	}
+	sc.keepPins(pins)
 	return b.Build()
 }
 
 // coarsen produces the multilevel hierarchy, stopping when the hypergraph
 // is small enough or matching stalls.
-func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config, pl *pool.Pool) []level {
+func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) []level {
 	coarsenTo := cfg.CoarsenTo
 	if coarsenTo <= 0 {
 		coarsenTo = defaultCoarsenTo
@@ -191,11 +191,11 @@ func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config, 
 	var levels []level
 	cur := h
 	for cur.NumVerts > coarsenTo {
-		vmap, numCoarse := match(cur, rng, cfg, maxClusterWt, pl)
+		vmap, numCoarse := match(cur, rng, cfg, maxClusterWt, pl, sc)
 		if float64(numCoarse) > stall*float64(cur.NumVerts) {
 			break // matching stalled; further levels would not shrink
 		}
-		coarse := contract(cur, vmap, numCoarse)
+		coarse := contract(cur, vmap, numCoarse, sc)
 		levels = append(levels, level{coarse: coarse, map_: vmap})
 		cur = coarse
 	}

@@ -24,9 +24,15 @@ type bipState struct {
 }
 
 func newBipState(h *hypergraph.Hypergraph, parts []int, maxW [2]int64) *bipState {
+	return newBipStateScratch(h, parts, maxW, nil)
+}
+
+// newBipStateScratch is newBipState drawing the per-net pin-count arrays
+// from sc (nil allocates fresh). The state is only valid until the next
+// scratch-backed state is created from the same Scratch.
+func newBipStateScratch(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, sc *Scratch) *bipState {
 	s := &bipState{h: h, parts: parts, maxW: maxW}
-	s.pinCt[0] = make([]int32, h.NumNets)
-	s.pinCt[1] = make([]int32, h.NumNets)
+	s.pinCt[0], s.pinCt[1] = sc.pinCounts(h.NumNets)
 	for v := 0; v < h.NumVerts; v++ {
 		s.partWt[parts[v]] += h.VertWt[v]
 	}
@@ -139,7 +145,7 @@ func (s *bipState) move(v int32, buckets *gainBuckets, locked []bool) {
 // once; the pass ends at exhaustion or after cfg.EarlyExit consecutive
 // moves without a new best state, and rolls back to the best visited
 // state. Returns true if the pass improved the cut or the balance.
-func fmPass(s *bipState, rng *rand.Rand, cfg Config, pl *pool.Pool) bool {
+func fmPass(s *bipState, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) bool {
 	h := s.h
 	nv := h.NumVerts
 	if nv == 0 {
@@ -155,15 +161,15 @@ func fmPass(s *bipState, rng *rand.Rand, cfg Config, pl *pool.Pool) bool {
 			slack = w
 		}
 	}
-	buckets := newGainBuckets(nv, maxDeg)
-	locked := make([]bool, nv)
+	buckets, locked, moves := sc.fmBuffers(nv, maxDeg)
+	defer func() { sc.keepMoves(moves) }()
 	order := rng.Perm(nv)
 	if pl.Workers() > 1 && nv >= parallelGainThreshold {
 		// Parallel gain initialization: gainOf only reads the pin counts,
 		// so all gains can be computed concurrently; bucket insertion
 		// keeps the sequential order, making the buckets bit-identical to
 		// the inline loop below.
-		gains := make([]int32, nv)
+		gains := sc.gainBuf(nv)
 		pl.ForEach(nv, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				gains[v] = s.gainOf(int32(v))
@@ -181,7 +187,6 @@ func fmPass(s *bipState, rng *rand.Rand, cfg Config, pl *pool.Pool) bool {
 	startCut, startOver := s.cut, s.overload()
 	bestCut, bestOver := startCut, startOver
 	bestPrefix := 0
-	moves := make([]int32, 0, nv)
 	sinceBest := 0
 
 	for buckets.count[0]+buckets.count[1] > 0 {
@@ -273,15 +278,16 @@ func selectMove(s *bipState, buckets *gainBuckets, slack int64) int32 {
 
 // refine runs FM passes until a pass yields no improvement or MaxPasses
 // is reached. It mutates parts in place and returns the final cut. pl
-// accelerates gain initialization of large passes; nil runs inline.
-func refine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) int64 {
-	s := newBipState(h, parts, maxW)
+// accelerates gain initialization of large passes; nil runs inline. sc
+// supplies the reusable pin-count and bucket arrays (nil allocates).
+func refine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) int64 {
+	s := newBipStateScratch(h, parts, maxW, sc)
 	passes := cfg.MaxPasses
 	if passes <= 0 {
 		passes = defaultMaxPasses
 	}
 	for i := 0; i < passes; i++ {
-		if !fmPass(s, rng, cfg, pl) {
+		if !fmPass(s, rng, cfg, pl, sc) {
 			break
 		}
 	}
@@ -294,13 +300,20 @@ func refine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand
 // (Algorithm 2, line 16). parts is modified in place; the cut-net value
 // after refinement is returned. The cut never increases.
 func RefineBipartition(h *hypergraph.Hypergraph, parts []int, eps float64, rng *rand.Rand, cfg Config) int64 {
-	return refine(h, parts, balancedCaps(h.TotalWeight(), eps), rng, cfg, nil)
+	return refine(h, parts, balancedCaps(h.TotalWeight(), eps), rng, cfg, nil, nil)
 }
 
 // RefineBipartitionCaps is RefineBipartition with explicit per-part
 // weight caps (for uneven targets during recursive bisection).
 func RefineBipartitionCaps(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {
-	return refine(h, parts, maxW, rng, cfg, nil)
+	return RefineBipartitionCapsScratch(h, parts, maxW, rng, cfg, nil)
+}
+
+// RefineBipartitionCapsScratch is RefineBipartitionCaps reusing a
+// caller-held Scratch for the FM working arrays; the paper's iterative
+// refinement calls it once per encode/refine/decode round.
+func RefineBipartitionCapsScratch(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, sc *Scratch) int64 {
+	return refine(h, parts, maxW, rng, cfg, nil, sc)
 }
 
 // balancedCaps returns the per-part weight caps (1+eps)·W/2, rounded so a

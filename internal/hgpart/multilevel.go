@@ -100,12 +100,23 @@ func BipartitionCaps(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cf
 // or any pool size, because all randomized choices are drawn from rng in
 // a fixed order before work is fanned out.
 func BipartitionCapsPool(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) ([]int, int64) {
+	return BipartitionCapsPoolScratch(h, maxW, rng, cfg, pl, nil)
+}
+
+// BipartitionCapsPoolScratch is BipartitionCapsPool drawing its working
+// arrays — matching and contraction buffers, FM pin counts and gain
+// buckets — from a caller-held Scratch, so a driver running many
+// bipartitions back to back (recursive bisection) reuses one set of
+// buffers per worker instead of reallocating per multilevel run. The
+// scratch never influences results: for any sc (including nil) the
+// output is bit-identical.
+func BipartitionCapsPoolScratch(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) ([]int, int64) {
 	parts := make([]int, h.NumVerts)
 	if h.NumVerts == 0 {
 		return parts, 0
 	}
 
-	levels := coarsen(h, capsToEps(h, maxW), rng, cfg, pl)
+	levels := coarsen(h, capsToEps(h, maxW), rng, cfg, pl, sc)
 	coarsest := h
 	if len(levels) > 0 {
 		coarsest = levels[len(levels)-1].coarse
@@ -113,8 +124,8 @@ func BipartitionCapsPool(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand
 
 	// Weight caps carry over unchanged: contraction preserves total
 	// weight.
-	cparts := initialPartition(coarsest, maxW, rng, cfg, pl)
-	refine(coarsest, cparts, maxW, rng, cfg, pl)
+	cparts := initialPartition(coarsest, maxW, rng, cfg, pl, sc)
+	refine(coarsest, cparts, maxW, rng, cfg, pl, sc)
 
 	// Project back up, refining at every level (the V-cycle downstroke).
 	for li := len(levels) - 1; li >= 0; li-- {
@@ -131,7 +142,7 @@ func BipartitionCapsPool(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand
 				fparts[v] = cparts[vmap[v]]
 			}
 		})
-		refine(fine, fparts, maxW, rng, cfg, pl)
+		refine(fine, fparts, maxW, rng, cfg, pl, sc)
 		cparts = fparts
 	}
 	copy(parts, cparts)
@@ -166,7 +177,7 @@ func minInt64(a, b int64) int64 {
 // subproblems on the pool, each with its own RNG stream seeded from rng
 // in try order; the winner (lowest try index among ties) is therefore
 // the same for every pool size.
-func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) []int {
+func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) []int {
 	tries := cfg.InitTries
 	if tries <= 0 {
 		tries = defaultInitTries
@@ -191,8 +202,10 @@ func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, c
 					parts = randomAssign(h, maxW, rt)
 				}
 				// The pool is already saturated with whole tries; the
-				// inner refinement runs inline.
-				cut := refine(h, parts, maxW, rt, cfg, nil)
+				// inner refinement runs inline, and the tries execute
+				// concurrently, so none of them may touch the caller's
+				// scratch.
+				cut := refine(h, parts, maxW, rt, cfg, nil, nil)
 				s := newBipState(h, parts, maxW)
 				results[t] = try{parts, cut, s.overload()}
 			}
@@ -214,8 +227,8 @@ func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, c
 		} else {
 			parts = randomAssign(h, maxW, rng)
 		}
-		cut := refine(h, parts, maxW, rng, cfg, nil)
-		s := newBipState(h, parts, maxW)
+		cut := refine(h, parts, maxW, rng, cfg, nil, sc)
+		s := newBipStateScratch(h, parts, maxW, sc)
 		over := s.overload()
 		if bestParts == nil || better(cut, over, bestCut, bestOver) {
 			bestParts = parts

@@ -146,7 +146,7 @@ func TestMatchProducesValidPairs(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		h := randomHypergraph(rng, 30, 20)
-		vmap, numCoarse := match(h, rng, ConfigMondriaanLike(), h.TotalWeight(), nil)
+		vmap, numCoarse := match(h, rng, ConfigMondriaanLike(), h.TotalWeight(), nil, nil)
 		if numCoarse > h.NumVerts || numCoarse < (h.NumVerts+1)/2 {
 			return false
 		}
@@ -174,7 +174,7 @@ func TestMatchRandomProducesValidPairs(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	h := randomHypergraph(rng, 40, 25)
 	cfg := ConfigAlt()
-	vmap, numCoarse := match(h, rng, cfg, h.TotalWeight(), nil)
+	vmap, numCoarse := match(h, rng, cfg, h.TotalWeight(), nil, nil)
 	counts := make([]int, numCoarse)
 	for _, cv := range vmap {
 		counts[cv]++
@@ -190,8 +190,8 @@ func TestContractPreservesWeightAndCut(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		h := randomHypergraph(rng, 20, 15)
-		vmap, numCoarse := match(h, rng, ConfigMondriaanLike(), h.TotalWeight(), nil)
-		coarse := contract(h, vmap, numCoarse)
+		vmap, numCoarse := match(h, rng, ConfigMondriaanLike(), h.TotalWeight(), nil, nil)
+		coarse := contract(h, vmap, numCoarse, nil)
 		if coarse.Validate() != nil {
 			return false
 		}
@@ -221,7 +221,7 @@ func TestMatchRespectsClusterWeightCap(t *testing.T) {
 	b.AddNetInts([]int{0, 1})
 	h := b.Build()
 	rng := rand.New(rand.NewSource(2))
-	vmap, numCoarse := match(h, rng, ConfigMondriaanLike(), 15, nil)
+	vmap, numCoarse := match(h, rng, ConfigMondriaanLike(), 15, nil, nil)
 	if numCoarse != 2 || vmap[0] == vmap[1] {
 		t.Fatal("cluster weight cap violated")
 	}
@@ -230,7 +230,7 @@ func TestMatchRespectsClusterWeightCap(t *testing.T) {
 func TestCoarsenStops(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	h := gridHypergraph(1000)
-	levels := coarsen(h, 0.03, rng, ConfigMondriaanLike(), nil)
+	levels := coarsen(h, 0.03, rng, ConfigMondriaanLike(), nil, nil)
 	if len(levels) == 0 {
 		t.Fatal("no coarsening on a 1000-vertex instance")
 	}

@@ -25,7 +25,11 @@ const proposalRounds = 3
 // proposal target if that target is still free. Both phases are
 // deterministic, so the outcome is identical for every worker count
 // (including inline execution on a nil pool).
-func matchProposal(h *hypergraph.Hypergraph, order []int, mate []int32, netLimit int, maxClusterWt int64, pl *pool.Pool) {
+//
+// A non-nil sideOf restricts matching to vertices with equal sideOf
+// values — the restricted matching of V-cycle refinement, which must
+// never merge across the current bipartition.
+func matchProposal(h *hypergraph.Hypergraph, order []int, mate []int32, sideOf []int, netLimit int, maxClusterWt int64, pl *pool.Pool) {
 	nv := h.NumVerts
 	// rank[v] is v's position in the randomized order; it is the
 	// deterministic tie-breaker replacing the sweep's first-seen rule.
@@ -60,6 +64,9 @@ func matchProposal(h *hypergraph.Hypergraph, order []int, mate []int32, netLimit
 					}
 					for _, u := range h.NetPins(int(n)) {
 						if u == v || mate[u] >= 0 {
+							continue
+						}
+						if sideOf != nil && sideOf[u] != sideOf[v] {
 							continue
 						}
 						if conn[u] == 0 {

@@ -51,7 +51,7 @@ func TestMatchProposalDeterministicAcrossPools(t *testing.T) {
 			mate[i] = -1
 		}
 		order := rand.New(rand.NewSource(7)).Perm(h.NumVerts)
-		matchProposal(h, order, mate, defaultMatchingNetLimit, h.TotalWeight(), pl)
+		matchProposal(h, order, mate, nil, defaultMatchingNetLimit, h.TotalWeight(), pl)
 		return mate
 	}
 	ref := runMatch(nil)
@@ -78,7 +78,7 @@ func TestMatchProposalMatchesMostVertices(t *testing.T) {
 		mate[i] = -1
 	}
 	order := rand.New(rand.NewSource(3)).Perm(h.NumVerts)
-	matchProposal(h, order, mate, defaultMatchingNetLimit, h.TotalWeight(), nil)
+	matchProposal(h, order, mate, nil, defaultMatchingNetLimit, h.TotalWeight(), nil)
 	matched := 0
 	for _, m := range mate {
 		if m >= 0 {
@@ -121,7 +121,7 @@ func TestConfigWorkersZeroKeepsLegacyMatching(t *testing.T) {
 	h := parmatchHypergraph(21, 500, 250, 5)
 	cfg := ConfigMondriaanLike()
 	run := func() ([]int32, int) {
-		return match(h, rand.New(rand.NewSource(5)), cfg, h.TotalWeight(), nil)
+		return match(h, rand.New(rand.NewSource(5)), cfg, h.TotalWeight(), nil, nil)
 	}
 	vmapA, nA := run()
 	vmapB, nB := run()

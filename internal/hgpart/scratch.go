@@ -1,0 +1,135 @@
+package hgpart
+
+import "mediumgrain/internal/sparse"
+
+// Scratch holds the reusable working arrays of one multilevel
+// bipartition run: coarsening's matching and contraction buffers and
+// FM's pin-count/bucket/bookkeeping arrays. The multilevel V-cycle
+// builds a fresh hypergraph per level but its working sets have the same
+// shape every level, so one Scratch per worker replaces the
+// allocate-per-level pattern with overwrites.
+//
+// A Scratch is owned by exactly one goroutine at a time (the recursive
+// bisection driver hands one to each pool worker); the concurrent inner
+// phases — parallel initial-partition tries, proposal-round matching —
+// deliberately do not touch it. A nil *Scratch is valid everywhere and
+// means "allocate fresh", preserving the one-shot entry points.
+type Scratch struct {
+	// Matching.
+	mate []int32
+	conn []int32
+	// Contraction.
+	stamp []int
+	pins  []int32
+	// FM refinement.
+	pinCt0, pinCt1 []int32
+	locked         []bool
+	gains          []int32
+	moves          []int32
+	buckets        gainBuckets
+}
+
+// matchBuffers returns the mate array (filled with -1) and the zeroed
+// connectivity counter for a matching sweep over nv vertices.
+func (sc *Scratch) matchBuffers(nv int) (mate, conn []int32) {
+	if sc == nil {
+		mate = make([]int32, nv)
+		for i := range mate {
+			mate[i] = -1
+		}
+		return mate, make([]int32, nv)
+	}
+	sc.mate = sparse.Resize(sc.mate, nv)
+	for i := range sc.mate {
+		sc.mate[i] = -1
+	}
+	sc.conn = sparse.Resize(sc.conn, nv)
+	clear(sc.conn)
+	return sc.mate, sc.conn
+}
+
+// contractBuffers returns the stamp array (filled with -1) and an empty
+// pin accumulator for contracting onto numCoarse vertices.
+func (sc *Scratch) contractBuffers(numCoarse int) (stamp []int, pins []int32) {
+	if sc == nil {
+		stamp = make([]int, numCoarse)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		return stamp, make([]int32, 0, 64)
+	}
+	sc.stamp = sparse.Resize(sc.stamp, numCoarse)
+	for i := range sc.stamp {
+		sc.stamp[i] = -1
+	}
+	return sc.stamp, sc.pins[:0]
+}
+
+// keepPins records the (possibly grown) pin accumulator back into the
+// scratch so its capacity carries over to the next contraction.
+func (sc *Scratch) keepPins(pins []int32) {
+	if sc != nil {
+		sc.pins = pins[:0]
+	}
+}
+
+// pinCounts returns the two zeroed per-net pin-count arrays of bipState.
+func (sc *Scratch) pinCounts(numNets int) (ct0, ct1 []int32) {
+	if sc == nil {
+		return make([]int32, numNets), make([]int32, numNets)
+	}
+	sc.pinCt0 = sparse.Resize(sc.pinCt0, numNets)
+	clear(sc.pinCt0)
+	sc.pinCt1 = sparse.Resize(sc.pinCt1, numNets)
+	clear(sc.pinCt1)
+	return sc.pinCt0, sc.pinCt1
+}
+
+// fmBuffers returns the per-pass FM arrays: the gain buckets sized for
+// (numVerts, maxDeg), the cleared locked flags, and an empty move log.
+func (sc *Scratch) fmBuffers(numVerts, maxDeg int) (g *gainBuckets, locked []bool, moves []int32) {
+	if sc == nil {
+		return newGainBuckets(numVerts, maxDeg), make([]bool, numVerts), make([]int32, 0, numVerts)
+	}
+	sc.buckets.reinit(numVerts, maxDeg)
+	sc.locked = sparse.Resize(sc.locked, numVerts)
+	clear(sc.locked)
+	return &sc.buckets, sc.locked, sc.moves[:0]
+}
+
+// keepMoves records the grown move log back into the scratch.
+func (sc *Scratch) keepMoves(moves []int32) {
+	if sc != nil {
+		sc.moves = moves[:0]
+	}
+}
+
+// gainBuf returns the parallel-gain-initialization array.
+func (sc *Scratch) gainBuf(numVerts int) []int32 {
+	if sc == nil {
+		return make([]int32, numVerts)
+	}
+	sc.gains = sparse.Resize(sc.gains, numVerts)
+	return sc.gains
+}
+
+// reinit resizes the bucket structure for a hypergraph of numVerts
+// vertices and maximum degree maxDeg, reusing the backing arrays, and
+// leaves it empty (the state reset() produces).
+func (g *gainBuckets) reinit(numVerts, maxDeg int) {
+	g.maxDeg = maxDeg
+	for s := 0; s < 2; s++ {
+		g.heads[s] = sparse.Resize(g.heads[s], 2*maxDeg+1)
+		for i := range g.heads[s] {
+			g.heads[s][i] = -1
+		}
+		g.maxGain[s] = -1
+		g.count[s] = 0
+	}
+	g.next = sparse.Resize(g.next, numVerts)
+	g.prev = sparse.Resize(g.prev, numVerts)
+	g.gain = sparse.Resize(g.gain, numVerts)
+	g.side = sparse.Resize(g.side, numVerts)
+	g.in = sparse.Resize(g.in, numVerts)
+	clear(g.in)
+}

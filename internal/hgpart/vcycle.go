@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"mediumgrain/internal/hypergraph"
+	"mediumgrain/internal/pool"
 )
 
 // VCycleRefine improves an existing bipartition with the multilevel
@@ -17,6 +18,16 @@ import (
 //
 // parts is modified in place; the final cut is returned.
 func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {
+	return VCycleRefinePool(h, parts, maxW, rng, cfg, nil)
+}
+
+// VCycleRefinePool is VCycleRefine executing on a shared worker pool.
+// With cfg.Workers != 0 the restricted matching runs as deterministic
+// proposal rounds (the same matchProposal engine as unrestricted
+// coarsening, side-restricted), so the result is identical for every
+// pool size; cfg.Workers == 0 keeps the sequential greedy sweep and its
+// historical results.
+func VCycleRefinePool(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) int64 {
 	type restrictedLevel struct {
 		coarse *hypergraph.Hypergraph
 		map_   []int32
@@ -42,11 +53,11 @@ func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *ran
 	var levels []restrictedLevel
 	cur, curParts := h, parts
 	for cur.NumVerts > coarsenTo {
-		vmap, numCoarse := matchRestricted(cur, curParts, rng, cfg, maxClusterWt)
+		vmap, numCoarse := matchRestricted(cur, curParts, rng, cfg, maxClusterWt, pl)
 		if float64(numCoarse) > stall*float64(cur.NumVerts) {
 			break
 		}
-		coarse := contract(cur, vmap, numCoarse)
+		coarse := contract(cur, vmap, numCoarse, nil)
 		cparts := make([]int, numCoarse)
 		for v := 0; v < cur.NumVerts; v++ {
 			cparts[vmap[v]] = curParts[v]
@@ -57,7 +68,7 @@ func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *ran
 
 	// Refine at the coarsest level, then project down refining each
 	// level; the finest refinement writes through to the caller's parts.
-	refine(cur, curParts, maxW, rng, cfg, nil)
+	refine(cur, curParts, maxW, rng, cfg, pl, nil)
 	for li := len(levels) - 1; li >= 0; li-- {
 		var fine *hypergraph.Hypergraph
 		var fparts []int
@@ -70,14 +81,17 @@ func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *ran
 		for v := 0; v < fine.NumVerts; v++ {
 			fparts[v] = levels[li].parts[vmap[v]]
 		}
-		refine(fine, fparts, maxW, rng, cfg, nil)
+		refine(fine, fparts, maxW, rng, cfg, pl, nil)
 	}
 	return h.ConnectivityMinusOne(parts, 2)
 }
 
 // matchRestricted is heavy-connectivity matching that only pairs vertices
-// currently on the same side, so the partition projects exactly.
-func matchRestricted(h *hypergraph.Hypergraph, parts []int, rng *rand.Rand, cfg Config, maxClusterWt int64) ([]int32, int) {
+// currently on the same side, so the partition projects exactly. With
+// cfg.Workers != 0 it delegates to the side-restricted proposal-round
+// matcher (fanning the proposal scans over pl); otherwise it keeps the
+// sequential greedy sweep.
+func matchRestricted(h *hypergraph.Hypergraph, parts []int, rng *rand.Rand, cfg Config, maxClusterWt int64, pl *pool.Pool) ([]int32, int) {
 	nv := h.NumVerts
 	mate := make([]int32, nv)
 	for i := range mate {
@@ -89,7 +103,34 @@ func matchRestricted(h *hypergraph.Hypergraph, parts []int, rng *rand.Rand, cfg 
 		netLimit = defaultMatchingNetLimit
 	}
 
-	conn := make([]int32, nv)
+	if cfg.Workers != 0 {
+		matchProposal(h, order, mate, parts, netLimit, maxClusterWt, pl)
+	} else {
+		matchRestrictedSweep(h, parts, order, mate, netLimit, maxClusterWt)
+	}
+
+	vmap := make([]int32, nv)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+	next := int32(0)
+	for _, vi := range order {
+		v := int32(vi)
+		if vmap[v] >= 0 {
+			continue
+		}
+		vmap[v] = next
+		if m := mate[v]; m >= 0 && vmap[m] < 0 {
+			vmap[m] = next
+		}
+		next++
+	}
+	return vmap, int(next)
+}
+
+// matchRestrictedSweep is the sequential greedy restricted matching.
+func matchRestrictedSweep(h *hypergraph.Hypergraph, parts []int, order []int, mate []int32, netLimit int, maxClusterWt int64) {
+	conn := make([]int32, h.NumVerts)
 	cand := make([]int32, 0, 64)
 	for _, vi := range order {
 		v := int32(vi)
@@ -124,22 +165,4 @@ func matchRestricted(h *hypergraph.Hypergraph, parts []int, rng *rand.Rand, cfg 
 			mate[best] = v
 		}
 	}
-
-	vmap := make([]int32, nv)
-	for i := range vmap {
-		vmap[i] = -1
-	}
-	next := int32(0)
-	for _, vi := range order {
-		v := int32(vi)
-		if vmap[v] >= 0 {
-			continue
-		}
-		vmap[v] = next
-		if m := mate[v]; m >= 0 && vmap[m] < 0 {
-			vmap[m] = next
-		}
-		next++
-	}
-	return vmap, int(next)
 }

@@ -2,8 +2,11 @@ package hgpart
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
+
+	"mediumgrain/internal/pool"
 )
 
 func TestVCycleMonotoneAndConsistent(t *testing.T) {
@@ -32,7 +35,7 @@ func TestVCycleRestrictedMatchingPreservesSides(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	h := randomHypergraph(rng, 50, 30)
 	parts := randomBipartitionOf(rng, h)
-	vmap, numCoarse := matchRestricted(h, parts, rng, ConfigMondriaanLike(), h.TotalWeight())
+	vmap, numCoarse := matchRestricted(h, parts, rng, ConfigMondriaanLike(), h.TotalWeight(), nil)
 	// a coarse vertex's constituents must share a side
 	sideOf := make([]int, numCoarse)
 	for i := range sideOf {
@@ -75,5 +78,61 @@ func TestVCycleSmallHypergraph(t *testing.T) {
 	after := VCycleRefine(h, parts, balancedCaps(h.TotalWeight(), 1.0), rng, ConfigMondriaanLike())
 	if after > before {
 		t.Fatalf("cut rose %d -> %d", before, after)
+	}
+}
+
+// TestVCycleRefinePoolDeterministicAcrossPools: with cfg.Workers != 0
+// the restricted matching runs as proposal rounds; like every parallel
+// algorithm here, the result must be identical for every pool size
+// (including nil = inline), and still monotone in the cut.
+func TestVCycleRefinePoolDeterministicAcrossPools(t *testing.T) {
+	cfg := ConfigMondriaanLike()
+	cfg.Workers = 2
+	h := gridHypergraph(400)
+	base := make([]int, h.NumVerts)
+	for v := range base {
+		base[v] = v % 2
+	}
+	maxW := balancedCaps(h.TotalWeight(), 0.03)
+	before := h.ConnectivityMinusOne(base, 2)
+
+	run := func(pl *pool.Pool) ([]int, int64) {
+		parts := append([]int(nil), base...)
+		cut := VCycleRefinePool(h, parts, maxW, rand.New(rand.NewSource(9)), cfg, pl)
+		return parts, cut
+	}
+	refParts, refCut := run(nil)
+	if refCut > before {
+		t.Fatalf("v-cycle increased cut %d -> %d", before, refCut)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		parts, cut := run(pool.New(workers))
+		if cut != refCut || !reflect.DeepEqual(parts, refParts) {
+			t.Errorf("workers=%d: restricted-proposal v-cycle differs from inline run", workers)
+		}
+	}
+}
+
+// TestVCycleRestrictedProposalPreservesSides mirrors the sequential
+// restricted-matching invariant for the proposal-round matcher: no
+// coarse vertex may mix sides.
+func TestVCycleRestrictedProposalPreservesSides(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	h := randomHypergraph(rng, 80, 50)
+	parts := randomBipartitionOf(rng, h)
+	cfg := ConfigMondriaanLike()
+	cfg.Workers = 3
+	vmap, numCoarse := matchRestricted(h, parts, rng, cfg, h.TotalWeight(), pool.New(3))
+	sideOf := make([]int, numCoarse)
+	for i := range sideOf {
+		sideOf[i] = -1
+	}
+	for v := 0; v < h.NumVerts; v++ {
+		cv := vmap[v]
+		if sideOf[cv] == -1 {
+			sideOf[cv] = parts[v]
+		} else if sideOf[cv] != parts[v] {
+			t.Fatalf("coarse vertex %d mixes sides under proposal matching", cv)
+		}
 	}
 }

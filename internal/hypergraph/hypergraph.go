@@ -11,6 +11,8 @@ package hypergraph
 
 import (
 	"fmt"
+
+	"mediumgrain/internal/sparse"
 )
 
 // Hypergraph stores vertices 0..NumVerts-1 and nets 0..NumNets-1 in
@@ -61,6 +63,7 @@ type Builder struct {
 	vertWt   []int64
 	netPtr   []int32
 	pins     []int32
+	sc       *Scratch // non-nil when the builder recycles scratch arrays
 }
 
 // NewBuilder creates a builder for a hypergraph on numVerts vertices with
@@ -75,6 +78,62 @@ func NewBuilder(numVerts int, vertWt []int64) *Builder {
 		b.vertWt = make([]int64, numVerts)
 	}
 	return b
+}
+
+// Scratch holds the reusable backing arrays for repeated hypergraph
+// builds: the builder's weight/pointer/pin accumulators and the
+// vertex-incidence buffers filled by Build. One Scratch per worker turns
+// the build of each subproblem model from O(verts+nets+pins) fresh
+// allocations into plain overwrites of the previous level's arrays.
+//
+// A hypergraph built through a Scratch aliases these arrays, so it is
+// valid only until the next Builder call on the same Scratch. That is
+// exactly the lifetime of a bisection node's model: the hypergraph is
+// dead before the node's children build theirs. At most one
+// scratch-built hypergraph may be live at a time per Scratch. Not safe
+// for concurrent use; give each goroutine its own Scratch.
+type Scratch struct {
+	vertWt   []int64
+	netPtr   []int32
+	pins     []int32
+	vertPtr  []int32
+	vertNets []int32
+	next     []int32
+	wtBuf    []int64
+}
+
+// Weights returns a zeroed reusable weight buffer of length n for
+// assembling vertex weights before handing them to Builder (which copies
+// them). A nil Scratch allocates fresh.
+func (sc *Scratch) Weights(n int) []int64 {
+	if sc == nil {
+		return make([]int64, n)
+	}
+	if cap(sc.wtBuf) < n {
+		sc.wtBuf = make([]int64, n)
+	}
+	sc.wtBuf = sc.wtBuf[:n]
+	clear(sc.wtBuf)
+	return sc.wtBuf
+}
+
+// Builder returns a builder for numVerts vertices whose backing arrays
+// recycle the Scratch, invalidating the previous hypergraph built from
+// it. vertWt is copied (a nil vertWt zero-fills). A nil Scratch falls
+// back to NewBuilder.
+func (sc *Scratch) Builder(numVerts int, vertWt []int64) *Builder {
+	if sc == nil {
+		return NewBuilder(numVerts, vertWt)
+	}
+	sc.vertWt = sc.vertWt[:0]
+	if vertWt == nil {
+		sc.vertWt = append(sc.vertWt, make([]int64, numVerts)...)
+	} else {
+		sc.vertWt = append(sc.vertWt, vertWt...)
+	}
+	sc.netPtr = append(sc.netPtr[:0], 0)
+	sc.pins = sc.pins[:0]
+	return &Builder{numVerts: numVerts, vertWt: sc.vertWt, netPtr: sc.netPtr, pins: sc.pins, sc: sc}
 }
 
 // AddNet appends a net with the given pins. Pins must be valid vertex
@@ -101,20 +160,33 @@ func (b *Builder) Build() *Hypergraph {
 		NetPtr:   b.netPtr,
 		Pins:     b.pins,
 	}
-	h.buildVertexIncidence()
+	if sc := b.sc; sc != nil {
+		// Growth during accumulation may have moved the builder's slices
+		// off the scratch arrays; adopt them so the capacity is kept.
+		sc.vertWt, sc.netPtr, sc.pins = b.vertWt, b.netPtr, b.pins
+		sc.vertPtr = sparse.Resize(sc.vertPtr, h.NumVerts+1)
+		sc.vertNets = sparse.Resize(sc.vertNets, len(h.Pins))
+		sc.next = sparse.Resize(sc.next, h.NumVerts)
+		h.VertPtr, h.VertNets = sc.vertPtr, sc.vertNets
+		h.fillVertexIncidence(sc.next)
+		return h
+	}
+	h.VertPtr = make([]int32, h.NumVerts+1)
+	h.VertNets = make([]int32, len(h.Pins))
+	h.fillVertexIncidence(make([]int32, h.NumVerts))
 	return h
 }
 
-func (h *Hypergraph) buildVertexIncidence() {
-	h.VertPtr = make([]int32, h.NumVerts+1)
+// fillVertexIncidence populates the preallocated VertPtr/VertNets arrays;
+// next is an all-purpose cursor buffer of length NumVerts.
+func (h *Hypergraph) fillVertexIncidence(next []int32) {
+	clear(h.VertPtr)
 	for _, v := range h.Pins {
 		h.VertPtr[v+1]++
 	}
 	for v := 0; v < h.NumVerts; v++ {
 		h.VertPtr[v+1] += h.VertPtr[v]
 	}
-	h.VertNets = make([]int32, len(h.Pins))
-	next := make([]int32, h.NumVerts)
 	copy(next, h.VertPtr[:h.NumVerts])
 	for n := 0; n < h.NumNets; n++ {
 		for _, v := range h.NetPins(n) {

@@ -49,14 +49,16 @@ func Refine(a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) 
 		pl = pool.New(opts.Workers)
 	}
 
-	// Per-row and per-column part counts.
+	// Per-row and per-column part counts, built on the shared CSR/CSC
+	// index that the final volume evaluation reuses.
 	rowCt := make([][]int32, a.Rows)
 	colCt := make([][]int32, a.Cols)
 	sizes := make([]int64, p)
-	var rix *sparse.RowIndex
-	var cix *sparse.ColIndex
+	ix := &sparse.Index{}
 	if pl == nil {
-		// Sequential path: one fused pass over the COO arrays.
+		// Sequential path: one fused pass over the COO arrays; the index
+		// directions are derived once here and reused for the volume.
+		ix.Reset(a)
 		for i := range rowCt {
 			rowCt[i] = make([]int32, p)
 		}
@@ -73,27 +75,26 @@ func Refine(a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) 
 		// Parallel path: sizes is a cheap single scan and stays
 		// sequential; the histograms are filled concurrently over
 		// row/column ranges (each row and column is owned by exactly one
-		// chunk). The indexes depend only on the pattern and are reused
-		// for the final volume evaluation.
+		// chunk).
 		for _, pt := range parts {
 			sizes[pt]++
 		}
 		pl.Fork(func() {
-			rix = sparse.BuildRowIndex(a)
+			ix.Row.Reset(a)
 			pl.ForEach(a.Rows, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					rowCt[i] = make([]int32, p)
-					for _, k := range rix.Row(i) {
+					for _, k := range ix.Row.Row(i) {
 						rowCt[i][parts[k]]++
 					}
 				}
 			})
 		}, func() {
-			cix = sparse.BuildColIndex(a)
+			ix.Col.Reset(a)
 			pl.ForEach(a.Cols, func(lo, hi int) {
 				for j := lo; j < hi; j++ {
 					colCt[j] = make([]int32, p)
-					for _, k := range cix.Col(j) {
+					for _, k := range ix.Col.Col(j) {
 						colCt[j][parts[k]]++
 					}
 				}
@@ -174,20 +175,5 @@ func Refine(a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) 
 			break
 		}
 	}
-	if pl == nil {
-		return metrics.Volume(a, parts, p)
-	}
-	lr, lc := metrics.LambdasIndexed(a, parts, p, rix, cix, pl)
-	var v int64
-	for _, l := range lr {
-		if l > 1 {
-			v += int64(l - 1)
-		}
-	}
-	for _, l := range lc {
-		if l > 1 {
-			v += int64(l - 1)
-		}
-	}
-	return v
+	return metrics.VolumeIndexed(a, parts, p, &ix.Row, &ix.Col, pl)
 }

@@ -31,40 +31,10 @@ func Volume(a *sparse.Matrix, parts []int, p int) int64 {
 
 // Lambdas returns per-row and per-column connectivity counts: the number
 // of distinct parts owning nonzeros in each row and column. Empty rows
-// and columns have λ = 0.
+// and columns have λ = 0. It is the sequential, index-building form of
+// LambdasIndexed.
 func Lambdas(a *sparse.Matrix, parts []int, p int) (rowLambda, colLambda []int) {
-	rowLambda = make([]int, a.Rows)
-	colLambda = make([]int, a.Cols)
-	// Stamp arrays: stamp[part] == current row/col id marks "seen".
-	rowStamp := make([]int, p)
-	colStamp := make([]int, p)
-	for i := range rowStamp {
-		rowStamp[i] = -1
-	}
-	for i := range colStamp {
-		colStamp[i] = -1
-	}
-	rix := sparse.BuildRowIndex(a)
-	for i := 0; i < a.Rows; i++ {
-		for _, k := range rix.Row(i) {
-			pt := parts[k]
-			if rowStamp[pt] != i {
-				rowStamp[pt] = i
-				rowLambda[i]++
-			}
-		}
-	}
-	cix := sparse.BuildColIndex(a)
-	for j := 0; j < a.Cols; j++ {
-		for _, k := range cix.Col(j) {
-			pt := parts[k]
-			if colStamp[pt] != j {
-				colStamp[pt] = j
-				colLambda[j]++
-			}
-		}
-	}
-	return rowLambda, colLambda
+	return LambdasIndexed(a, parts, p, nil, nil, nil)
 }
 
 // PartSizes returns the number of nonzeros assigned to each part.

@@ -63,7 +63,15 @@ func LambdasIndexed(a *sparse.Matrix, parts []int, p int, rix *sparse.RowIndex, 
 // VolumePool is Volume evaluated on a worker pool; identical to Volume
 // for every pool size.
 func VolumePool(a *sparse.Matrix, parts []int, p int, pl *pool.Pool) int64 {
-	lr, lc := LambdasPool(a, parts, p, pl)
+	return VolumeIndexed(a, parts, p, nil, nil, pl)
+}
+
+// VolumeIndexed is Volume evaluated from caller-built row/column indexes
+// (nil indexes are built privately). Hot paths that already indexed the
+// matrix — model builds share the same CSR/CSC index — avoid the rebuild
+// that Volume would otherwise pay.
+func VolumeIndexed(a *sparse.Matrix, parts []int, p int, rix *sparse.RowIndex, cix *sparse.ColIndex, pl *pool.Pool) int64 {
+	lr, lc := LambdasIndexed(a, parts, p, rix, cix, pl)
 	var v int64
 	for _, l := range lr {
 		if l > 1 {

@@ -32,6 +32,13 @@ type BenchEntry struct {
 	SpeedupVsSeq float64 `json:"speedup_vs_seq,omitempty"`
 	Volume       int64   `json:"volume"`
 	Imbalance    float64 `json:"imbalance"`
+	// AllocsPerOp / BytesPerOp are the heap allocations and bytes per
+	// partitioning call, averaged over the entry's runs (measured with
+	// runtime.ReadMemStats around the timed loop, so they include every
+	// goroutine of the run). They track the allocation behaviour of the
+	// hot path across commits the way wall_ms tracks speed.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
 }
 
 // BenchReport is the machine-readable output of cmd/mgbench.

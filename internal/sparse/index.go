@@ -18,40 +18,91 @@ type ColIndex struct {
 // BuildRowIndex groups the nonzero positions of a by row using a
 // counting sort; O(NNZ + Rows).
 func BuildRowIndex(a *Matrix) *RowIndex {
-	ptr := make([]int, a.Rows+1)
-	for _, i := range a.RowIdx {
-		ptr[i+1]++
-	}
-	for i := 0; i < a.Rows; i++ {
-		ptr[i+1] += ptr[i]
-	}
-	nz := make([]int, a.NNZ())
-	next := make([]int, a.Rows)
-	copy(next, ptr[:a.Rows])
-	for k, i := range a.RowIdx {
-		nz[next[i]] = k
-		next[i]++
-	}
-	return &RowIndex{Ptr: ptr, Nz: nz}
+	ix := &RowIndex{}
+	ix.Reset(a)
+	return ix
+}
+
+// Reset rebuilds the index for a in place, reusing the backing arrays
+// when they have enough capacity. The previous contents are discarded;
+// slices handed out by Row stay valid only until the next Reset.
+func (ix *RowIndex) Reset(a *Matrix) {
+	ix.Ptr, ix.Nz = buildCompressed(a.RowIdx, a.Rows, ix.Ptr, ix.Nz)
 }
 
 // BuildColIndex groups the nonzero positions of a by column.
 func BuildColIndex(a *Matrix) *ColIndex {
-	ptr := make([]int, a.Cols+1)
-	for _, j := range a.ColIdx {
-		ptr[j+1]++
+	ix := &ColIndex{}
+	ix.Reset(a)
+	return ix
+}
+
+// Reset rebuilds the index for a in place, reusing the backing arrays
+// when they have enough capacity.
+func (ix *ColIndex) Reset(a *Matrix) {
+	ix.Ptr, ix.Nz = buildCompressed(a.ColIdx, a.Cols, ix.Ptr, ix.Nz)
+}
+
+// buildCompressed is the shared counting sort behind both index
+// directions: group the positions of ids (values in [0, n)) into the
+// given, possibly reused, Ptr/Nz buckets. The bucket cursor runs inside
+// ptr itself — ptr[i] is bumped while filling and the array is shifted
+// back afterwards — so no extra per-call scratch is needed.
+func buildCompressed(ids []int, n int, ptr, nz []int) ([]int, []int) {
+	ptr = Resize(ptr, n+1)
+	clear(ptr)
+	nz = Resize(nz, len(ids))
+	for _, i := range ids {
+		ptr[i+1]++
 	}
-	for j := 0; j < a.Cols; j++ {
-		ptr[j+1] += ptr[j]
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
 	}
-	nz := make([]int, a.NNZ())
-	next := make([]int, a.Cols)
-	copy(next, ptr[:a.Cols])
-	for k, j := range a.ColIdx {
-		nz[next[j]] = k
-		next[j]++
+	for k, i := range ids {
+		nz[ptr[i]] = k
+		ptr[i]++
 	}
-	return &ColIndex{Ptr: ptr, Nz: nz}
+	// Filling advanced ptr[i] to the end of group i; shift back so
+	// ptr[i] is the start again.
+	for i := n; i > 0; i-- {
+		ptr[i] = ptr[i-1]
+	}
+	ptr[0] = 0
+	return ptr, nz
+}
+
+// Resize returns s with length n, reusing its backing array when the
+// capacity allows. The content is unspecified. It is the shared
+// buffer-recycling primitive behind every scratch structure in the
+// partitioning stack.
+func Resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Index couples the CSR and CSC views of one matrix. Unlike the
+// allocate-per-call BuildRowIndex/BuildColIndex pattern, an Index is
+// reusable: Reset re-derives both directions in place, so hot paths that
+// index a fresh subproblem per tree node reuse one set of buckets
+// instead of allocating O(Rows+Cols+NNZ) every call.
+type Index struct {
+	Row RowIndex
+	Col ColIndex
+}
+
+// NewIndex builds both directions for a.
+func NewIndex(a *Matrix) *Index {
+	ix := &Index{}
+	ix.Reset(a)
+	return ix
+}
+
+// Reset rebuilds both directions for a, reusing the backing arrays.
+func (ix *Index) Reset(a *Matrix) {
+	ix.Row.Reset(a)
+	ix.Col.Reset(a)
 }
 
 // Row returns the nonzero positions of row i.

@@ -42,6 +42,33 @@
 // paths are individually deterministic per seed. InitialSplitParallel
 // remains bit-identical to InitialSplit for equal seeds.
 //
+// # Memory model
+//
+// The parallel engine keeps the per-node cost of recursive bisection at
+// O(nnz(sub)): every bisection node extracts its subproblem as a
+// *compact view* — nonzeros relabeled onto the occupied rows and
+// columns, with back-maps to the parent's coordinates — instead of a
+// full-dimension copy, and all working memory (the compaction maps, the
+// CSR/CSC index shared by model build and metric evaluation, hypergraph
+// build arrays, the multilevel engine's matching/contraction/FM
+// buffers) comes from an explicit per-worker scratch that is reused
+// level to level. Scratches are handed out by the recursion — the
+// continuing branch keeps its scratch, the forked branch checks one out
+// of a free list bounded by the worker count — so buffer reuse is
+// deterministic, unlike sync.Pool.
+//
+// Determinism of compaction: the relabeling is order preserving, so the
+// hypergraphs of the nonzero-vertex models (medium-grain, fine-grain)
+// are invariant under it up to empty nets, and the split's global tie
+// choice is made from the root matrix's shape. Compact-path
+// partitionings with those methods are therefore bit-identical per seed
+// to the legacy full-dimension extraction (the equivalence tests prove
+// it). The 1D models (row-net, column-net, localbest) have matrix
+// columns/rows as hypergraph vertices; compaction drops their empty
+// vertices, so their per-seed results differ from earlier releases at
+// Workers >= 1 — still deterministic and of equivalent quality, with
+// the Workers == 0 path preserving the historical results exactly.
+//
 // # Benchmarking
 //
 // The cmd/mgbench runner executes a fixed experiment grid over the
@@ -50,12 +77,18 @@
 //	go run ./cmd/mgbench -out BENCH_$(date +%F).json
 //
 // Each JSON entry records matrix shape, p, method, worker count, wall
-// time in milliseconds, communication volume, achieved imbalance, and
-// the speedup of the parallel run over the Workers=1 run of the same
-// grid point ("speedup_vs_seq"); the header records the Go version,
-// GOMAXPROCS, and the seed, so reports are comparable across commits.
-// `make bench-json` is the one-command entry point, and CI runs a smoke
-// grid on every push.
+// time in milliseconds, communication volume, achieved imbalance,
+// allocations and bytes per partitioning call ("allocs_per_op",
+// "bytes_per_op"), and the speedup of the parallel run over the
+// Workers=1 run of the same grid point ("speedup_vs_seq"); the header
+// records the Go version, GOMAXPROCS, and the seed, so reports are
+// comparable across commits. Raising -scale past 1 adds the huge tier —
+// a generated grid Laplacian with millions of nonzeros, the paper's
+// size regime — timed once at p=64. `make bench-json` is the
+// one-command entry point, `make bench-diff OLD=a.json NEW=b.json`
+// compares two reports grid point by grid point (failing on >5% volume
+// regression), and CI runs a smoke grid on every push, gates it against
+// the committed baseline report, and uploads the JSON artifact.
 //
 // The exported types are aliases of the internal implementation packages
 // so that the whole surface is reachable from this single import.
