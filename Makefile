@@ -4,7 +4,7 @@ GO       ?= go
 DATE     := $(shell date -u +%F)
 BENCHOUT ?= BENCH_$(DATE).json
 
-.PHONY: build test race bench bench-json bench-diff lint
+.PHONY: build test race bench bench-json bench-scale3 bench-diff lint serve load-test smoke-service
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,11 @@ bench:
 bench-json:
 	$(GO) run ./cmd/mgbench -out $(BENCHOUT)
 
+# Paper-regime grid: adds the >=5M-nonzero huge tier (slow; run on a
+# multi-core box). Same schema, so bench-diff gates it like any report.
+bench-scale3:
+	$(GO) run ./cmd/mgbench -scale 3 -out BENCH_$(DATE)-scale3.json
+
 # Compare two bench reports per grid point; exits nonzero when any
 # common point regresses communication volume by more than 5%.
 #   make bench-diff OLD=BENCH_old.json NEW=BENCH_new.json
@@ -35,3 +40,17 @@ lint:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+
+# Run the partitioning-as-a-service daemon with persistence under ./mgserve-data.
+serve:
+	$(GO) run ./cmd/mgserve -addr :8080 -data mgserve-data
+
+# Closed-loop load test against a locally running daemon (make serve first).
+load-test:
+	$(GO) run ./cmd/mgload -addr http://127.0.0.1:8080 -clients 32 -requests 10 -verify
+
+# End-to-end service smoke: boot mgserve, curl a job through the API,
+# require a cache hit on resubmission, mgload burst with offline
+# verification, SIGTERM drain. Same script CI runs.
+smoke-service:
+	./scripts/service_smoke.sh

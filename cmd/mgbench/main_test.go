@@ -24,6 +24,28 @@ func TestBuildGridHugeTier(t *testing.T) {
 	}
 }
 
+func TestBuildGridScale3ReachesPaperRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a ~5M-nonzero mesh; skipped with -short")
+	}
+	grid := buildGrid(1, 3, false)
+	var huge *gridMatrix
+	for i := range grid {
+		if grid[i].name == "lap2d-huge-1020" {
+			huge = &grid[i]
+		}
+	}
+	if huge == nil {
+		t.Fatal("-scale 3 grid is missing the widened huge tier")
+	}
+	if huge.a.NNZ() < 5_000_000 {
+		t.Fatalf("scale-3 tier has only %d nonzeros, want >= 5M (the paper's corpus ceiling)", huge.a.NNZ())
+	}
+	if len(huge.ps) != 1 || huge.ps[0] != 64 || huge.runsOverride != 1 {
+		t.Fatalf("huge tier must run once at p=64 only, got ps=%v runs=%d", huge.ps, huge.runsOverride)
+	}
+}
+
 func TestBuildGridDefaultHasNoHugeTier(t *testing.T) {
 	for _, gm := range buildGrid(1, 1, false) {
 		if gm.ps != nil || gm.runsOverride != 0 {

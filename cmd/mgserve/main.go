@@ -1,0 +1,88 @@
+// Command mgserve is the partitioning-as-a-service daemon: it accepts
+// partition jobs over HTTP/JSON (named corpus instances or Matrix
+// Market uploads), runs them on a bounded scheduler whose jobs share
+// one machine-wide worker pool, serves repeat submissions from a
+// content-addressed result cache, and persists completed results as
+// distio bundles so a restart rehydrates the cache.
+//
+//	mgserve -addr :8080 -data /var/lib/mgserve
+//
+// SIGINT/SIGTERM begin a graceful drain: new submissions are refused
+// with 503, every accepted job runs to completion (and persists), then
+// the HTTP listener shuts down. See internal/service for the API
+// contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mediumgrain/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("mgserve: ")
+
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "shared engine pool size (0 = GOMAXPROCS)")
+		runners     = flag.Int("runners", 2, "concurrently executing jobs")
+		queue       = flag.Int("queue", 64, "admission queue depth")
+		cacheSize   = flag.Int("cache", 256, "result cache entries")
+		dataDir     = flag.String("data", "", "persist results here and rehydrate on start (empty = off)")
+		corpusScale = flag.Int("corpus-scale", 0, "corpus scale (0 = default)")
+		corpusSeed  = flag.Int64("corpus-seed", 0, "corpus seed (0 = default)")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "default per-job timeout")
+	)
+	flag.Parse()
+
+	srv, warns := service.New(service.Config{
+		Workers:        *workers,
+		Runners:        *runners,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		DataDir:        *dataDir,
+		DefaultTimeout: *timeout,
+		CorpusScale:    *corpusScale,
+		CorpusSeed:     *corpusSeed,
+	})
+	for _, w := range warns {
+		log.Printf("rehydration: %v", w)
+	}
+	st := srv.Stats()
+	log.Printf("listening on %s (workers=%d runners=%d queue=%d cache=%d/%d rehydrated)",
+		*addr, st.Workers, st.Runners, st.QueueCap, st.Cache.Entries, st.Cache.Capacity)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("listener: %v", err)
+	case sig := <-sigCh:
+		log.Printf("%s: draining (refusing new jobs, finishing accepted work)", sig)
+	}
+
+	srv.Drain()
+	st = srv.Stats()
+	log.Printf("drained: %d completed, %d failed, cache %d entries (%d hits / %d misses)",
+		st.Completed, st.Failed, st.Cache.Entries, st.Cache.Hits, st.Cache.Misses)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -26,6 +26,25 @@ func Partition(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.R
 	return partitionMode(a, p, method, opts, rng, true)
 }
 
+// PartitionPool is Partition executing on a caller-supplied worker pool
+// instead of a pool of its own, so several concurrent partitioning runs
+// can share one machine-wide worker budget (the mgserve daemon threads
+// its server pool through every admitted job). The pool is a counting
+// semaphore and safe for concurrent runs; each run keeps its own RNG
+// stream and scratch buffers. A non-nil pl always selects the parallel
+// engine: results are bit-identical to Partition with any
+// opts.Workers >= 1 for the same seed, regardless of how much capacity
+// other runs are consuming. A nil pl defers to opts.Workers as usual.
+func PartitionPool(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, pl *pool.Pool) (*Result, error) {
+	if pl != nil && opts.Workers == 0 {
+		// Select the parallel-deterministic algorithms (proposal-round
+		// matching, seeded initial tries); the worker count only sizes
+		// scratch free lists, concurrency is bounded by pl itself.
+		opts.Workers = pl.Workers()
+	}
+	return partitionModeOn(a, p, method, opts, rng, true, pl)
+}
+
 // partitionMode is Partition with the subproblem-extraction mode
 // exposed: compact (the production path) relabels every bisection node
 // onto its occupied rows and columns, legacy (compact == false) emits
@@ -34,6 +53,13 @@ func Partition(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.R
 // tests run both to prove it. The Workers == 0 path always uses the
 // legacy extraction, preserving historical per-seed results.
 func partitionMode(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, compact bool) (*Result, error) {
+	return partitionModeOn(a, p, method, opts, rng, compact, nil)
+}
+
+// partitionModeOn is partitionMode with the worker pool exposed: a nil
+// pl builds one from opts.Workers (nil again for the legacy sequential
+// path), a non-nil pl is used as-is.
+func partitionModeOn(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, compact bool, pl *pool.Pool) (*Result, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("core: p must be >= 1, got %d", p)
 	}
@@ -53,7 +79,9 @@ func partitionMode(a *sparse.Matrix, p int, method Method, opts Options, rng *ra
 	for k := range all {
 		all[k] = k
 	}
-	pl := opts.newPool()
+	if pl == nil {
+		pl = opts.newPool()
+	}
 	if pl == nil {
 		if err := bisectRec(a, all, 0, p, parts, method, opts, delta, rng); err != nil {
 			return nil, err

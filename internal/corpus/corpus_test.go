@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"strings"
 	"testing"
 
 	"mediumgrain/internal/sparse"
@@ -75,6 +76,31 @@ func TestFind(t *testing.T) {
 	}
 	if _, err := Find(instances, "does-not-exist"); err == nil {
 		t.Fatal("Find accepted a bogus name")
+	}
+}
+
+func TestFindUnknownNameListsAvailable(t *testing.T) {
+	instances := Build(DefaultOptions())
+	_, err := Find(instances, "no-such-matrix")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	// The error is the server's 400 body for a bad corpus name; it must
+	// identify the request and enumerate what exists.
+	msg := err.Error()
+	if !strings.Contains(msg, "no-such-matrix") {
+		t.Fatalf("error %q does not name the missing instance", msg)
+	}
+	for _, in := range instances[:3] {
+		if !strings.Contains(msg, in.Name) {
+			t.Fatalf("error %q does not list available instance %q", msg, in.Name)
+		}
+	}
+}
+
+func TestFindOnEmptyCorpus(t *testing.T) {
+	if _, err := Find(nil, "anything"); err == nil {
+		t.Fatal("Find on empty corpus must error")
 	}
 }
 

@@ -1,0 +1,145 @@
+package distio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBundleDir persists a valid bundle and returns its directory.
+func writeBundleDir(t *testing.T) (string, *Bundle) {
+	t.Helper()
+	b := partitionedBundle(t)
+	dir := t.TempDir()
+	if err := Write(dir, "m", b); err != nil {
+		t.Fatal(err)
+	}
+	return dir, b
+}
+
+// truncate rewrites the named bundle file to its first n bytes.
+func truncate(t *testing.T, dir, file string, n int) {
+	t.Helper()
+	path := filepath.Join(dir, file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > len(data) {
+		t.Fatalf("%s is only %d bytes", file, len(data))
+	}
+	if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTruncatedMatrixFile(t *testing.T) {
+	dir, _ := writeBundleDir(t)
+	// Cut the .mtx mid-body: the header promises more entries than the
+	// file holds.
+	path := filepath.Join(dir, "m.mtx")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir, "m"); err == nil {
+		t.Fatal("truncated .mtx accepted")
+	}
+}
+
+func TestReadTruncatedPartsFile(t *testing.T) {
+	dir, b := writeBundleDir(t)
+	// Keep the header and the first half of the part ids: the parse
+	// succeeds but validation must reject the nnz mismatch.
+	data, err := os.ReadFile(filepath.Join(dir, "m.parts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	keep := lines[:1+len(b.Parts)/2]
+	if err := os.WriteFile(filepath.Join(dir, "m.parts"),
+		[]byte(strings.Join(keep, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir, "m"); err == nil {
+		t.Fatal("truncated .parts accepted")
+	}
+}
+
+func TestReadHeaderOnlyPartsFile(t *testing.T) {
+	dir, _ := writeBundleDir(t)
+	if err := os.WriteFile(filepath.Join(dir, "m.parts"), []byte("p 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir, "m"); err == nil {
+		t.Fatal("header-only .parts accepted")
+	}
+}
+
+func TestReadOutOfRangePartID(t *testing.T) {
+	dir, _ := writeBundleDir(t)
+	data, err := os.ReadFile(filepath.Join(dir, "m.parts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(data), "\n", 3)
+	lines[1] = "99" // valid integer, invalid part id for p=4
+	if err := os.WriteFile(filepath.Join(dir, "m.parts"),
+		[]byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir, "m"); err == nil {
+		t.Fatal("out-of-range part id accepted")
+	}
+}
+
+func TestReadTruncatedVectorFile(t *testing.T) {
+	dir, b := writeBundleDir(t)
+	// An .invec shorter than the column count must fail validation.
+	var sb strings.Builder
+	sb.WriteString("p 4\n")
+	for j := 0; j < len(b.Vector.InOwner)/2; j++ {
+		sb.WriteString("0\n")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "m.invec"), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir, "m"); err == nil {
+		t.Fatal("truncated .invec accepted")
+	}
+}
+
+func TestValidateVectorLengthMismatch(t *testing.T) {
+	b := partitionedBundle(t)
+	b.Vector.InOwner = b.Vector.InOwner[:len(b.Vector.InOwner)-1]
+	if err := b.Validate(); err == nil {
+		t.Fatal("short invec accepted")
+	}
+	b = partitionedBundle(t)
+	b.Vector.OutOwner = append(b.Vector.OutOwner, 0)
+	if err := b.Validate(); err == nil {
+		t.Fatal("long outvec accepted")
+	}
+}
+
+func TestValidatePartsLengthAndRange(t *testing.T) {
+	b := partitionedBundle(t)
+	b.Parts = b.Parts[:len(b.Parts)-1]
+	if err := b.Validate(); err == nil {
+		t.Fatal("short parts accepted")
+	}
+	b = partitionedBundle(t)
+	b.Parts[0] = b.P
+	if err := b.Validate(); err == nil {
+		t.Fatal("part id == p accepted")
+	}
+	b = partitionedBundle(t)
+	b.Parts[0] = -1
+	if err := b.Validate(); err == nil {
+		t.Fatal("negative part id accepted")
+	}
+}

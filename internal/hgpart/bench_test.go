@@ -55,7 +55,7 @@ func BenchmarkCoarsenOneLevel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vmap, numCoarse := match(h, rng, cfg, maxClusterWt, nil, nil)
-		contract(h, vmap, numCoarse, nil)
+		contract(h, vmap, numCoarse, cfg, nil, nil)
 	}
 }
 

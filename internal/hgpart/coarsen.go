@@ -145,8 +145,17 @@ func matchRandom(h *hypergraph.Hypergraph, order []int, mate []int32, netLimit i
 // coarser level). The coarse hypergraph's own arrays are freshly
 // allocated (it outlives the scratch turnover: the V-cycle revisits every
 // level on the way back up); only the dedup stamp and the per-net pin
-// accumulator come from sc.
-func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int, sc *Scratch) *hypergraph.Hypergraph {
+// accumulator come from sc. With cfg.Workers != 0 the pin-building loop
+// runs in parallel over the pool; its output is bit-identical to the
+// sequential loop (see contractParallel), so turning workers on or off
+// never changes a partitioning result through this function.
+func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int, cfg Config, pl *pool.Pool, sc *Scratch) *hypergraph.Hypergraph {
+	// The two-pass parallel loop deduplicates every net twice; with a
+	// single-worker pool that is pure overhead for an identical result,
+	// so fall through to the sequential loop.
+	if cfg.Workers != 0 && pl.Workers() > 1 {
+		return contractParallel(h, vmap, numCoarse, pl, sc)
+	}
 	wt := make([]int64, numCoarse)
 	for v := 0; v < h.NumVerts; v++ {
 		wt[vmap[v]] += h.VertWt[v]
@@ -168,6 +177,87 @@ func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int, sc *Scratch
 	}
 	sc.keepPins(pins)
 	return b.Build()
+}
+
+// contractParallel is the multi-goroutine formulation of contract. Nets
+// are independent — each coarse pin list is the first-occurrence
+// deduplication of one fine net's mapped pins — so the work splits into
+// two passes over disjoint net ranges: pass one computes every net's
+// deduplicated size, a sequential prefix scan then assigns kept nets
+// (>= 2 pins) their slot in the output arrays, and pass two re-runs the
+// deduplication writing each net's pins straight into its slot. Every
+// chunk runs the same first-occurrence order the sequential loop uses
+// and net order is preserved by the prefix scan, so the coarse
+// hypergraph is bit-identical to contract's for any worker count. Each
+// chunk needs a private dedup stamp (the shared Scratch is owned by one
+// goroutine); that per-chunk allocation is the price of the parallel
+// pass and is bounded by workers × numCoarse.
+func contractParallel(h *hypergraph.Hypergraph, vmap []int32, numCoarse int, pl *pool.Pool, sc *Scratch) *hypergraph.Hypergraph {
+	wt := make([]int64, numCoarse)
+	for v := 0; v < h.NumVerts; v++ {
+		wt[vmap[v]] += h.VertWt[v]
+	}
+	numNets := h.NumNets
+	sizes, off := sc.contractParBuffers(numNets)
+
+	// Pass 1: deduplicated size of every coarse net.
+	pl.ForEach(numNets, func(lo, hi int) {
+		stamp := newStamp(numCoarse)
+		for n := lo; n < hi; n++ {
+			var sz int32
+			for _, v := range h.NetPins(n) {
+				cv := vmap[v]
+				if stamp[cv] != int32(n) {
+					stamp[cv] = int32(n)
+					sz++
+				}
+			}
+			sizes[n] = sz
+		}
+	})
+
+	// Prefix scan: kept nets get contiguous pin slots in net order.
+	netPtr := make([]int32, 1, numNets+1)
+	var total int32
+	for n := 0; n < numNets; n++ {
+		if sizes[n] >= 2 {
+			off[n] = total
+			total += sizes[n]
+			netPtr = append(netPtr, total)
+		} else {
+			off[n] = -1
+		}
+	}
+	pins := make([]int32, total)
+
+	// Pass 2: fill each kept net's slot in first-occurrence order.
+	pl.ForEach(numNets, func(lo, hi int) {
+		stamp := newStamp(numCoarse)
+		for n := lo; n < hi; n++ {
+			at := off[n]
+			if at < 0 {
+				continue
+			}
+			for _, v := range h.NetPins(n) {
+				cv := vmap[v]
+				if stamp[cv] != int32(n) {
+					stamp[cv] = int32(n)
+					pins[at] = cv
+					at++
+				}
+			}
+		}
+	})
+	return hypergraph.FromCSR(numCoarse, wt, netPtr, pins)
+}
+
+// newStamp returns a fresh dedup stamp array of length n filled with -1.
+func newStamp(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
 }
 
 // coarsen produces the multilevel hierarchy, stopping when the hypergraph
@@ -195,7 +285,7 @@ func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config, 
 		if float64(numCoarse) > stall*float64(cur.NumVerts) {
 			break // matching stalled; further levels would not shrink
 		}
-		coarse := contract(cur, vmap, numCoarse, sc)
+		coarse := contract(cur, vmap, numCoarse, cfg, pl, sc)
 		levels = append(levels, level{coarse: coarse, map_: vmap})
 		cur = coarse
 	}

@@ -191,7 +191,7 @@ func TestContractPreservesWeightAndCut(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		h := randomHypergraph(rng, 20, 15)
 		vmap, numCoarse := match(h, rng, ConfigMondriaanLike(), h.TotalWeight(), nil, nil)
-		coarse := contract(h, vmap, numCoarse, nil)
+		coarse := contract(h, vmap, numCoarse, Config{}, nil, nil)
 		if coarse.Validate() != nil {
 			return false
 		}

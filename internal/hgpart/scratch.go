@@ -21,6 +21,10 @@ type Scratch struct {
 	// Contraction.
 	stamp []int
 	pins  []int32
+	// Parallel contraction (per-net sizes and pin offsets; written by
+	// disjoint net ranges, scanned by the owning goroutine).
+	ctSizes []int32
+	ctOff   []int32
 	// FM refinement.
 	pinCt0, pinCt1 []int32
 	locked         []bool
@@ -63,6 +67,18 @@ func (sc *Scratch) contractBuffers(numCoarse int) (stamp []int, pins []int32) {
 		sc.stamp[i] = -1
 	}
 	return sc.stamp, sc.pins[:0]
+}
+
+// contractParBuffers returns the per-net size and offset arrays of the
+// parallel contraction, uninitialized (every entry is written before it
+// is read).
+func (sc *Scratch) contractParBuffers(numNets int) (sizes, off []int32) {
+	if sc == nil {
+		return make([]int32, numNets), make([]int32, numNets)
+	}
+	sc.ctSizes = sparse.Resize(sc.ctSizes, numNets)
+	sc.ctOff = sparse.Resize(sc.ctOff, numNets)
+	return sc.ctSizes, sc.ctOff
 }
 
 // keepPins records the (possibly grown) pin accumulator back into the

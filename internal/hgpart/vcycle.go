@@ -57,7 +57,7 @@ func VCycleRefinePool(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng 
 		if float64(numCoarse) > stall*float64(cur.NumVerts) {
 			break
 		}
-		coarse := contract(cur, vmap, numCoarse, nil)
+		coarse := contract(cur, vmap, numCoarse, cfg, pl, nil)
 		cparts := make([]int, numCoarse)
 		for v := 0; v < cur.NumVerts; v++ {
 			cparts[vmap[v]] = curParts[v]

@@ -177,6 +177,28 @@ func (b *Builder) Build() *Hypergraph {
 	return h
 }
 
+// FromCSR assembles a hypergraph directly from prebuilt CSR net arrays
+// and computes the vertex incidence. The caller hands over ownership of
+// vertWt, netPtr, and pins (they are not copied); netPtr must have one
+// entry per net plus a leading 0, and pins holds the concatenated,
+// already-deduplicated pin lists. Producers that build the net lists
+// themselves — e.g. the parallel contraction, which fills disjoint pin
+// ranges from several goroutines — use this instead of replaying every
+// net through a Builder.
+func FromCSR(numVerts int, vertWt []int64, netPtr, pins []int32) *Hypergraph {
+	h := &Hypergraph{
+		NumVerts: numVerts,
+		NumNets:  len(netPtr) - 1,
+		VertWt:   vertWt,
+		NetPtr:   netPtr,
+		Pins:     pins,
+	}
+	h.VertPtr = make([]int32, numVerts+1)
+	h.VertNets = make([]int32, len(pins))
+	h.fillVertexIncidence(make([]int32, numVerts))
+	return h
+}
+
 // fillVertexIncidence populates the preallocated VertPtr/VertNets arrays;
 // next is an all-purpose cursor buffer of length NumVerts.
 func (h *Hypergraph) fillVertexIncidence(next []int32) {

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"mediumgrain/internal/spmv"
+)
+
+// CachedResult is a completed partitioning addressed by its content key:
+// everything needed to answer a repeat submission without recomputing,
+// and everything persisted to disk (the parts vector rides in the distio
+// bundle, the scalars in the meta file).
+type CachedResult struct {
+	Key        string           `json:"key"`
+	MatrixName string           `json:"matrix"`
+	MatrixHash string           `json:"matrix_hash"`
+	Rows       int              `json:"rows"`
+	Cols       int              `json:"cols"`
+	NNZ        int              `json:"nnz"`
+	P          int              `json:"p"`
+	Method     string           `json:"method"`
+	Seed       int64            `json:"seed"`
+	Eps        float64          `json:"eps"`
+	Refine     bool             `json:"refine"`
+	Engine     string           `json:"engine"`
+	Volume     int64            `json:"volume"`
+	Imbalance  float64          `json:"imbalance"`
+	WallMS     float64          `json:"wall_ms"`
+	Predict    *spmv.Prediction `json:"predict"`
+	Parts      []int            `json:"-"`
+}
+
+// Cache is a bounded LRU over content-addressed results. Get promotes,
+// Put inserts or refreshes; the oldest entry is evicted past capacity.
+// Safe for concurrent use.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *CachedResult
+}
+
+func newCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result for key and marks it most recent.
+func (c *Cache) Get(key string) (*CachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put inserts (or refreshes) a result, evicting the least recently used
+// entry past capacity. Returns the evicted key, "" if none.
+func (c *Cache) Put(key string, res *CachedResult) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return ""
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	if c.ll.Len() <= c.cap {
+		return ""
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	k := oldest.Value.(*cacheEntry).key
+	delete(c.m, k)
+	return k
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

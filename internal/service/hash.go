@@ -1,0 +1,44 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"mediumgrain/internal/sparse"
+)
+
+// MatrixHash returns the content address of a matrix pattern: a 128-bit
+// hex digest over (rows, cols, nnz, coordinates). Values are ignored —
+// partitioning is purely structural — so a pattern upload and a valued
+// upload of the same structure share cache entries. Canonicalized
+// matrices with equal patterns always hash equally regardless of how
+// they were constructed.
+func MatrixHash(a *sparse.Matrix) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	put(a.Rows)
+	put(a.Cols)
+	put(a.NNZ())
+	for k := range a.RowIdx {
+		put(a.RowIdx[k])
+		put(a.ColIdx[k])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// CacheKey derives the content address of a result from the matrix hash
+// and the partitioning configuration. The engine class ("seq"/"par")
+// stands in for the worker count: every Workers >= 1 run is
+// bit-identical, so they share one slot.
+func CacheKey(matrixHash string, p int, method string, seed int64, eps float64, refine bool, engine string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mgserve/1|%s|p=%d|m=%s|seed=%d|eps=%g|refine=%t|engine=%s",
+		matrixHash, p, method, seed, eps, refine, engine)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// scheduler is the bounded job queue plus its runner goroutines. The
+// queue provides admission control (submit fails fast when it is full),
+// the fixed runner count bounds concurrently executing jobs, and drain
+// gives the graceful-shutdown guarantee: once a job is admitted it will
+// be executed, even if shutdown begins while it waits.
+type scheduler struct {
+	mu       sync.Mutex
+	queue    chan *Job
+	draining bool
+	wg       sync.WaitGroup
+	running  atomic.Int64
+}
+
+// newScheduler starts `runners` goroutines executing admitted jobs with
+// run; depth bounds the queue of jobs waiting for a runner.
+func newScheduler(runners, depth int, run func(*Job)) *scheduler {
+	if runners < 1 {
+		runners = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s := &scheduler{queue: make(chan *Job, depth)}
+	s.wg.Add(runners)
+	for i := 0; i < runners; i++ {
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.running.Add(1)
+				run(job)
+				s.running.Add(-1)
+			}
+		}()
+	}
+	return s
+}
+
+// submit admits a job or fails fast with ErrQueueFull / ErrDraining.
+// The mutex serializes the draining check with the send so drain can
+// safely close the queue.
+func (s *scheduler) submit(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// drain stops admission and blocks until every admitted job has been
+// executed. Idempotent.
+func (s *scheduler) drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// depth returns the number of jobs waiting for a runner.
+func (s *scheduler) depth() int { return len(s.queue) }
+
+// full reports whether the admission queue has no free slot right now.
+// Advisory: the answer can change before a subsequent submit.
+func (s *scheduler) full() bool { return len(s.queue) == cap(s.queue) }
+
+// active returns the number of jobs currently executing.
+func (s *scheduler) active() int64 { return s.running.Load() }

@@ -1,0 +1,449 @@
+// Package service implements mgserve, the partitioning-as-a-service
+// daemon: a long-running HTTP/JSON server that accepts partition jobs,
+// runs them on a bounded scheduler whose jobs multiplex onto one shared
+// worker pool (internal/pool), and serves results from a
+// content-addressed LRU cache so repeat submissions are O(1). Completed
+// results persist as internal/distio bundles, letting a restarted
+// server rehydrate its cache.
+//
+// # HTTP API contract
+//
+// POST /jobs — submit a partition job. Request body (JSON):
+//
+//	{
+//	  "corpus":     "lap2d-24",      // named internal/corpus instance, or
+//	  "matrix_mtx": "%%MatrixMarket…", // inline Matrix Market text (exactly one of the two)
+//	  "p":          4,               // number of parts, >= 1
+//	  "method":     "MG",            // MG | FG | LB | RN | CN (default MG)
+//	  "seed":       42,              // RNG seed; equal seeds give equal results
+//	  "eps":        0.03,            // load-imbalance bound; omitted = 0.03,
+//	                                 // an explicit 0 requests exact balance
+//	  "refine":     false,           // apply the paper's iterative refinement
+//	  "workers":    1,               // 0 = sequential legacy engine; != 0 = parallel
+//	                                 // engine on the server's shared pool
+//	  "timeout_ms": 0                // per-job compute budget, overriding the
+//	                                 // server default in either direction
+//	                                 // (0 = default); covers the wait for a
+//	                                 // computation slot plus the run, not time
+//	                                 // spent queued for a runner
+//	}
+//
+// Responses: 200 with the job in state "done" when the result was
+// served from cache ("cached": true); 202 with state "queued" when the
+// job was admitted; 400 for a malformed spec (unknown corpus name, bad
+// method, unparsable matrix, p < 1); 503 with a Retry-After header when
+// the queue is full or the server is draining. The body of every
+// success is the job view:
+//
+//	{"id": "j-00000001", "state": "queued|running|done|failed",
+//	 "cached": false, "error": "…", "key": "<content address>",
+//	 "matrix": "lap2d-24", "p": 4, "method": "MG", "seed": 42,
+//	 "queue_ms": 0.1, "run_ms": 12.3, "total_ms": 12.4}
+//
+// GET /jobs/{id} — the job view above; 404 for unknown ids.
+//
+// GET /jobs/{id}/result — the full result once the job is done:
+// matrix facts (name, content hash, rows, cols, nnz), the resolved
+// spec, communication volume, achieved imbalance, the BSP runtime
+// prediction of spmv.Predict, wall time, and the per-nonzero parts
+// vector (rejoined from the result cache; job records keep scalars
+// only). 404 for unknown ids, 409 while the job is not done, 410 when
+// the job failed or its result has since been evicted from the cache —
+// resubmit the spec, which recomputes or hits.
+//
+// GET /corpus — the named instances this server can partition:
+// {"scale": 1, "seed": 20140519, "names": ["lap2d-24", …]}. A client
+// building the same corpus locally gets bit-identical matrices, which
+// is how cmd/mgload verifies served results offline.
+//
+// GET /healthz — {"status": "ok"} (or "draining") with 200.
+//
+// GET /stats — operational counters: queue depth, running jobs,
+// accepted/completed/failed/rejected totals, cache entries/hits/misses/
+// hit-rate, and per-method latency percentiles (p50/p90/p99).
+//
+// # Determinism and the cache key
+//
+// Results are content-addressed by (matrix hash, p, method, seed, eps,
+// refine, engine), where engine is "seq" for workers == 0 and "par"
+// otherwise: the library guarantees bit-identical results for every
+// Workers >= 1, so all parallel worker counts share one cache slot,
+// while the legacy sequential path — which may produce different (but
+// equally valid) partitionings — is addressed separately. Uploading a
+// matrix that byte-for-byte equals a corpus instance hits the same
+// cache entries as jobs naming that instance.
+//
+// # Scheduling
+//
+// Admission control is a bounded queue: Submit rejects with ErrQueueFull
+// when it is full, and with ErrDraining once a graceful shutdown has
+// begun. A fixed set of runner goroutines executes admitted jobs; each
+// parallel-engine job threads the server-wide pool.Pool through
+// core.PartitionPool, so helper parallelism is shared across concurrent
+// jobs rather than multiplied by them (each runner's root goroutine
+// works inline besides the pool's helpers, so total compute threads are
+// bounded by Workers + Runners - 1, not Workers × Runners). Per-job
+// timeouts
+// fail the job and free its runner; the computation itself is not
+// interruptible mid-flight, so it keeps running — within the
+// Config.MaxAbandoned budget, beyond which runners block before
+// starting new work — and its eventual result is salvaged into the
+// cache (counted in /stats as "salvaged") so a re-submission hits
+// instead of recomputing. Draining stops admission, lets the queue
+// empty, and waits for in-flight jobs — accepted work is never
+// dropped.
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mediumgrain/internal/core"
+	"mediumgrain/internal/corpus"
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/pool"
+	"mediumgrain/internal/sparse"
+	"mediumgrain/internal/spmv"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the shared engine pool size (<= 0 selects GOMAXPROCS).
+	// Each runner's root goroutine computes inline besides the pool's
+	// helpers, so total compute threads peak at Workers + Runners - 1.
+	Workers int
+	// Runners is the number of concurrently executing jobs (default 2).
+	Runners int
+	// QueueDepth bounds the admission queue (default 64).
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache (default 256).
+	CacheEntries int
+	// JobHistory bounds how many finished jobs stay queryable by id
+	// (default 4096); older finished jobs age out FIFO so a long-running
+	// daemon's memory is bounded. Queued/running jobs are never evicted.
+	JobHistory int
+	// MaxAbandoned bounds how many timed-out computations may still be
+	// running beyond the Runners budget (default = Runners). A partition
+	// call is not interruptible, so a timeout frees the runner while the
+	// computation finishes in the background; when this extra budget is
+	// exhausted, runners block before starting new work — backpressure
+	// that fills the queue and sheds load with 503s instead of letting
+	// abandoned computations pile up unboundedly.
+	MaxAbandoned int
+	// DataDir persists completed results as distio bundles and
+	// rehydrates them on startup; empty disables persistence.
+	DataDir string
+	// DefaultTimeout caps a job's computation — the wait for a compute
+	// slot plus the run, not time queued for a runner — unless its spec
+	// overrides it (default 5 minutes).
+	DefaultTimeout time.Duration
+	// CorpusScale / CorpusSeed build the named-instance corpus (defaults
+	// from corpus.DefaultOptions).
+	CorpusScale int
+	CorpusSeed  int64
+	// Machine is the BSP machine used for runtime predictions (default:
+	// 1 Gflop/s, g = 10, l = 1000).
+	Machine spmv.Machine
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runners <= 0 {
+		c.Runners = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	if c.MaxAbandoned <= 0 {
+		c.MaxAbandoned = c.Runners
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	def := corpus.DefaultOptions()
+	if c.CorpusScale <= 0 {
+		c.CorpusScale = def.Scale
+	}
+	if c.CorpusSeed == 0 {
+		c.CorpusSeed = def.Seed
+	}
+	if c.Machine == (spmv.Machine{}) {
+		c.Machine = spmv.Machine{FlopRate: 1e9, G: 10, L: 1000}
+	}
+	return c
+}
+
+// Server is the daemon: corpus, shared pool, scheduler, cache, stats.
+type Server struct {
+	cfg       Config
+	instances []corpus.Instance
+	// hashes holds the precomputed content address of every corpus
+	// instance, so a named-instance submission — the cache-hit hot path
+	// — never rehashes an immutable matrix.
+	hashes map[string]string
+	pool   *pool.Pool
+	cache  *Cache
+	sched  *scheduler
+	jobs   *jobStore
+	stats  *statsRecorder
+	// compSem bounds the total number of live partition computations
+	// (running + abandoned-by-timeout) at Runners + MaxAbandoned; a
+	// runner blocks here before starting work when timed-out
+	// computations have consumed the extra budget.
+	compSem chan struct{}
+	// persistMu serializes disk persists: distio writes bundle files in
+	// place, so two runners completing the same key concurrently must
+	// not interleave — the second writer sees the first's meta file and
+	// skips, keeping the meta-exists ⇒ bundle-complete invariant.
+	persistMu sync.Mutex
+	started   time.Time
+	draining  atomic.Bool
+}
+
+// New builds a server, rehydrating the cache from cfg.DataDir when set.
+// Rehydration errors are collected, not fatal: a corrupt bundle only
+// costs its cache entry.
+func New(cfg Config) (*Server, []error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		instances: corpus.Build(corpus.Options{Scale: cfg.CorpusScale, Seed: cfg.CorpusSeed}),
+		pool:      pool.New(cfg.Workers),
+		cache:     newCache(cfg.CacheEntries),
+		jobs:      newJobStore(cfg.JobHistory),
+		stats:     newStatsRecorder(),
+		started:   time.Now(),
+	}
+	s.hashes = make(map[string]string, len(s.instances))
+	for _, in := range s.instances {
+		s.hashes[in.Name] = MatrixHash(in.A)
+	}
+	s.compSem = make(chan struct{}, cfg.Runners+cfg.MaxAbandoned)
+	s.sched = newScheduler(cfg.Runners, cfg.QueueDepth, s.execute)
+	var warns []error
+	if cfg.DataDir != "" {
+		results, errs := loadCacheDir(cfg.DataDir, cfg.CacheEntries)
+		warns = errs
+		for _, res := range results {
+			s.cache.Put(res.Key, res)
+		}
+	}
+	return s, warns
+}
+
+// Submit resolves, admits, and (on a cache hit) immediately completes a
+// job. The returned error is ErrDraining, ErrQueueFull, or a
+// *BadSpecError; the job is non-nil exactly when err is nil.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if s.draining.Load() {
+		s.stats.rejected()
+		return nil, ErrDraining
+	}
+	// Shed expensive upload resolution (parse + canonicalize + hash of
+	// up to 64MB) before doing it when the queue is already full: the
+	// 503 would arrive anyway for a miss, and overload CPU must be
+	// bounded by admission, not by open connections. Under overload a
+	// would-be cache-hit upload is bounced too — the client retries;
+	// named corpus specs stay cheap to resolve and are never shed here.
+	if spec.MatrixMM != "" && s.sched.full() {
+		s.stats.rejected()
+		return nil, ErrQueueFull
+	}
+	rs, err := s.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	job := s.jobs.create(rs)
+	if res, ok := s.cache.Get(rs.key); ok {
+		s.stats.cacheHit()
+		s.jobs.completeCached(job, res)
+		return job, nil
+	}
+	if err := s.sched.submit(job); err != nil {
+		s.jobs.drop(job.id)
+		s.stats.rejected()
+		return nil, err
+	}
+	// Counted only for admitted jobs, so an overloaded queue does not
+	// deflate the hit rate with submissions that never computed.
+	s.stats.cacheMiss()
+	s.stats.accepted()
+	return job, nil
+}
+
+// execute runs one admitted job on a scheduler runner, enforcing the
+// per-job timeout.
+func (s *Server) execute(job *Job) {
+	rs := job.resolved
+
+	// The spec's timeout overrides the server default in either
+	// direction; the computation semaphore bounds how many budgets —
+	// short ones included — can be executing at once.
+	timeout := s.cfg.DefaultTimeout
+	if rs.spec.TimeoutMS > 0 {
+		timeout = time.Duration(rs.spec.TimeoutMS) * time.Millisecond
+	}
+	matrix := rs.matrix // survives the job record, for persistence
+
+	type outcome struct {
+		res *CachedResult
+		err error
+	}
+	// The budget clock covers the wait for a computation slot too, so a
+	// job's timeout fires on schedule even while abandoned computations
+	// hold the extra budget.
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+
+	// Blocks while abandoned computations hold the extra budget: the
+	// runner stalls, the queue backs up, and overload becomes 503s
+	// instead of an unbounded pile of live computations.
+	select {
+	case s.compSem <- struct{}{}:
+	case <-timer.C:
+		s.stats.failed()
+		s.jobs.fail(job, fmt.Sprintf("timeout after %s waiting for a computation slot", timeout))
+		return
+	}
+	// Marked running only once a computation slot is held, so the
+	// queue/run split in job views stays honest when runners block on
+	// the abandoned-computation budget.
+	s.jobs.markRunning(job)
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() { <-s.compSem }()
+		res, err := s.partition(rs, matrix)
+		done <- outcome{res, err}
+	}()
+
+	finish := func(o outcome) bool {
+		if o.err != nil {
+			return false
+		}
+		s.cache.Put(o.res.Key, o.res)
+		if s.cfg.DataDir != "" {
+			s.persistMu.Lock()
+			err := saveCacheEntry(s.cfg.DataDir, o.res, matrix)
+			s.persistMu.Unlock()
+			if err != nil {
+				// Persistence is best-effort: the result is still served
+				// from memory; the entry is simply absent after restart.
+				s.stats.persistErr()
+			}
+		}
+		return true
+	}
+
+	select {
+	case o := <-done:
+		if !finish(o) {
+			s.stats.failed()
+			s.jobs.fail(job, o.err.Error())
+			return
+		}
+		s.stats.completed(o.res.Method, o.res.WallMS)
+		s.jobs.complete(job, o.res)
+	case <-timer.C:
+		s.stats.failed()
+		s.jobs.fail(job, fmt.Sprintf("timeout after %s (computation abandoned)", timeout))
+		// The partition call cannot be interrupted mid-flight; the
+		// runner moves on, but the computation's eventual result is
+		// salvaged into the cache so a re-submission hits instead of
+		// recomputing. The salvage goroutine may outlive a drain; the
+		// meta-last write order keeps a cut-off persist harmless.
+		go func() {
+			if o := <-done; finish(o) {
+				s.stats.salvaged()
+			}
+		}()
+	}
+}
+
+// partition executes the resolved spec on the engine its workers field
+// selects and assembles the cacheable result. The matrix is passed
+// explicitly (not read from rs): the job store releases rs.matrix when
+// the job reaches a terminal state, which for a timed-out job happens
+// while this computation is still running.
+func (s *Server) partition(rs *resolvedSpec, a *sparse.Matrix) (*CachedResult, error) {
+	opts := core.DefaultOptions()
+	opts.Eps = rs.eps
+	opts.Refine = rs.spec.Refine
+	rng := rand.New(rand.NewSource(rs.spec.Seed))
+
+	start := time.Now()
+	var res *core.Result
+	var err error
+	if rs.engine == engineSeq {
+		opts.Workers = 0
+		res, err = core.Partition(a, rs.spec.P, rs.method, opts, rng)
+	} else {
+		res, err = core.PartitionPool(a, rs.spec.P, rs.method, opts, rng, s.pool)
+	}
+	if err != nil {
+		return nil, err
+	}
+	wallMS := float64(time.Since(start).Microseconds()) / 1000
+
+	pred, err := spmv.Predict(a, res.Parts, rs.spec.P, s.cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return &CachedResult{
+		Key:        rs.key,
+		MatrixName: rs.name,
+		MatrixHash: rs.hash,
+		Rows:       a.Rows,
+		Cols:       a.Cols,
+		NNZ:        a.NNZ(),
+		P:          rs.spec.P,
+		Method:     rs.method.String(),
+		Seed:       rs.spec.Seed,
+		Eps:        rs.eps,
+		Refine:     rs.spec.Refine,
+		Engine:     rs.engine,
+		Volume:     res.Volume,
+		Imbalance:  metrics.Imbalance(res.Parts, rs.spec.P),
+		WallMS:     wallMS,
+		Predict:    pred,
+		Parts:      res.Parts,
+	}, nil
+}
+
+// Job returns the job with the given id, if any.
+func (s *Server) Job(id string) (*Job, bool) { return s.jobs.get(id) }
+
+// Corpus lists the named instances with the options that built them.
+func (s *Server) Corpus() (scale int, seed int64, names []string) {
+	names = make([]string, len(s.instances))
+	for i, in := range s.instances {
+		names[i] = in.Name
+	}
+	return s.cfg.CorpusScale, s.cfg.CorpusSeed, names
+}
+
+// Draining reports whether a graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admission and blocks until every accepted job (queued or
+// running) has finished. Safe to call more than once.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.sched.drain()
+}
+
+// lookupInstance finds a corpus instance by name.
+func (s *Server) lookupInstance(name string) (*sparse.Matrix, error) {
+	in, err := corpus.Find(s.instances, name)
+	if err != nil {
+		return nil, err
+	}
+	return in.A, nil
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mediumgrain/internal/report"
+)
+
+// latencySampleCap bounds the per-method latency window the percentiles
+// are computed over; older observations age out ring-buffer style.
+const latencySampleCap = 4096
+
+// statsRecorder accumulates the operational counters behind /stats.
+type statsRecorder struct {
+	acceptedN   atomic.Int64
+	completedN  atomic.Int64
+	failedN     atomic.Int64
+	rejectedN   atomic.Int64
+	cacheHitN   atomic.Int64
+	cacheMissN  atomic.Int64
+	persistErrN atomic.Int64
+	salvagedN   atomic.Int64
+
+	mu        sync.Mutex
+	latencies map[string]*latencyRing
+}
+
+type latencyRing struct {
+	buf  []float64
+	next int
+}
+
+func (r *latencyRing) add(ms float64) {
+	if len(r.buf) < latencySampleCap {
+		r.buf = append(r.buf, ms)
+		return
+	}
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % latencySampleCap
+}
+
+func newStatsRecorder() *statsRecorder {
+	return &statsRecorder{latencies: make(map[string]*latencyRing)}
+}
+
+func (st *statsRecorder) accepted()   { st.acceptedN.Add(1) }
+func (st *statsRecorder) failed()     { st.failedN.Add(1) }
+func (st *statsRecorder) rejected()   { st.rejectedN.Add(1) }
+func (st *statsRecorder) cacheHit()   { st.cacheHitN.Add(1) }
+func (st *statsRecorder) cacheMiss()  { st.cacheMissN.Add(1) }
+func (st *statsRecorder) persistErr() { st.persistErrN.Add(1) }
+func (st *statsRecorder) salvaged()   { st.salvagedN.Add(1) }
+
+func (st *statsRecorder) completed(method string, wallMS float64) {
+	st.completedN.Add(1)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r := st.latencies[method]
+	if r == nil {
+		r = &latencyRing{}
+		st.latencies[method] = r
+	}
+	r.add(wallMS)
+}
+
+func (st *statsRecorder) methodSummaries() map[string]report.LatencySummary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]report.LatencySummary, len(st.latencies))
+	for m, r := range st.latencies {
+		out[m] = report.SummarizeLatencies(r.buf)
+	}
+	return out
+}
+
+// CacheStats is the cache section of /stats.
+type CacheStats struct {
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// StatsView is the /stats JSON.
+type StatsView struct {
+	Status     string  `json:"status"`
+	UptimeMS   float64 `json:"uptime_ms"`
+	Workers    int     `json:"workers"`
+	Runners    int     `json:"runners"`
+	QueueCap   int     `json:"queue_capacity"`
+	QueueDepth int     `json:"queue_depth"`
+	Running    int64   `json:"running"`
+	Accepted   int64   `json:"accepted"`
+	Completed  int64   `json:"completed"`
+	Failed     int64   `json:"failed"`
+	Rejected   int64   `json:"rejected"`
+	// Salvaged counts timed-out jobs whose abandoned computation later
+	// finished and was kept in the cache anyway.
+	Salvaged    int64                            `json:"salvaged"`
+	PersistErrs int64                            `json:"persist_errors"`
+	Cache       CacheStats                       `json:"cache"`
+	Methods     map[string]report.LatencySummary `json:"method_latency"`
+}
+
+// Stats assembles the current operational snapshot.
+func (s *Server) Stats() StatsView {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	hits := s.stats.cacheHitN.Load()
+	misses := s.stats.cacheMissN.Load()
+	var rate float64
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return StatsView{
+		Status:      status,
+		UptimeMS:    float64(time.Since(s.started).Microseconds()) / 1000,
+		Workers:     s.pool.Workers(),
+		Runners:     s.cfg.Runners,
+		QueueCap:    s.cfg.QueueDepth,
+		QueueDepth:  s.sched.depth(),
+		Running:     s.sched.active(),
+		Accepted:    s.stats.acceptedN.Load(),
+		Completed:   s.stats.completedN.Load(),
+		Failed:      s.stats.failedN.Load(),
+		Rejected:    s.stats.rejectedN.Load(),
+		Salvaged:    s.stats.salvagedN.Load(),
+		PersistErrs: s.stats.persistErrN.Load(),
+		Cache: CacheStats{
+			Entries:  s.cache.Len(),
+			Capacity: s.cfg.CacheEntries,
+			Hits:     hits,
+			Misses:   misses,
+			HitRate:  rate,
+		},
+		Methods: s.stats.methodSummaries(),
+	}
+}

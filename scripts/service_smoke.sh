@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the mgserve daemon, runnable locally
+# (`make smoke-service`) and in CI: boot the server, submit a job with
+# curl, poll it to completion, resubmit and require a cache hit, check
+# /stats counted it, then drive a short mgload burst with offline
+# verification and exercise graceful shutdown.
+set -euo pipefail
+
+ADDR="${MGSERVE_ADDR:-127.0.0.1:8907}"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+SERVER_PID="" # set once the server boots; the trap runs under set -u
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+echo "==> building"
+go build -o "$WORKDIR/mgserve" ./cmd/mgserve
+go build -o "$WORKDIR/mgload" ./cmd/mgload
+
+echo "==> booting mgserve on $ADDR"
+"$WORKDIR/mgserve" -addr "$ADDR" -data "$WORKDIR/data" -runners 2 \
+  >"$WORKDIR/mgserve.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" | grep -q '"status": "ok"'
+
+echo "==> submitting a job"
+SPEC='{"corpus":"lap2d-24","p":4,"method":"MG","seed":42,"workers":2}'
+SUBMIT=$(curl -sf -X POST "$BASE/jobs" -d "$SPEC")
+echo "$SUBMIT"
+JOB_ID=$(echo "$SUBMIT" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+test -n "$JOB_ID"
+
+echo "==> polling $JOB_ID"
+for _ in $(seq 1 150); do
+  # `|| true`: a transient curl failure must retry, not abort via set -e.
+  STATE=$(curl -sf "$BASE/jobs/$JOB_ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' || true)
+  [ "$STATE" = "done" ] && break
+  [ "$STATE" = "failed" ] && { echo "job failed"; exit 1; }
+  sleep 0.2
+done
+test "$STATE" = "done"
+# Fetch to a file: the result JSON carries the whole parts vector, and
+# `curl | grep -q` would kill the pipe at the first match (curl exit 23).
+curl -sf "$BASE/jobs/$JOB_ID/result" -o "$WORKDIR/result.json"
+grep -q '"volume"' "$WORKDIR/result.json"
+grep -q '"parts"' "$WORKDIR/result.json"
+
+echo "==> resubmitting: must be a cache hit"
+RESUBMIT=$(curl -sf -X POST "$BASE/jobs" -d "$SPEC")
+echo "$RESUBMIT" | grep -q '"cached": true' || { echo "no cache hit"; exit 1; }
+curl -sf "$BASE/stats" -o "$WORKDIR/stats.json"
+grep -q '"hits": [1-9]' "$WORKDIR/stats.json" || { echo "stats missed the hit"; exit 1; }
+
+echo "==> mgload burst with offline verification"
+"$WORKDIR/mgload" -addr "$BASE" -clients 8 -requests 3 -seeds 1 \
+  -matrices "lap2d-24,tridiag" -ps "2,4" -verify -out "$WORKDIR/load.json"
+grep -q '"verify_failures": 0' "$WORKDIR/load.json"
+
+echo "==> graceful shutdown (SIGTERM drain)"
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 50); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then echo "server did not drain"; exit 1; fi
+grep -q "drained:" "$WORKDIR/mgserve.log"
+ls "$WORKDIR/data" | grep -q '.meta.json'
+
+echo "==> service smoke OK"
