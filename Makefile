@@ -4,7 +4,7 @@ GO       ?= go
 DATE     := $(shell date -u +%F)
 BENCHOUT ?= BENCH_$(DATE).json
 
-.PHONY: build test race bench bench-json bench-scale3 bench-diff lint serve load-test smoke-service
+.PHONY: build test race bench bench-json bench-scale3 bench-diff lint check-deprecated serve load-test smoke-service
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,15 @@ bench-diff:
 	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-diff OLD=a.json NEW=b.json"; exit 2; }
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
-lint:
+lint: check-deprecated
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+
+# No non-test code outside the root package may call the deprecated
+# legacy API (the Engine is the single entry point).
+check-deprecated:
+	./scripts/check_deprecated.sh
 
 # Run the partitioning-as-a-service daemon with persistence under ./mgserve-data.
 serve:

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -439,8 +440,17 @@ func submitAndFetch(addr string, spec service.JobSpec, poll, timeout time.Durati
 	return rv, err
 }
 
+// verifyEngines are the long-lived engines behind -verify: one per
+// engine class the server addresses (any Workers >= 1 is bit-identical
+// to the server's shared pool, so one single-worker engine stands in
+// for every parallel worker count).
+var (
+	verifyParEngine = core.NewEngine(1)
+	verifySeqEngine = core.NewEngine(0)
+)
+
 // offline runs the library locally with the engine class the server
-// used (any Workers >= 1 is bit-identical to the server's shared pool).
+// used.
 func offline(a *sparse.Matrix, spec service.JobSpec) ([]int, error) {
 	m, err := core.ParseMethod(spec.Method)
 	if err != nil {
@@ -451,10 +461,11 @@ func offline(a *sparse.Matrix, spec service.JobSpec) ([]int, error) {
 		opts.Eps = *spec.Eps
 	}
 	opts.Refine = spec.Refine
+	eng := verifySeqEngine
 	if spec.Workers != 0 {
-		opts.Workers = 1
+		eng = verifyParEngine
 	}
-	res, err := core.Partition(a, spec.P, m, opts, rand.New(rand.NewSource(spec.Seed)))
+	res, err := eng.Partition(context.Background(), a, spec.P, m, opts, rand.New(rand.NewSource(spec.Seed)))
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -63,27 +64,49 @@ func main() {
 	if *workers < 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	opts := mediumgrain.DefaultOptions()
-	opts.Eps = *eps
-	opts.Refine = *ir
-	opts.Workers = *workers
+	var pcfg mediumgrain.PartitionerConfig
 	switch *engine {
 	case "mondriaan":
-		opts.Config = mediumgrain.MondriaanLikeConfig()
+		pcfg = mediumgrain.MondriaanLikeConfig()
 	case "alt":
-		opts.Config = mediumgrain.AltConfig()
+		pcfg = mediumgrain.AltConfig()
 	default:
 		log.Fatalf("unknown engine %q (want mondriaan or alt)", *engine)
 	}
+	// One reusable engine runs the partitioning and any post-refinement;
+	// ^C-style cancellation would only need a signal-bound context here.
+	eng := mediumgrain.New(mediumgrain.EngineConfig{Workers: *workers, Partitioner: pcfg})
+	ctx := context.Background()
 
-	rng := mediumgrain.NewRNG(*seed)
-	res, err := mediumgrain.Partition(a, *p, m, opts, rng)
+	epsReq := *eps
+	if epsReq == 0 {
+		epsReq = -1 // Request: 0 means default; negative asks exact balance
+	}
+	res, err := eng.Partition(ctx, mediumgrain.Request{
+		Matrix: a,
+		P:      *p,
+		Method: m,
+		Seed:   *seed,
+		Eps:    epsReq,
+		Refine: *ir,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *kway {
 		before := res.Volume
-		res.Volume = mediumgrain.KWayRefineParallel(a, res.Parts, *p, *eps, *workers, rng)
+		refined, err := eng.Refine(ctx, mediumgrain.Request{
+			Matrix: a,
+			P:      *p,
+			Method: m,
+			Seed:   *seed + 1, // a fresh stream for the refinement pass
+			Eps:    epsReq,
+			Parts:  res.Parts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = refined
 		fmt.Printf("k-way refinement: volume %d -> %d\n", before, res.Volume)
 	}
 

@@ -41,18 +41,20 @@ func main() {
 		corpusScale = flag.Int("corpus-scale", 0, "corpus scale (0 = default)")
 		corpusSeed  = flag.Int64("corpus-seed", 0, "corpus seed (0 = default)")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "default per-job timeout")
+		salvage     = flag.Bool("salvage", false, "salvage-on-cancel: let timed-out/canceled computations finish in the background and cache their results instead of canceling their context")
 	)
 	flag.Parse()
 
 	srv, warns := service.New(service.Config{
-		Workers:        *workers,
-		Runners:        *runners,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheSize,
-		DataDir:        *dataDir,
-		DefaultTimeout: *timeout,
-		CorpusScale:    *corpusScale,
-		CorpusSeed:     *corpusSeed,
+		Workers:         *workers,
+		Runners:         *runners,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheSize,
+		DataDir:         *dataDir,
+		DefaultTimeout:  *timeout,
+		CorpusScale:     *corpusScale,
+		CorpusSeed:      *corpusSeed,
+		SalvageOnCancel: *salvage,
 	})
 	for _, w := range warns {
 		log.Printf("rehydration: %v", w)

@@ -1,0 +1,293 @@
+package mediumgrain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mediumgrain/internal/core"
+	"mediumgrain/internal/metrics"
+)
+
+// EngineConfig sizes an Engine. The zero value is usable: a sequential
+// engine with the paper's Mondriaan-like partitioner.
+type EngineConfig struct {
+	// Workers selects the execution engine: 0 is the sequential legacy
+	// path (bit-identical to the historical Options.Workers == 0
+	// results), any N >= 1 a worker pool of N goroutines, and a negative
+	// value runtime.GOMAXPROCS(0). For a given seed every Workers >= 1
+	// produces bit-identical results, so the worker count is purely a
+	// throughput knob.
+	Workers int
+	// Partitioner tunes the multilevel hypergraph engine; the zero value
+	// selects MondriaanLikeConfig(), the paper's primary engine.
+	Partitioner PartitionerConfig
+}
+
+// Engine is a reusable, cancellable partitioning handle — the single
+// entry point for library, CLI, and daemon callers. Create one with
+// New, keep it for the lifetime of the process, and run every request
+// through it: the engine owns the worker-pool semaphore and the
+// per-worker scratch free list, so repeated calls reuse memory instead
+// of reallocating, and concurrent calls share one machine-wide worker
+// budget instead of multiplying goroutines.
+//
+// All methods are safe for concurrent use and honor their context:
+// cancellation propagates cooperatively into recursive bisection, the
+// multilevel coarsen/init/FM loops, and the metric scans, so a canceled
+// call returns context.Canceled promptly, leaks no goroutine, and
+// leaves the scratch free list balanced.
+//
+// Determinism: requests carry a Seed, and the engine derives the same
+// per-subproblem RNG streams as the deprecated free functions — for
+// equal seeds, Engine results are bit-identical to the legacy API at
+// every worker count.
+type Engine struct {
+	cfg EngineConfig
+	eng *core.Engine
+}
+
+// New creates an Engine. The handle is long-lived: construct it once
+// and share it; see EngineConfig for the worker semantics.
+func New(cfg EngineConfig) *Engine {
+	if cfg.Partitioner == (PartitionerConfig{}) {
+		cfg.Partitioner = MondriaanLikeConfig()
+	}
+	return &Engine{cfg: cfg, eng: core.NewEngine(cfg.Workers)}
+}
+
+// Workers reports the engine's pool size; 0 for a sequential engine.
+func (e *Engine) Workers() int { return e.eng.Workers() }
+
+// defaultEngine backs the deprecated package-level functions: one
+// sequential engine per distinct legacy Workers value would defeat the
+// point, so the wrappers construct throwaway core engines instead; this
+// default engine serves callers migrating incrementally who want a
+// shared handle without plumbing one through yet.
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the process-wide engine (Workers < 0, i.e.
+// GOMAXPROCS), creating it on first use.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() {
+		defaultEngine = New(EngineConfig{Workers: -1})
+	})
+	return defaultEngine
+}
+
+// Event reports Engine progress to a Request's Progress callback.
+type Event struct {
+	// Stage is "partition", "refine", "evaluate", or "done".
+	Stage string
+	// CompletedNNZ counts nonzeros whose final part is decided;
+	// TotalNNZ is the request matrix's nonzero count.
+	CompletedNNZ, TotalNNZ int
+	// Elapsed is the wall time since the request started.
+	Elapsed time.Duration
+}
+
+// Request describes one Engine call. Matrix is required; the zero value
+// of every other field selects a sensible default, so
+// Request{Matrix: a, Method: MethodMediumGrain, Seed: 42} is a complete
+// medium-grain request.
+type Request struct {
+	// Matrix is the sparse matrix to partition (required).
+	Matrix *Matrix
+	// P is the number of parts (default 2).
+	P int
+	// Method selects the partitioning model. The zero value is
+	// MethodRowNet by enumeration order; most callers want
+	// MethodMediumGrain, the paper's method.
+	Method Method
+	// Seed drives every randomized choice: equal seeds give bit-identical
+	// results at every worker count (replacing the *rand.Rand of the
+	// deprecated API).
+	Seed int64
+	// Eps is the allowed load imbalance of eqn (1). 0 selects the
+	// paper's 0.03; a negative value requests exact balance (ε = 0).
+	Eps float64
+	// Refine applies the paper's iterative refinement (Algorithm 2)
+	// after partitioning.
+	Refine bool
+	// Strategy overrides the medium-grain initial split (default
+	// SplitNNZ, Algorithm 1). Ignored by other methods.
+	Strategy SplitStrategy
+	// Parts is the existing partitioning that Refine and Evaluate
+	// operate on; Partition and Bipartition ignore it.
+	Parts []int
+	// Progress, when non-nil, receives Events as the request advances.
+	// It may be called concurrently from several worker goroutines and
+	// must be cheap and thread-safe.
+	Progress func(Event)
+}
+
+// errNilMatrix is returned for requests without a matrix.
+var errNilMatrix = errors.New("mediumgrain: request has no matrix")
+
+// options maps a Request onto the internal Options, resolving defaults.
+func (e *Engine) options(req Request) Options {
+	opts := Options{
+		Eps:     req.Eps,
+		Refine:  req.Refine,
+		Config:  e.cfg.Partitioner,
+		Split:   req.Strategy,
+		Workers: e.cfg.Workers,
+	}
+	if req.Eps == 0 {
+		opts.Eps = DefaultOptions().Eps
+	} else if req.Eps < 0 {
+		opts.Eps = 0
+	}
+	return opts
+}
+
+// progress wires a Request's Progress callback into a leaf counter; the
+// returned onLeaf is nil when the request has no callback.
+func progressHooks(req Request, start time.Time) (onLeaf func(int), emit func(stage string, completed int)) {
+	if req.Progress == nil {
+		return nil, func(string, int) {}
+	}
+	total := req.Matrix.NNZ()
+	var completed atomic.Int64
+	onLeaf = func(nnz int) {
+		done := completed.Add(int64(nnz))
+		req.Progress(Event{
+			Stage:        "partition",
+			CompletedNNZ: int(done),
+			TotalNNZ:     total,
+			Elapsed:      time.Since(start),
+		})
+	}
+	emit = func(stage string, done int) {
+		req.Progress(Event{
+			Stage:        stage,
+			CompletedNNZ: done,
+			TotalNNZ:     total,
+			Elapsed:      time.Since(start),
+		})
+	}
+	return onLeaf, emit
+}
+
+// Partition distributes the nonzeros of req.Matrix over req.P parts by
+// recursive bisection with req.Method. The result satisfies the
+// load-balance constraint of eqn (1) and reports the communication
+// volume V. Cancellation of ctx aborts the run with ctx.Err().
+func (e *Engine) Partition(ctx context.Context, req Request) (*Result, error) {
+	if req.Matrix == nil {
+		return nil, errNilMatrix
+	}
+	p := req.P
+	if p == 0 {
+		p = 2
+	}
+	start := time.Now()
+	onLeaf, emit := progressHooks(req, start)
+	res, err := e.eng.PartitionProgress(ctx, req.Matrix, p, req.Method, e.options(req), NewRNG(req.Seed), onLeaf)
+	if err != nil {
+		return nil, err
+	}
+	emit("done", req.Matrix.NNZ())
+	return res, nil
+}
+
+// Bipartition is Partition with p = 2 (req.P is ignored); it exists
+// because the paper's core contribution is the bipartitioning step.
+func (e *Engine) Bipartition(ctx context.Context, req Request) (*Result, error) {
+	if req.Matrix == nil {
+		return nil, errNilMatrix
+	}
+	start := time.Now()
+	_, emit := progressHooks(req, start)
+	res, err := e.eng.Bipartition(ctx, req.Matrix, req.Method, e.options(req), NewRNG(req.Seed))
+	if err != nil {
+		return nil, err
+	}
+	emit("done", req.Matrix.NNZ())
+	return res, nil
+}
+
+// Refine improves the existing partitioning req.Parts (of req.P parts;
+// default 2) without ever increasing its volume: for two parts it runs
+// the paper's iterative refinement (Algorithm 2), for more it runs
+// direct k-way greedy refinement under the λ−1 metric. req.Parts is not
+// modified; the refined copy rides in the returned Result.
+func (e *Engine) Refine(ctx context.Context, req Request) (*Result, error) {
+	if req.Matrix == nil {
+		return nil, errNilMatrix
+	}
+	p := req.P
+	if p == 0 {
+		p = 2
+	}
+	if len(req.Parts) != req.Matrix.NNZ() {
+		return nil, fmt.Errorf("mediumgrain: request has %d parts for %d nonzeros", len(req.Parts), req.Matrix.NNZ())
+	}
+	start := time.Now()
+	_, emit := progressHooks(req, start)
+	opts := e.options(req)
+	rng := NewRNG(req.Seed)
+
+	parts := append([]int(nil), req.Parts...)
+	var vol int64
+	var err error
+	if p == 2 {
+		parts, vol, err = e.eng.IterativeRefine(ctx, req.Matrix, parts, opts, rng)
+	} else {
+		vol, err = e.eng.KWayRefine(ctx, req.Matrix, parts, p, opts.Eps, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	emit("refine", req.Matrix.NNZ())
+	return &Result{Parts: parts, Volume: vol, Method: req.Method, Refined: true}, nil
+}
+
+// Evaluation is the quality report of Evaluate.
+type Evaluation struct {
+	// Volume is the communication volume V of eqn (3).
+	Volume int64
+	// Imbalance is the achieved load imbalance ε' with
+	// max_i |A_i| = (1+ε')·N/p.
+	Imbalance float64
+	// BSPCost is the BSP communication cost (Table II metric).
+	BSPCost int64
+}
+
+// Evaluate measures an existing partitioning req.Parts over req.P parts
+// (default 2) on the engine's pool: communication volume, achieved
+// imbalance, and BSP cost.
+func (e *Engine) Evaluate(ctx context.Context, req Request) (*Evaluation, error) {
+	if req.Matrix == nil {
+		return nil, errNilMatrix
+	}
+	p := req.P
+	if p == 0 {
+		p = 2
+	}
+	if len(req.Parts) != req.Matrix.NNZ() {
+		return nil, fmt.Errorf("mediumgrain: request has %d parts for %d nonzeros", len(req.Parts), req.Matrix.NNZ())
+	}
+	start := time.Now()
+	_, emit := progressHooks(req, start)
+	vol, err := e.eng.Volume(ctx, req.Matrix, req.Parts, p)
+	if err != nil {
+		return nil, err
+	}
+	cost, _ := metrics.BSPCost(req.Matrix, req.Parts, p)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	emit("evaluate", req.Matrix.NNZ())
+	return &Evaluation{
+		Volume:    vol,
+		Imbalance: metrics.Imbalance(req.Parts, p),
+		BSPCost:   cost,
+	}, nil
+}

@@ -1,6 +1,7 @@
 package mediumgrain_test
 
 import (
+	"context"
 	"fmt"
 
 	"mediumgrain"
@@ -113,4 +114,67 @@ func ExampleInitialSplit() {
 	// Output:
 	// split covers all nonzeros: true
 	// parallel split identical: true
+}
+
+// ExampleEngine_Partition is the recommended entry point: one reusable
+// engine, seeded requests, context-based cancellation.
+func ExampleEngine_Partition() {
+	a := gen.Laplacian2D(16, 16)
+
+	// Create the engine once (e.g. at process start) and share it; a
+	// negative worker count selects runtime.GOMAXPROCS(0).
+	eng := mediumgrain.New(mediumgrain.EngineConfig{Workers: -1})
+
+	res, err := eng.Partition(context.Background(), mediumgrain.Request{
+		Matrix: a,
+		P:      8,
+		Method: mediumgrain.MethodMediumGrain,
+		Seed:   42, // equal seeds give bit-identical results at every worker count
+		Refine: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ev, err := eng.Evaluate(context.Background(), mediumgrain.Request{Matrix: a, P: 8, Parts: res.Parts})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("parts assigned:", len(res.Parts) == a.NNZ())
+	fmt.Println("volumes agree:", ev.Volume == res.Volume)
+	fmt.Println("balanced:", ev.Imbalance <= 0.03)
+	// Output:
+	// parts assigned: true
+	// volumes agree: true
+	// balanced: true
+}
+
+// ExampleEngine_cancellation shows cooperative cancellation: canceling
+// the context makes the engine stop partitioning and return ctx.Err()
+// promptly, with all scratch memory checked back in.
+func ExampleEngine_cancellation() {
+	a := gen.Laplacian2D(64, 64)
+	eng := mediumgrain.New(mediumgrain.EngineConfig{Workers: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // a real caller cancels on timeout, shutdown, or user abort
+
+	_, err := eng.Partition(ctx, mediumgrain.Request{
+		Matrix: a,
+		P:      16,
+		Method: mediumgrain.MethodMediumGrain,
+		Seed:   1,
+	})
+	fmt.Println("err:", err)
+
+	// The engine stays fully usable after a canceled request.
+	res, err := eng.Partition(context.Background(), mediumgrain.Request{
+		Matrix: a,
+		P:      16,
+		Method: mediumgrain.MethodMediumGrain,
+		Seed:   1,
+	})
+	fmt.Println("retry ok:", err == nil && len(res.Parts) == a.NNZ())
+	// Output:
+	// err: context canceled
+	// retry ok: true
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,17 +22,26 @@ func main() {
 	a := gen.Laplacian3D(8, 8, 8)
 	fmt.Println("matrix:", a, "class", a.Classify())
 
-	opts := mediumgrain.DefaultOptions()
-	opts.Refine = true
-	res, err := mediumgrain.Partition(a, p, mediumgrain.MethodMediumGrain, opts, mediumgrain.NewRNG(2))
+	eng := mediumgrain.New(mediumgrain.EngineConfig{})
+	ctx := context.Background()
+	res, err := eng.Partition(ctx, mediumgrain.Request{
+		Matrix: a,
+		P:      p,
+		Method: mediumgrain.MethodMediumGrain,
+		Seed:   2,
+		Refine: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Post-process: direct k-way refinement, then vector-owner search.
-	parts := append([]int(nil), res.Parts...)
-	vol := mediumgrain.KWayRefine(a, parts, p, opts.Eps, mediumgrain.NewRNG(3))
-	fmt.Printf("volume: %d after recursive bisection, %d after k-way refinement\n", res.Volume, vol)
+	kres, err := eng.Refine(ctx, mediumgrain.Request{Matrix: a, P: p, Seed: 3, Parts: res.Parts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts := kres.Parts
+	fmt.Printf("volume: %d after recursive bisection, %d after k-way refinement\n", res.Volume, kres.Volume)
 
 	dist, err := mediumgrain.NewDistribution(a, parts, p)
 	if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,8 @@ func main() {
 	fmt.Println()
 
 	const runs = 50
-	opts := mediumgrain.DefaultOptions()
+	eng := mediumgrain.New(mediumgrain.EngineConfig{})
+	ctx := context.Background()
 
 	var bestMGParts []int
 	bestMGVol := int64(-1)
@@ -34,7 +36,7 @@ func main() {
 	} {
 		best := int64(-1)
 		for r := int64(0); r < runs; r++ {
-			res, err := mediumgrain.Bipartition(a, method, opts, mediumgrain.NewRNG(r))
+			res, err := eng.Bipartition(ctx, mediumgrain.Request{Matrix: a, Method: method, Seed: r})
 			if err != nil {
 				log.Fatal(err)
 			}

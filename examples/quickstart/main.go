@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,20 +25,26 @@ func main() {
 	a.Canonicalize()
 	fmt.Println("matrix:", a)
 
-	// Partition with the medium-grain method plus iterative refinement,
-	// allowing 3% load imbalance (the paper's setting).
-	opts := mediumgrain.DefaultOptions()
-	opts.Refine = true
-	rng := mediumgrain.NewRNG(42)
+	// One reusable engine serves every request of the process; requests
+	// carry a seed, so runs are reproducible. Partition with the
+	// medium-grain method plus iterative refinement, at the paper's 3%
+	// load-imbalance default.
+	eng := mediumgrain.New(mediumgrain.EngineConfig{})
+	ctx := context.Background()
 
-	res, err := mediumgrain.Bipartition(a, mediumgrain.MethodMediumGrain, opts, rng)
+	res, err := eng.Bipartition(ctx, mediumgrain.Request{
+		Matrix: a,
+		Method: mediumgrain.MethodMediumGrain,
+		Seed:   42,
+		Refine: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("communication volume:", res.Volume)
 	fmt.Printf("load imbalance: %.3f (allowed %.3f)\n",
-		mediumgrain.Imbalance(res.Parts, 2), opts.Eps)
+		mediumgrain.Imbalance(res.Parts, 2), mediumgrain.DefaultOptions().Eps)
 
 	// Show which part owns each nonzero.
 	fmt.Println("nonzero assignment (row col -> part):")
@@ -46,7 +53,12 @@ func main() {
 	}
 
 	// Compare against the 1D localbest baseline.
-	lb, err := mediumgrain.Bipartition(a, mediumgrain.MethodLocalBest, opts, rng)
+	lb, err := eng.Bipartition(ctx, mediumgrain.Request{
+		Matrix: a,
+		Method: mediumgrain.MethodLocalBest,
+		Seed:   42,
+		Refine: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,21 +21,32 @@ func main() {
 	a := gen.RandomBipartite(rand.New(rand.NewSource(9)), 4000, 900, 6)
 	fmt.Println("matrix:", a, "class", a.Classify())
 
-	opts := mediumgrain.DefaultOptions()
-	opts.Refine = true
+	// One engine on a GOMAXPROCS pool serves all three methods; the
+	// engine's Evaluate reports volume, imbalance, and BSP cost in one
+	// call.
+	eng := mediumgrain.New(mediumgrain.EngineConfig{Workers: -1})
+	ctx := context.Background()
 
 	for _, method := range []mediumgrain.Method{
 		mediumgrain.MethodMediumGrain,
 		mediumgrain.MethodLocalBest,
 		mediumgrain.MethodFineGrain,
 	} {
-		res, err := mediumgrain.Partition(a, p, method, opts, mediumgrain.NewRNG(17))
+		res, err := eng.Partition(ctx, mediumgrain.Request{
+			Matrix: a,
+			P:      p,
+			Method: method,
+			Seed:   17,
+			Refine: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := eng.Evaluate(ctx, mediumgrain.Request{Matrix: a, P: p, Parts: res.Parts})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-3v+IR  p=%d  volume %-6d  BSP cost %-5d  imbalance %.3f\n",
-			method, p, res.Volume,
-			mediumgrain.BSPCost(a, res.Parts, p),
-			mediumgrain.Imbalance(res.Parts, p))
+			method, p, ev.Volume, ev.BSPCost, ev.Imbalance)
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,29 +20,43 @@ func main() {
 	a := gen.PowerLawGraph(rand.New(rand.NewSource(11)), 800, 4)
 	fmt.Println("matrix:", a, "class", a.Classify())
 
-	opts := mediumgrain.DefaultOptions()
-	rng := mediumgrain.NewRNG(3)
+	eng := mediumgrain.New(mediumgrain.EngineConfig{})
+	ctx := context.Background()
 
 	// A 1D bipartitioning in the "wrong" direction is a realistic weak
 	// starting point.
-	weak, err := mediumgrain.Bipartition(a, mediumgrain.MethodRowNet, opts, rng)
+	weak, err := eng.Bipartition(ctx, mediumgrain.Request{
+		Matrix: a,
+		Method: mediumgrain.MethodRowNet,
+		Seed:   3,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("row-net bipartitioning:   volume %d, imbalance %.3f\n",
 		weak.Volume, mediumgrain.Imbalance(weak.Parts, 2))
 
-	refined := mediumgrain.IterativeRefine(a, weak.Parts, opts, rng)
-	vol := mediumgrain.Volume(a, refined, 2)
+	refined, err := eng.Refine(ctx, mediumgrain.Request{
+		Matrix: a,
+		Seed:   4,
+		Parts:  weak.Parts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("after iterative refinement: volume %d, imbalance %.3f\n",
-		vol, mediumgrain.Imbalance(refined, 2))
+		refined.Volume, mediumgrain.Imbalance(refined.Parts, 2))
 	if weak.Volume > 0 {
-		fmt.Printf("volume reduction: %.1f%%\n", 100*(1-float64(vol)/float64(weak.Volume)))
+		fmt.Printf("volume reduction: %.1f%%\n", 100*(1-float64(refined.Volume)/float64(weak.Volume)))
 	}
 
 	// For reference: medium-grain from scratch with refinement.
-	opts.Refine = true
-	mg, err := mediumgrain.Bipartition(a, mediumgrain.MethodMediumGrain, opts, rng)
+	mg, err := eng.Bipartition(ctx, mediumgrain.Request{
+		Matrix: a,
+		Method: mediumgrain.MethodMediumGrain,
+		Seed:   3,
+		Refine: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

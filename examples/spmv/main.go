@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -21,9 +22,8 @@ func main() {
 	a := gen.WithRandomValues(rand.New(rand.NewSource(5)), gen.Laplacian2D(30, 30))
 	fmt.Println("matrix:", a)
 
-	opts := mediumgrain.DefaultOptions()
-	opts.Refine = true
-	res, err := mediumgrain.Partition(a, p, mediumgrain.MethodMediumGrain, opts, mediumgrain.NewRNG(1))
+	res, err := mediumgrain.New(mediumgrain.EngineConfig{}).Partition(context.Background(),
+		mediumgrain.Request{Matrix: a, P: p, Method: mediumgrain.MethodMediumGrain, Seed: 1, Refine: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mediumgrain/internal/kway"
+	"mediumgrain/internal/metrics"
+	"mediumgrain/internal/pool"
+	"mediumgrain/internal/sparse"
+)
+
+// Engine is a reusable, concurrency-safe partitioning handle: it owns
+// the worker-pool semaphore and the per-worker scratch free list, so a
+// long-lived caller (library user, CLI, the mgserve daemon) creates one
+// Engine and runs every request through it instead of paying pool and
+// scratch setup per call. All methods take a context and stop
+// cooperatively — at bisection-node, coarsening-level, FM-pass, and
+// scan-chunk boundaries — when it is canceled, returning ctx.Err() with
+// every scratch checked back in and no goroutine left behind.
+//
+// Determinism: an Engine built with workers != 0 produces bit-identical
+// results to the legacy free functions with Options.Workers != 0 for
+// equal seeds, at every pool size; workers == 0 reproduces the legacy
+// sequential path exactly. Concurrent calls on one Engine never affect
+// each other's results — the pool only schedules, each run owns its RNG
+// stream, and scratches are content-agnostic.
+type Engine struct {
+	pl *pool.Pool
+	st *scratchStore
+}
+
+// NewEngine returns an engine executing on `workers` goroutines.
+// workers == 0 selects the sequential legacy algorithms (bit-identical
+// to Options.Workers == 0); workers < 0 selects runtime.GOMAXPROCS(0).
+func NewEngine(workers int) *Engine {
+	if workers == 0 {
+		return &Engine{}
+	}
+	pl := pool.New(workers)
+	return &Engine{pl: pl, st: newScratchStore(pl.Workers())}
+}
+
+// Workers reports the engine's pool size; 0 for a sequential engine.
+func (e *Engine) Workers() int {
+	if e.pl == nil {
+		return 0
+	}
+	return e.pl.Workers()
+}
+
+// normalize aligns opts.Workers with the engine the run executes on:
+// the field selects between the sequential-legacy and the
+// parallel-deterministic algorithm variants (and sizes internal free
+// lists), while actual concurrency is bounded by the engine's pool.
+func (e *Engine) normalize(opts Options) Options {
+	if e.pl == nil {
+		opts.Workers = 0
+	} else if opts.Workers == 0 {
+		opts.Workers = e.pl.Workers()
+	}
+	return opts
+}
+
+// Partition distributes the nonzeros of a over p parts by recursive
+// bisection, as the package-level Partition, but on the engine's pool
+// and scratches and under ctx.
+func (e *Engine) Partition(ctx context.Context, a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand) (*Result, error) {
+	return e.partitionMode(ctx, a, p, method, opts, rng, true, nil)
+}
+
+// PartitionProgress is Partition reporting completion: onLeaf is called
+// once per finalized bisection leaf with the number of nonzeros whose
+// part just became final (possibly from several goroutines at once).
+func (e *Engine) PartitionProgress(ctx context.Context, a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, onLeaf func(nnz int)) (*Result, error) {
+	return e.partitionMode(ctx, a, p, method, opts, rng, true, onLeaf)
+}
+
+// partitionMode is Partition with the subproblem-extraction mode
+// exposed: compact (the production path) relabels every bisection node
+// onto its occupied rows and columns, legacy (compact == false) emits
+// full-dimension copies. Both modes are bit-identical per seed for the
+// nonzero-vertex models (medium-grain, fine-grain); the equivalence
+// tests run both to prove it. The sequential engine always uses the
+// legacy extraction, preserving historical per-seed results.
+func (e *Engine) partitionMode(ctx context.Context, a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, compact bool, onLeaf func(int)) (*Result, error) {
+	opts = e.normalize(opts)
+	if p < 1 {
+		return nil, fmt.Errorf("core: p must be >= 1, got %d", p)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	parts := make([]int, a.NNZ())
+	if p == 1 {
+		if onLeaf != nil {
+			onLeaf(a.NNZ())
+		}
+		return &Result{Parts: parts, Volume: 0, Method: method, Refined: opts.Refine}, nil
+	}
+
+	levels := int(math.Ceil(math.Log2(float64(p))))
+	// Per-level imbalance δ with (1+δ)^levels = 1+ε.
+	delta := math.Pow(1+opts.Eps, 1/float64(levels)) - 1
+
+	all := make([]int, a.NNZ())
+	for k := range all {
+		all[k] = k
+	}
+	if e.pl == nil {
+		if err := bisectRec(ctx, a, all, 0, p, parts, method, opts, delta, rng, onLeaf); err != nil {
+			return nil, err
+		}
+	} else {
+		sc := e.st.get()
+		err := bisectRecPool(ctx, a, all, 0, p, parts, method, opts, delta, rng, e.pl, e.st, sc, compact, onLeaf)
+		e.st.put(sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	vol := metrics.VolumeIndexed(ctx, a, parts, p, nil, nil, e.pl)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Parts:   parts,
+		Volume:  vol,
+		Method:  method,
+		Refined: opts.Refine,
+	}, nil
+}
+
+// Bipartition splits the nonzeros of a into two parts, as the
+// package-level Bipartition, on the engine's pool and under ctx.
+func (e *Engine) Bipartition(ctx context.Context, a *sparse.Matrix, method Method, opts Options, rng *rand.Rand) (*Result, error) {
+	opts = e.normalize(opts)
+	var sc *scratch
+	if e.pl != nil {
+		sc = e.st.get()
+		defer e.st.put(sc)
+	}
+	return bipartitionScratch(ctx, a, tieShape{a.Rows, a.Cols}, method, opts, rng, e.pl, sc)
+}
+
+// IterativeRefine applies the paper's Algorithm 2 to an existing
+// bipartitioning, returning the refined parts and their volume (the
+// loop tracks it, so no separate evaluation is ever paid). A canceled
+// ctx discards the work in favor of ctx.Err().
+func (e *Engine) IterativeRefine(ctx context.Context, a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand) ([]int, int64, error) {
+	opts = e.normalize(opts)
+	var sc *scratch
+	if e.pl != nil {
+		sc = e.st.get()
+		defer e.st.put(sc)
+	}
+	out, vol := iterativeRefineIndexed(ctx, a, parts, opts, rng, nil, sc)
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return out, vol, nil
+}
+
+// VCycleRefine is the multilevel alternative to IterativeRefine, on the
+// engine's pool and under ctx.
+func (e *Engine) VCycleRefine(ctx context.Context, a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand) ([]int, error) {
+	opts = e.normalize(opts)
+	out := vCycleRefineOn(ctx, a, parts, opts, rng, e.pl)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// KWayRefine post-processes a p-way partitioning with direct k-way
+// greedy refinement under the λ−1 metric, modifying parts in place and
+// returning the final volume. Canceled refinements leave parts valid —
+// every applied move lowered the volume — but return ctx.Err().
+func (e *Engine) KWayRefine(ctx context.Context, a *sparse.Matrix, parts []int, p int, eps float64, rng *rand.Rand) (int64, error) {
+	opts := e.normalize(Options{})
+	vol := kway.RefineOn(ctx, a, parts, p, kway.Options{Eps: eps, Workers: opts.Workers}, rng, e.pl)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return vol, nil
+}
+
+// FullIterative runs the paper's §V "full iterative method" under ctx,
+// as the package-level FullIterative but on the engine's pool.
+func (e *Engine) FullIterative(ctx context.Context, a *sparse.Matrix, iterations int, opts Options, rng *rand.Rand) (*Result, error) {
+	opts = e.normalize(opts)
+	return fullIterativeOn(ctx, a, iterations, opts, rng, e)
+}
+
+// Volume evaluates the communication volume of a p-way partitioning on
+// the engine's pool, stopping early when ctx is canceled.
+func (e *Engine) Volume(ctx context.Context, a *sparse.Matrix, parts []int, p int) (int64, error) {
+	v := metrics.VolumeIndexed(ctx, a, parts, p, nil, nil, e.pl)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// scratchesOutstanding reports how many scratches are currently checked
+// out of the engine's free list; it is 0 whenever no call is in flight,
+// canceled calls included (the balance invariant the cancellation tests
+// assert).
+func (e *Engine) scratchesOutstanding() int64 {
+	if e.st == nil {
+		return 0
+	}
+	return e.st.outstanding()
+}

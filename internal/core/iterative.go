@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"mediumgrain/internal/hgpart"
@@ -20,14 +21,26 @@ import (
 // Unlike IterativeRefine, a full multilevel run is not monotone, so the
 // best partitioning across iterations is tracked and returned. Iteration
 // 0 is a plain medium-grain run (Algorithm 1 split).
+//
+// Deprecated: use Engine.FullIterative, which runs under a context on
+// the engine's shared pool.
 func FullIterative(a *sparse.Matrix, iterations int, opts Options, rng *rand.Rand) (*Result, error) {
+	return NewEngine(opts.Workers).FullIterative(context.Background(), a, iterations, opts, rng)
+}
+
+// fullIterativeOn is the engine-backed implementation: iteration 0 runs
+// on e's pool and scratches, the re-encode rounds keep the historical
+// sequential-matching configuration (opts.Config untouched) so per-seed
+// results match the original free function exactly. A canceled ctx ends
+// the loop with ctx.Err().
+func fullIterativeOn(ctx context.Context, a *sparse.Matrix, iterations int, opts Options, rng *rand.Rand, e *Engine) (*Result, error) {
 	if iterations < 1 {
 		iterations = 1
 	}
 	if opts.TargetFrac == 0 {
 		opts.TargetFrac = 0.5
 	}
-	res, err := Bipartition(a, MethodMediumGrain, opts, rng)
+	res, err := e.Bipartition(ctx, a, MethodMediumGrain, opts, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -35,6 +48,9 @@ func FullIterative(a *sparse.Matrix, iterations int, opts Options, rng *rand.Ran
 	bestVol := res.Volume
 
 	for it := 1; it < iterations && bestVol > 0; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dir := it % 2
 		inRow := make([]bool, len(best))
 		for k, p := range best {
@@ -48,15 +64,21 @@ func FullIterative(a *sparse.Matrix, iterations int, opts Options, rng *rand.Ran
 		if err != nil {
 			return nil, err
 		}
-		vparts, _ := hgpart.BipartitionCaps(bm.H, caps(a.NNZ(), opts), rng, opts.Config)
+		vparts, _ := hgpart.BipartitionCapsPoolScratch(ctx, bm.H, caps(a.NNZ(), opts), rng, opts.Config, e.pl, nil)
 		parts := bm.NonzeroParts(vparts)
 		if opts.Refine {
-			parts = IterativeRefine(a, parts, opts, rng)
+			parts, _ = iterativeRefineIndexed(ctx, a, parts, opts, rng, nil, nil)
 		}
-		if vol := metrics.Volume(a, parts, 2); vol < bestVol &&
-			metrics.CheckBalance(parts, 2, opts.Eps) == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if vol := metrics.VolumeIndexed(ctx, a, parts, 2, nil, nil, e.pl); vol < bestVol &&
+			metrics.CheckBalance(parts, 2, opts.Eps) == nil && ctx.Err() == nil {
 			best, bestVol = parts, vol
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return &Result{
 		Parts:   best,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -134,8 +135,12 @@ type Result struct {
 
 // Bipartition splits the nonzeros of a into two parts using the given
 // method. rng drives all randomized choices, making runs reproducible.
+//
+// Deprecated: construct a reusable Engine with NewEngine(opts.Workers)
+// and call its Bipartition with a context; this wrapper builds a
+// throwaway engine per call and cannot be canceled.
 func Bipartition(a *sparse.Matrix, method Method, opts Options, rng *rand.Rand) (*Result, error) {
-	return bipartitionPool(a, method, opts, rng, opts.newPool())
+	return NewEngine(opts.Workers).Bipartition(context.Background(), a, method, opts, rng)
 }
 
 // tieShape is the logical shape of the enclosing problem, used only for
@@ -147,21 +152,13 @@ type tieShape struct {
 	rows, cols int
 }
 
-// bipartitionPool is Bipartition running on a shared worker pool (nil =
-// inline). Partition threads one pool through the whole recursion.
-func bipartitionPool(a *sparse.Matrix, method Method, opts Options, rng *rand.Rand, pl *pool.Pool) (*Result, error) {
-	var sc *scratch
-	if pl != nil {
-		sc = &scratch{}
-	}
-	return bipartitionScratch(a, tieShape{a.Rows, a.Cols}, method, opts, rng, pl, sc)
-}
-
 // bipartitionScratch is the engine behind every bipartition entry point:
 // it indexes the matrix once and shares that CSR/CSC index between the
 // model build, iterative refinement, and the volume evaluation, drawing
-// all working memory from the per-worker scratch (nil = allocate).
-func bipartitionScratch(a *sparse.Matrix, shape tieShape, method Method, opts Options, rng *rand.Rand, pl *pool.Pool, sc *scratch) (*Result, error) {
+// all working memory from the per-worker scratch (nil = allocate). A
+// canceled ctx aborts between phases with ctx.Err(); an uncanceled ctx
+// never changes any result bit.
+func bipartitionScratch(ctx context.Context, a *sparse.Matrix, shape tieShape, method Method, opts Options, rng *rand.Rand, pl *pool.Pool, sc *scratch) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -174,38 +171,52 @@ func bipartitionScratch(a *sparse.Matrix, shape tieShape, method Method, opts Op
 	if opts.TargetFrac <= 0 || opts.TargetFrac >= 1 {
 		return nil, fmt.Errorf("core: target fraction %g outside (0,1)", opts.TargetFrac)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	ix := sc.index(a)
 	var parts []int
 	switch method {
 	case MethodRowNet:
-		parts = bipartitionRowNet(a, opts, rng, pl, ix, sc)
+		parts = bipartitionRowNet(ctx, a, opts, rng, pl, ix, sc)
 	case MethodColNet:
-		parts = bipartitionColNet(a, opts, rng, pl, ix, sc)
+		parts = bipartitionColNet(ctx, a, opts, rng, pl, ix, sc)
 	case MethodLocalBest:
-		p1 := bipartitionRowNet(a, opts, rng, pl, ix, sc)
-		p2 := bipartitionColNet(a, opts, rng, pl, ix, sc)
-		v1 := metrics.VolumeIndexed(a, p1, 2, &ix.Row, &ix.Col, pl)
-		v2 := metrics.VolumeIndexed(a, p2, 2, &ix.Row, &ix.Col, pl)
+		p1 := bipartitionRowNet(ctx, a, opts, rng, pl, ix, sc)
+		p2 := bipartitionColNet(ctx, a, opts, rng, pl, ix, sc)
+		v1 := metrics.VolumeIndexed(ctx, a, p1, 2, &ix.Row, &ix.Col, pl)
+		v2 := metrics.VolumeIndexed(ctx, a, p2, 2, &ix.Row, &ix.Col, pl)
 		if v1 <= v2 {
 			parts = p1
 		} else {
 			parts = p2
 		}
 	case MethodFineGrain:
-		parts = bipartitionFineGrain(a, opts, rng, pl, ix, sc)
+		parts = bipartitionFineGrain(ctx, a, opts, rng, pl, ix, sc)
 	case MethodMediumGrain:
-		parts = bipartitionMediumGrain(a, shape, opts, rng, pl, ix, sc)
+		parts = bipartitionMediumGrain(ctx, a, shape, opts, rng, pl, ix, sc)
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", method)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
+	var vol int64
 	if opts.Refine {
-		parts = iterativeRefineIndexed(a, parts, opts, rng, ix, sc)
+		// The refinement loop's invariant is the current volume; reuse
+		// it instead of paying another full scan.
+		parts, vol = iterativeRefineIndexed(ctx, a, parts, opts, rng, ix, sc)
+	} else {
+		vol = metrics.VolumeIndexed(ctx, a, parts, 2, &ix.Row, &ix.Col, pl)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return &Result{
 		Parts:   parts,
-		Volume:  metrics.VolumeIndexed(a, parts, 2, &ix.Row, &ix.Col, pl),
+		Volume:  vol,
 		Method:  method,
 		Refined: opts.Refine,
 	}, nil
@@ -229,25 +240,25 @@ func caps(nnz int, opts Options) [2]int64 {
 	return [2]int64{c0, c1}
 }
 
-func bipartitionRowNet(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
+func bipartitionRowNet(ctx context.Context, a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
 	h := hypergraph.RowNetIndexed(a, &ix.Row, sc.hbuild())
-	colParts, _ := hgpart.BipartitionCapsPoolScratch(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
+	colParts, _ := hgpart.BipartitionCapsPoolScratch(ctx, h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
 	return hypergraph.VertexPartsToNonzeros(a, colParts)
 }
 
-func bipartitionColNet(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
+func bipartitionColNet(ctx context.Context, a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
 	h := hypergraph.ColNetIndexed(a, &ix.Col, sc.hbuild())
-	rowParts, _ := hgpart.BipartitionCapsPoolScratch(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
+	rowParts, _ := hgpart.BipartitionCapsPoolScratch(ctx, h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
 	return hypergraph.RowPartsToNonzeros(a, rowParts)
 }
 
-func bipartitionFineGrain(a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
+func bipartitionFineGrain(ctx context.Context, a *sparse.Matrix, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
 	h := hypergraph.FineGrainIndexed(a, ix, sc.hbuild())
-	parts, _ := hgpart.BipartitionCapsPoolScratch(h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
+	parts, _ := hgpart.BipartitionCapsPoolScratch(ctx, h, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
 	return parts
 }
 
-func bipartitionMediumGrain(a *sparse.Matrix, shape tieShape, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
+func bipartitionMediumGrain(ctx context.Context, a *sparse.Matrix, shape tieShape, opts Options, rng *rand.Rand, pl *pool.Pool, ix *sparse.Index, sc *scratch) []int {
 	var inRow []bool
 	switch {
 	case opts.Workers != 0 && opts.Split == SplitNNZ:
@@ -262,7 +273,7 @@ func bipartitionMediumGrain(a *sparse.Matrix, shape tieShape, opts Options, rng 
 		// buildBModel only fails on length mismatch, impossible here.
 		panic(err)
 	}
-	vparts, _ := hgpart.BipartitionCapsPoolScratch(bm.H, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
+	vparts, _ := hgpart.BipartitionCapsPoolScratch(ctx, bm.H, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl, sc.engine())
 	parts := bm.NonzeroParts(vparts)
 	// Degenerate splits can produce indivisible vertices heavier than the
 	// balance cap (e.g. a matrix that is one dense column groups into a
@@ -271,7 +282,7 @@ func bipartitionMediumGrain(a *sparse.Matrix, shape tieShape, opts Options, rng 
 	sizes := metrics.PartSizes(parts, 2)
 	limits := caps(a.NNZ(), opts)
 	if sizes[0] > limits[0] || sizes[1] > limits[1] {
-		return bipartitionFineGrain(a, opts, rng, pl, ix, sc)
+		return bipartitionFineGrain(ctx, a, opts, rng, pl, ix, sc)
 	}
 	return parts
 }

@@ -1,11 +1,9 @@
 package core
 
 import (
-	"fmt"
-	"math"
+	"context"
 	"math/rand"
 
-	"mediumgrain/internal/metrics"
 	"mediumgrain/internal/pool"
 	"mediumgrain/internal/sparse"
 )
@@ -22,93 +20,33 @@ import (
 // stream in a fixed order, so the result is bit-identical for every
 // worker count >= 1 (Workers == 0 keeps the legacy sequential path and
 // its historical per-seed results).
+//
+// Deprecated: construct a reusable Engine with NewEngine(opts.Workers)
+// and call its Partition with a context; this wrapper builds a
+// throwaway engine per call and cannot be canceled.
 func Partition(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand) (*Result, error) {
-	return partitionMode(a, p, method, opts, rng, true)
-}
-
-// PartitionPool is Partition executing on a caller-supplied worker pool
-// instead of a pool of its own, so several concurrent partitioning runs
-// can share one machine-wide worker budget (the mgserve daemon threads
-// its server pool through every admitted job). The pool is a counting
-// semaphore and safe for concurrent runs; each run keeps its own RNG
-// stream and scratch buffers. A non-nil pl always selects the parallel
-// engine: results are bit-identical to Partition with any
-// opts.Workers >= 1 for the same seed, regardless of how much capacity
-// other runs are consuming. A nil pl defers to opts.Workers as usual.
-func PartitionPool(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, pl *pool.Pool) (*Result, error) {
-	if pl != nil && opts.Workers == 0 {
-		// Select the parallel-deterministic algorithms (proposal-round
-		// matching, seeded initial tries); the worker count only sizes
-		// scratch free lists, concurrency is bounded by pl itself.
-		opts.Workers = pl.Workers()
-	}
-	return partitionModeOn(a, p, method, opts, rng, true, pl)
+	return NewEngine(opts.Workers).Partition(context.Background(), a, p, method, opts, rng)
 }
 
 // partitionMode is Partition with the subproblem-extraction mode
-// exposed: compact (the production path) relabels every bisection node
-// onto its occupied rows and columns, legacy (compact == false) emits
-// full-dimension copies. Both modes are bit-identical per seed for the
-// nonzero-vertex models (medium-grain, fine-grain); the equivalence
-// tests run both to prove it. The Workers == 0 path always uses the
-// legacy extraction, preserving historical per-seed results.
+// exposed for the compact-equivalence tests.
 func partitionMode(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, compact bool) (*Result, error) {
-	return partitionModeOn(a, p, method, opts, rng, compact, nil)
-}
-
-// partitionModeOn is partitionMode with the worker pool exposed: a nil
-// pl builds one from opts.Workers (nil again for the legacy sequential
-// path), a non-nil pl is used as-is.
-func partitionModeOn(a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, compact bool, pl *pool.Pool) (*Result, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("core: p must be >= 1, got %d", p)
-	}
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	parts := make([]int, a.NNZ())
-	if p == 1 {
-		return &Result{Parts: parts, Volume: 0, Method: method, Refined: opts.Refine}, nil
-	}
-
-	levels := int(math.Ceil(math.Log2(float64(p))))
-	// Per-level imbalance δ with (1+δ)^levels = 1+ε.
-	delta := math.Pow(1+opts.Eps, 1/float64(levels)) - 1
-
-	all := make([]int, a.NNZ())
-	for k := range all {
-		all[k] = k
-	}
-	if pl == nil {
-		pl = opts.newPool()
-	}
-	if pl == nil {
-		if err := bisectRec(a, all, 0, p, parts, method, opts, delta, rng); err != nil {
-			return nil, err
-		}
-	} else {
-		st := newScratchStore(pl.Workers())
-		sc := st.get()
-		err := bisectRecPool(a, all, 0, p, parts, method, opts, delta, rng, pl, st, sc, compact)
-		st.put(sc)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return &Result{
-		Parts:   parts,
-		Volume:  metrics.VolumePool(a, parts, p, pl),
-		Method:  method,
-		Refined: opts.Refine,
-	}, nil
+	return NewEngine(opts.Workers).partitionMode(context.Background(), a, p, method, opts, rng, compact, nil)
 }
 
 // bisectRec assigns parts [base, base+q) to the nonzeros listed in subset
-// (indices into a's COO arrays).
-func bisectRec(a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand) error {
+// (indices into a's COO arrays) on the sequential legacy path. ctx is
+// checked at every node, so cancellation lands within one bisection.
+func bisectRec(ctx context.Context, a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, onLeaf func(int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if q == 1 {
 		for _, k := range subset {
 			parts[k] = base
+		}
+		if onLeaf != nil {
+			onLeaf(len(subset))
 		}
 		return nil
 	}
@@ -119,7 +57,9 @@ func bisectRec(a *sparse.Matrix, subset []int, base, q int, parts []int, method 
 	localOpts := opts
 	localOpts.Eps = delta
 	localOpts.TargetFrac = float64(q0) / float64(q)
-	res, err := Bipartition(sub, method, localOpts, rng)
+	// The full-dimension submatrix keeps the root's shape, so this tie
+	// shape equals the root's and the draw sequence matches history.
+	res, err := bipartitionScratch(ctx, sub, tieShape{sub.Rows, sub.Cols}, method, localOpts, rng, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -132,10 +72,10 @@ func bisectRec(a *sparse.Matrix, subset []int, base, q int, parts []int, method 
 			right = append(right, k)
 		}
 	}
-	if err := bisectRec(a, left, base, q0, parts, method, opts, delta, rng); err != nil {
+	if err := bisectRec(ctx, a, left, base, q0, parts, method, opts, delta, rng, onLeaf); err != nil {
 		return err
 	}
-	return bisectRec(a, right, base+q0, q1, parts, method, opts, delta, rng)
+	return bisectRec(ctx, a, right, base+q0, q1, parts, method, opts, delta, rng, onLeaf)
 }
 
 // bisectRecPool is bisectRec on a shared worker pool. Each node draws
@@ -150,10 +90,21 @@ func bisectRec(a *sparse.Matrix, subset []int, base, q int, parts []int, method 
 // continuing branch keeps its scratch (the parent's buffers are dead once
 // left/right are computed); the forked branch checks one out of the
 // run's store, bounding live scratches by the pool's concurrency.
-func bisectRecPool(a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, pl *pool.Pool, st *scratchStore, sc *scratch, compact bool) error {
+//
+// Cancellation: ctx is checked at every node entry and threaded into the
+// multilevel engine below, so a cancel unwinds the whole tree promptly;
+// forked branches still join (Fork always joins) and every checked-out
+// scratch is returned on the way out, keeping the free list balanced.
+func bisectRecPool(ctx context.Context, a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, pl *pool.Pool, st *scratchStore, sc *scratch, compact bool, onLeaf func(int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if q == 1 {
 		for _, k := range subset {
 			parts[k] = base
+		}
+		if onLeaf != nil {
+			onLeaf(len(subset))
 		}
 		return nil
 	}
@@ -171,7 +122,7 @@ func bisectRecPool(a *sparse.Matrix, subset []int, base, q int, parts []int, met
 	localOpts := opts
 	localOpts.Eps = delta
 	localOpts.TargetFrac = float64(q0) / float64(q)
-	res, err := bipartitionScratch(sub, tieShape{a.Rows, a.Cols}, method, localOpts, rng, pl, sc)
+	res, err := bipartitionScratch(ctx, sub, tieShape{a.Rows, a.Cols}, method, localOpts, rng, pl, sc)
 	if err != nil {
 		return err
 	}
@@ -187,12 +138,12 @@ func bisectRecPool(a *sparse.Matrix, subset []int, base, q int, parts []int, met
 	seedL, seedR := rng.Int63(), rng.Int63()
 	var errL, errR error
 	pl.Fork(func() {
-		errL = bisectRecPool(a, left, base, q0, parts, method, opts, delta,
-			rand.New(rand.NewSource(seedL)), pl, st, sc, compact)
+		errL = bisectRecPool(ctx, a, left, base, q0, parts, method, opts, delta,
+			rand.New(rand.NewSource(seedL)), pl, st, sc, compact, onLeaf)
 	}, func() {
 		sc2 := st.get()
-		errR = bisectRecPool(a, right, base+q0, q1, parts, method, opts, delta,
-			rand.New(rand.NewSource(seedR)), pl, st, sc2, compact)
+		errR = bisectRecPool(ctx, a, right, base+q0, q1, parts, method, opts, delta,
+			rand.New(rand.NewSource(seedR)), pl, st, sc2, compact, onLeaf)
 		st.put(sc2)
 	})
 	if errL != nil {

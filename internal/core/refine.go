@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"mediumgrain/internal/hgpart"
@@ -20,14 +21,23 @@ import (
 // The returned partition never has larger communication volume than the
 // input (the whole procedure is monotonically non-increasing), and the
 // balance constraint ε is maintained.
+//
+// Deprecated: use Engine.IterativeRefine, which runs under a context
+// and reuses the engine's scratch memory.
 func IterativeRefine(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand) []int {
-	return iterativeRefineIndexed(a, parts, opts, rng, nil, nil)
+	refined, _ := iterativeRefineIndexed(context.Background(), a, parts, opts, rng, nil, nil)
+	return refined
 }
 
 // iterativeRefineIndexed is IterativeRefine sharing a caller-built index
 // of a across every iteration's model build and volume evaluation (nil
-// builds one once), with working memory drawn from sc.
-func iterativeRefineIndexed(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand, ix *sparse.Index, sc *scratch) []int {
+// builds one once), with working memory drawn from sc. The returned
+// volume is the refined partition's — the loop tracks it anyway, so
+// callers never pay a separate evaluation. A canceled ctx stops the
+// loop at the next iteration (or FM-stride) boundary and returns the
+// best partition found so far — still never worse than the input;
+// callers that must distinguish report ctx.Err() themselves.
+func iterativeRefineIndexed(ctx context.Context, a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand, ix *sparse.Index, sc *scratch) ([]int, int64) {
 	if opts.TargetFrac == 0 {
 		opts.TargetFrac = 0.5
 	}
@@ -37,42 +47,46 @@ func iterativeRefineIndexed(a *sparse.Matrix, parts []int, opts Options, rng *ra
 	cur := append([]int(nil), parts...)
 	dir := 0
 	vPrev2 := int64(-1) // V_{k-2}
-	vPrev := metrics.VolumeIndexed(a, cur, 2, &ix.Row, &ix.Col, nil)
+	vPrev := metrics.VolumeIndexed(ctx, a, cur, 2, &ix.Row, &ix.Col, nil)
 
 	// Algorithm 2 terminates because volume is non-increasing and
 	// integral; maxIter is a defensive bound only.
 	const maxIter = 1000
 	for k := 1; k <= maxIter; k++ {
-		next, ok := refineOnce(a, cur, dir, opts, rng, ix, sc)
+		if ctx.Err() != nil {
+			return cur, vPrev
+		}
+		next, ok := refineOnce(ctx, a, cur, dir, opts, rng, ix, sc)
 		var vk int64
 		if ok {
-			vk = metrics.VolumeIndexed(a, next, 2, &ix.Row, &ix.Col, nil)
+			vk = metrics.VolumeIndexed(ctx, a, next, 2, &ix.Row, &ix.Col, nil)
 		} else {
 			vk = vPrev
 			next = cur
 		}
-		if vk > vPrev {
+		if vk > vPrev || ctx.Err() != nil {
 			// The FM engine never worsens a seeded partition, but stay
-			// safe against balance-forced moves on pathological inputs.
+			// safe against balance-forced moves on pathological inputs —
+			// and against a volume scan cut short by cancellation.
 			vk = vPrev
 			next = cur
 		}
 		if vk == vPrev {
 			dir = 1 - dir
 			if k > 1 && vk == vPrev2 {
-				return next
+				return next, vk
 			}
 		}
 		cur = next
 		vPrev2, vPrev = vPrev, vk
 	}
-	return cur
+	return cur, vPrev
 }
 
 // refineOnce performs one iteration of Algorithm 2: encode, refine with a
 // single KL/FM run, decode. ok is false when the encoded model cannot be
 // seeded (never happens for valid 2-part inputs; defensive).
-func refineOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.Rand, ix *sparse.Index, sc *scratch) ([]int, bool) {
+func refineOnce(ctx context.Context, a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.Rand, ix *sparse.Index, sc *scratch) ([]int, bool) {
 	// Direction 0: Ar ← A0, Ac ← A1. Direction 1: Ar ← A1, Ac ← A0.
 	inRow := sc.inRowBuf(len(parts))
 	for k, p := range parts {
@@ -90,6 +104,6 @@ func refineOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.
 	if err != nil {
 		return nil, false
 	}
-	hgpart.RefineBipartitionCapsScratch(bm.H, vparts, caps(a.NNZ(), opts), rng, opts.Config, sc.engine())
+	hgpart.RefineBipartitionCapsScratch(ctx, bm.H, vparts, caps(a.NNZ(), opts), rng, opts.Config, sc.engine())
 	return bm.NonzeroParts(vparts), true
 }

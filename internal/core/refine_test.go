@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -156,7 +157,7 @@ func TestRefineOnceBothDirections(t *testing.T) {
 	parts := feasibleRandomParts(rng, a.NNZ())
 	v0 := metrics.Volume(a, parts, 2)
 	for dir := 0; dir < 2; dir++ {
-		next, ok := refineOnce(a, parts, dir, DefaultOptions(), rng, nil, nil)
+		next, ok := refineOnce(context.Background(), a, parts, dir, DefaultOptions(), rng, nil, nil)
 		if !ok {
 			t.Fatalf("refineOnce dir=%d failed", dir)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"mediumgrain/internal/hgpart"
 	"mediumgrain/internal/hypergraph"
 	"mediumgrain/internal/sparse"
@@ -95,13 +97,17 @@ func (sc *scratch) inRowBuf(n int) []bool {
 	return sc.inRow
 }
 
-// scratchStore is the explicit free-list of per-worker scratches for one
-// Partition run. Branches of the bisection tree check a scratch out when
-// they fork and return it when they join, so the number of live
-// scratches is bounded by the pool's concurrency — one per worker —
-// without the nondeterministic lifetime of sync.Pool.
+// scratchStore is the explicit free-list of per-worker scratches shared
+// by every run of one Engine. Branches of the bisection tree check a
+// scratch out when they fork and return it when they join, so the
+// number of live scratches is bounded by the pool's concurrency — one
+// per worker and concurrent run — without the nondeterministic lifetime
+// of sync.Pool. The outstanding counter exists for the cancellation
+// tests: every get must be matched by a put on all paths, canceled runs
+// included.
 type scratchStore struct {
-	ch chan *scratch
+	ch  chan *scratch
+	out atomic.Int64
 }
 
 func newScratchStore(workers int) *scratchStore {
@@ -113,6 +119,7 @@ func newScratchStore(workers int) *scratchStore {
 
 // get returns a free scratch, allocating one when none is checked in.
 func (st *scratchStore) get() *scratch {
+	st.out.Add(1)
 	select {
 	case sc := <-st.ch:
 		return sc
@@ -124,8 +131,13 @@ func (st *scratchStore) get() *scratch {
 // put checks a scratch back in; overflow beyond the worker count is
 // dropped for the GC.
 func (st *scratchStore) put(sc *scratch) {
+	st.out.Add(-1)
 	select {
 	case st.ch <- sc:
 	default:
 	}
 }
+
+// outstanding reports how many scratches are checked out right now; 0
+// whenever no run is in flight (the free-list balance invariant).
+func (st *scratchStore) outstanding() int64 { return st.out.Load() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"mediumgrain/internal/hgpart"
@@ -18,29 +19,41 @@ import (
 // cannot; like Algorithm 2 it is monotonically non-increasing in the
 // communication volume and alternates encoding directions until both are
 // exhausted.
+//
+// Deprecated: use Engine.VCycleRefine, which runs under a context on
+// the engine's shared pool.
 func VCycleRefine(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand) []int {
-	if opts.TargetFrac == 0 {
-		opts.TargetFrac = 0.5
-	}
 	// With opts.Workers != 0 the restricted matching runs as
 	// deterministic proposal rounds on a shared pool (identical results
 	// for every worker count); Workers == 0 keeps the sequential matcher.
-	pl := opts.newPool()
+	return vCycleRefineOn(context.Background(), a, parts, opts, rng, opts.newPool())
+}
+
+// vCycleRefineOn is VCycleRefine on a caller-held pool, stopping at the
+// next iteration boundary — with the best partition found so far, never
+// worse than the input — when ctx is canceled.
+func vCycleRefineOn(ctx context.Context, a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand, pl *pool.Pool) []int {
+	if opts.TargetFrac == 0 {
+		opts.TargetFrac = 0.5
+	}
 	cur := append([]int(nil), parts...)
 	dir := 0
 	vPrev2 := int64(-1)
-	vPrev := metrics.Volume(a, cur, 2)
+	vPrev := metrics.VolumeIndexed(ctx, a, cur, 2, nil, nil, pl)
 
 	const maxIter = 100
 	for k := 1; k <= maxIter; k++ {
-		next, ok := vcycleOnce(a, cur, dir, opts, rng, pl)
+		if ctx.Err() != nil {
+			return cur
+		}
+		next, ok := vcycleOnce(ctx, a, cur, dir, opts, rng, pl)
 		var vk int64
 		if ok {
-			vk = metrics.Volume(a, next, 2)
+			vk = metrics.VolumeIndexed(ctx, a, next, 2, nil, nil, pl)
 		} else {
 			vk, next = vPrev, cur
 		}
-		if vk > vPrev {
+		if vk > vPrev || ctx.Err() != nil {
 			vk, next = vPrev, cur
 		}
 		if vk == vPrev {
@@ -55,7 +68,7 @@ func VCycleRefine(a *sparse.Matrix, parts []int, opts Options, rng *rand.Rand) [
 	return cur
 }
 
-func vcycleOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.Rand, pl *pool.Pool) ([]int, bool) {
+func vcycleOnce(ctx context.Context, a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.Rand, pl *pool.Pool) ([]int, bool) {
 	inRow := make([]bool, len(parts))
 	for k, p := range parts {
 		if dir == 0 {
@@ -72,6 +85,6 @@ func vcycleOnce(a *sparse.Matrix, parts []int, dir int, opts Options, rng *rand.
 	if err != nil {
 		return nil, false
 	}
-	hgpart.VCycleRefinePool(bm.H, vparts, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
+	hgpart.VCycleRefinePool(ctx, bm.H, vparts, caps(a.NNZ(), opts), rng, opts.engineConfig(), pl)
 	return bm.NonzeroParts(vparts), true
 }

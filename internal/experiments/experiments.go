@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -89,7 +90,10 @@ type MatrixResult struct {
 	AvgBSP    []float64
 }
 
-// Run evaluates every method on every instance.
+// Run evaluates every method on every instance. All partitioning calls
+// of one sweep share a single reusable core.Engine sized by
+// opts.EngineWorkers, so concurrent matrices multiplex one worker
+// budget instead of building pools per call.
 func Run(instances []corpus.Instance, specs []MethodSpec, opts RunOptions) ([]MatrixResult, error) {
 	if opts.Runs < 1 {
 		opts.Runs = 1
@@ -101,6 +105,7 @@ func Run(instances []corpus.Instance, specs []MethodSpec, opts RunOptions) ([]Ma
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	eng := core.NewEngine(opts.EngineWorkers)
 
 	results := make([]MatrixResult, len(instances))
 	errs := make([]error, len(instances))
@@ -112,7 +117,7 @@ func Run(instances []corpus.Instance, specs []MethodSpec, opts RunOptions) ([]Ma
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[idx], errs[idx] = runOne(in, specs, opts, opts.Seed+int64(idx)*1009)
+			results[idx], errs[idx] = runOne(eng, in, specs, opts, opts.Seed+int64(idx)*1009)
 		}(idx, in)
 	}
 	wg.Wait()
@@ -124,7 +129,7 @@ func Run(instances []corpus.Instance, specs []MethodSpec, opts RunOptions) ([]Ma
 	return results, nil
 }
 
-func runOne(in corpus.Instance, specs []MethodSpec, opts RunOptions, seed int64) (MatrixResult, error) {
+func runOne(eng *core.Engine, in corpus.Instance, specs []MethodSpec, opts RunOptions, seed int64) (MatrixResult, error) {
 	res := MatrixResult{
 		Name:      in.Name,
 		Class:     in.Class,
@@ -142,13 +147,13 @@ func runOne(in corpus.Instance, specs []MethodSpec, opts RunOptions, seed int64)
 			var parts []int
 			var vol int64
 			if opts.P == 2 {
-				out, err := core.Bipartition(in.A, spec.Method, o, rng)
+				out, err := eng.Bipartition(context.Background(), in.A, spec.Method, o, rng)
 				if err != nil {
 					return res, fmt.Errorf("%s/%s: %w", in.Name, spec.Name, err)
 				}
 				parts, vol = out.Parts, out.Volume
 			} else {
-				out, err := core.Partition(in.A, opts.P, spec.Method, o, rng)
+				out, err := eng.Partition(context.Background(), in.A, opts.P, spec.Method, o, rng)
 				if err != nil {
 					return res, fmt.Errorf("%s/%s: %w", in.Name, spec.Name, err)
 				}
@@ -312,12 +317,13 @@ func RunFig3(runs int, seed int64, eps float64, cfg hgpart.Config) (*Fig3Result,
 		{"mediumgrain", core.MethodMediumGrain},
 	}
 	res := &Fig3Result{BestVolume: map[string]int64{}, Runs: runs}
+	eng := core.NewEngine(0) // sequential: the historical per-seed results
 	var mgVols []int64
 	for _, spec := range methods {
 		best := int64(-1)
 		for r := 0; r < runs; r++ {
 			rng := rand.New(rand.NewSource(seed + int64(r)))
-			out, err := core.Bipartition(a, spec.m, core.Options{Eps: eps, Config: cfg}, rng)
+			out, err := eng.Bipartition(context.Background(), a, spec.m, core.Options{Eps: eps, Config: cfg}, rng)
 			if err != nil {
 				return nil, err
 			}

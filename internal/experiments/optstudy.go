@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -52,6 +53,7 @@ func RunOptStudy(instances, maxNNZ, runs int, seed int64, cfg hgpart.Config) ([]
 
 	rng := rand.New(rand.NewSource(seed))
 	made := 0
+	eng := core.NewEngine(0) // sequential: the historical per-seed results
 	for made < instances {
 		a := tinyMatrix(rng, maxNNZ)
 		if a.NNZ() < 4 {
@@ -66,7 +68,7 @@ func RunOptStudy(instances, maxNNZ, runs int, seed int64, cfg hgpart.Config) ([]
 			best := int64(-1)
 			for r := 0; r < runs; r++ {
 				o := core.Options{Eps: 0.03, Refine: s.refine, Config: cfg}
-				res, err := core.Bipartition(a, s.method, o, rand.New(rand.NewSource(seed+int64(made*100+r))))
+				res, err := eng.Bipartition(context.Background(), a, s.method, o, rand.New(rand.NewSource(seed+int64(made*100+r))))
 				if err != nil {
 					return nil, err
 				}

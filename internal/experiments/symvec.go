@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -39,13 +40,14 @@ func (r SymVecResult) Overhead() float64 {
 // evaluates both distribution regimes.
 func RunSymVec(instances []corpus.Instance, p int, seed int64, cfg hgpart.Config) ([]SymVecResult, error) {
 	var out []SymVecResult
+	eng := core.NewEngine(0) // sequential: the historical per-seed results
 	for idx, in := range instances {
 		if !in.A.IsSquare() {
 			continue
 		}
 		rng := rand.New(rand.NewSource(seed + int64(idx)))
 		opts := core.Options{Eps: 0.03, Refine: true, Config: cfg}
-		res, err := core.Partition(in.A, p, core.MethodMediumGrain, opts, rng)
+		res, err := eng.Partition(context.Background(), in.A, p, core.MethodMediumGrain, opts, rng)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", in.Name, err)
 		}

@@ -1,6 +1,7 @@
 package hgpart
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -43,7 +44,7 @@ func BenchmarkFMPass(b *testing.B) {
 		b.StopTimer()
 		s := newBipState(h, append([]int(nil), parts...), maxW)
 		b.StartTimer()
-		fmPass(s, rng, Config{}, nil, nil)
+		fmPass(context.Background(), s, rng, Config{}, nil, nil)
 	}
 }
 

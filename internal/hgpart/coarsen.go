@@ -1,6 +1,7 @@
 package hgpart
 
 import (
+	"context"
 	"math/rand"
 
 	"mediumgrain/internal/hypergraph"
@@ -261,8 +262,9 @@ func newStamp(n int) []int32 {
 }
 
 // coarsen produces the multilevel hierarchy, stopping when the hypergraph
-// is small enough or matching stalls.
-func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) []level {
+// is small enough, matching stalls, or ctx is canceled (the hierarchy
+// built so far is returned; the caller checks ctx).
+func coarsen(ctx context.Context, h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) []level {
 	coarsenTo := cfg.CoarsenTo
 	if coarsenTo <= 0 {
 		coarsenTo = defaultCoarsenTo
@@ -281,6 +283,9 @@ func coarsen(h *hypergraph.Hypergraph, eps float64, rng *rand.Rand, cfg Config, 
 	var levels []level
 	cur := h
 	for cur.NumVerts > coarsenTo {
+		if ctx.Err() != nil {
+			break
+		}
 		vmap, numCoarse := match(cur, rng, cfg, maxClusterWt, pl, sc)
 		if float64(numCoarse) > stall*float64(cur.NumVerts) {
 			break // matching stalled; further levels would not shrink

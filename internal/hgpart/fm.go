@@ -1,11 +1,17 @@
 package hgpart
 
 import (
+	"context"
 	"math/rand"
 
 	"mediumgrain/internal/hypergraph"
 	"mediumgrain/internal/pool"
 )
+
+// fmCancelStride is how many FM moves run between context checks inside
+// one pass; a pass over millions of vertices stays cancellable in
+// microseconds while the check itself never shows up in a profile.
+const fmCancelStride = 4096
 
 // parallelGainThreshold is the vertex count above which fmPass computes
 // initial gains on the worker pool; below it the fan-out overhead
@@ -142,10 +148,12 @@ func (s *bipState) move(v int32, buckets *gainBuckets, locked []bool) {
 }
 
 // fmPass runs one Fiduccia–Mattheyses pass: every vertex is moved at most
-// once; the pass ends at exhaustion or after cfg.EarlyExit consecutive
-// moves without a new best state, and rolls back to the best visited
-// state. Returns true if the pass improved the cut or the balance.
-func fmPass(s *bipState, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) bool {
+// once; the pass ends at exhaustion, after cfg.EarlyExit consecutive
+// moves without a new best state, or when ctx is canceled, and rolls
+// back to the best visited state (so even a canceled pass leaves a
+// consistent bipState). Returns true if the pass improved the cut or
+// the balance.
+func fmPass(ctx context.Context, s *bipState, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) bool {
 	h := s.h
 	nv := h.NumVerts
 	if nv == 0 {
@@ -190,6 +198,9 @@ func fmPass(s *bipState, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch)
 	sinceBest := 0
 
 	for buckets.count[0]+buckets.count[1] > 0 {
+		if len(moves)%fmCancelStride == 0 && ctx.Err() != nil {
+			break
+		}
 		v := selectMove(s, buckets, slack)
 		if v < 0 {
 			break
@@ -276,18 +287,22 @@ func selectMove(s *bipState, buckets *gainBuckets, slack int64) int32 {
 	return -1
 }
 
-// refine runs FM passes until a pass yields no improvement or MaxPasses
-// is reached. It mutates parts in place and returns the final cut. pl
-// accelerates gain initialization of large passes; nil runs inline. sc
-// supplies the reusable pin-count and bucket arrays (nil allocates).
-func refine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) int64 {
+// refine runs FM passes until a pass yields no improvement, MaxPasses
+// is reached, or ctx is canceled. It mutates parts in place and returns
+// the final cut. pl accelerates gain initialization of large passes;
+// nil runs inline. sc supplies the reusable pin-count and bucket arrays
+// (nil allocates).
+func refine(ctx context.Context, h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) int64 {
 	s := newBipStateScratch(h, parts, maxW, sc)
 	passes := cfg.MaxPasses
 	if passes <= 0 {
 		passes = defaultMaxPasses
 	}
 	for i := 0; i < passes; i++ {
-		if !fmPass(s, rng, cfg, pl, sc) {
+		if ctx.Err() != nil {
+			break
+		}
+		if !fmPass(ctx, s, rng, cfg, pl, sc) {
 			break
 		}
 	}
@@ -300,20 +315,22 @@ func refine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand
 // (Algorithm 2, line 16). parts is modified in place; the cut-net value
 // after refinement is returned. The cut never increases.
 func RefineBipartition(h *hypergraph.Hypergraph, parts []int, eps float64, rng *rand.Rand, cfg Config) int64 {
-	return refine(h, parts, balancedCaps(h.TotalWeight(), eps), rng, cfg, nil, nil)
+	return refine(context.Background(), h, parts, balancedCaps(h.TotalWeight(), eps), rng, cfg, nil, nil)
 }
 
 // RefineBipartitionCaps is RefineBipartition with explicit per-part
 // weight caps (for uneven targets during recursive bisection).
 func RefineBipartitionCaps(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {
-	return RefineBipartitionCapsScratch(h, parts, maxW, rng, cfg, nil)
+	return RefineBipartitionCapsScratch(context.Background(), h, parts, maxW, rng, cfg, nil)
 }
 
 // RefineBipartitionCapsScratch is RefineBipartitionCaps reusing a
 // caller-held Scratch for the FM working arrays; the paper's iterative
-// refinement calls it once per encode/refine/decode round.
-func RefineBipartitionCapsScratch(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, sc *Scratch) int64 {
-	return refine(h, parts, maxW, rng, cfg, nil, sc)
+// refinement calls it once per encode/refine/decode round. A canceled
+// ctx stops the FM passes between moves; parts stays a consistent
+// bipartition either way.
+func RefineBipartitionCapsScratch(ctx context.Context, h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, sc *Scratch) int64 {
+	return refine(ctx, h, parts, maxW, rng, cfg, nil, sc)
 }
 
 // balancedCaps returns the per-part weight caps (1+eps)·W/2, rounded so a

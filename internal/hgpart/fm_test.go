@@ -1,6 +1,7 @@
 package hgpart
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -126,7 +127,7 @@ func TestFMPassNeverWorsens(t *testing.T) {
 		maxW := balancedCaps(h.TotalWeight(), 0.2)
 		s := newBipState(h, parts, maxW)
 		cut0, over0 := s.cut, s.overload()
-		fmPass(s, rng, Config{}, nil, nil)
+		fmPass(context.Background(), s, rng, Config{}, nil, nil)
 		// state must be no worse in (overload, cut) order
 		return !better(cut0, over0, s.cut, s.overload())
 	}
@@ -141,7 +142,7 @@ func TestRefineRestoresBalance(t *testing.T) {
 	h := randomHypergraph(rng, 30, 20)
 	parts := make([]int, h.NumVerts)
 	maxW := balancedCaps(h.TotalWeight(), 0.1)
-	refine(h, parts, maxW, rng, Config{}, nil, nil)
+	refine(context.Background(), h, parts, maxW, rng, Config{}, nil, nil)
 	s := newBipState(h, parts, maxW)
 	if s.overload() != 0 {
 		t.Fatalf("refine left overload %d (weights %v, caps %v)", s.overload(), s.partWt, maxW)
@@ -214,7 +215,7 @@ func TestEmptyHypergraphPass(t *testing.T) {
 	b := hypergraph.NewBuilder(0, nil)
 	h := b.Build()
 	s := newBipState(h, nil, [2]int64{1, 1})
-	if fmPass(s, rand.New(rand.NewSource(1)), Config{}, nil, nil) {
+	if fmPass(context.Background(), s, rand.New(rand.NewSource(1)), Config{}, nil, nil) {
 		t.Fatal("empty pass reported improvement")
 	}
 }

@@ -1,6 +1,7 @@
 package hgpart
 
 import (
+	"context"
 	"math/rand"
 
 	"mediumgrain/internal/hypergraph"
@@ -100,7 +101,7 @@ func BipartitionCaps(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cf
 // or any pool size, because all randomized choices are drawn from rng in
 // a fixed order before work is fanned out.
 func BipartitionCapsPool(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) ([]int, int64) {
-	return BipartitionCapsPoolScratch(h, maxW, rng, cfg, pl, nil)
+	return BipartitionCapsPoolScratch(context.Background(), h, maxW, rng, cfg, pl, nil)
 }
 
 // BipartitionCapsPoolScratch is BipartitionCapsPool drawing its working
@@ -110,25 +111,38 @@ func BipartitionCapsPool(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand
 // buffers per worker instead of reallocating per multilevel run. The
 // scratch never influences results: for any sc (including nil) the
 // output is bit-identical.
-func BipartitionCapsPoolScratch(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) ([]int, int64) {
+//
+// Cancellation is cooperative: ctx is checked at every coarsening
+// level, initial-partition try, FM pass, and projection level (and
+// every few thousand FM moves inside a pass). Once ctx is canceled the
+// run bails out with whatever partial parts it holds; the caller must
+// check ctx.Err() before trusting the result. An uncanceled ctx never
+// changes any result bit.
+func BipartitionCapsPoolScratch(ctx context.Context, h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) ([]int, int64) {
 	parts := make([]int, h.NumVerts)
 	if h.NumVerts == 0 {
 		return parts, 0
 	}
 
-	levels := coarsen(h, capsToEps(h, maxW), rng, cfg, pl, sc)
+	levels := coarsen(ctx, h, capsToEps(h, maxW), rng, cfg, pl, sc)
 	coarsest := h
 	if len(levels) > 0 {
 		coarsest = levels[len(levels)-1].coarse
 	}
+	if ctx.Err() != nil {
+		return parts, 0
+	}
 
 	// Weight caps carry over unchanged: contraction preserves total
 	// weight.
-	cparts := initialPartition(coarsest, maxW, rng, cfg, pl, sc)
-	refine(coarsest, cparts, maxW, rng, cfg, pl, sc)
+	cparts := initialPartition(ctx, coarsest, maxW, rng, cfg, pl, sc)
+	refine(ctx, coarsest, cparts, maxW, rng, cfg, pl, sc)
 
 	// Project back up, refining at every level (the V-cycle downstroke).
 	for li := len(levels) - 1; li >= 0; li-- {
+		if ctx.Err() != nil {
+			return parts, 0
+		}
 		var fine *hypergraph.Hypergraph
 		if li == 0 {
 			fine = h
@@ -142,10 +156,13 @@ func BipartitionCapsPoolScratch(h *hypergraph.Hypergraph, maxW [2]int64, rng *ra
 				fparts[v] = cparts[vmap[v]]
 			}
 		})
-		refine(fine, fparts, maxW, rng, cfg, pl, sc)
+		refine(ctx, fine, fparts, maxW, rng, cfg, pl, sc)
 		cparts = fparts
 	}
 	copy(parts, cparts)
+	if ctx.Err() != nil {
+		return parts, 0
+	}
 	cut := h.ConnectivityMinusOne(parts, 2)
 	return parts, cut
 }
@@ -177,7 +194,7 @@ func minInt64(a, b int64) int64 {
 // subproblems on the pool, each with its own RNG stream seeded from rng
 // in try order; the winner (lowest try index among ties) is therefore
 // the same for every pool size.
-func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) []int {
+func initialPartition(ctx context.Context, h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) []int {
 	tries := cfg.InitTries
 	if tries <= 0 {
 		tries = defaultInitTries
@@ -204,8 +221,10 @@ func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, c
 				// The pool is already saturated with whole tries; the
 				// inner refinement runs inline, and the tries execute
 				// concurrently, so none of them may touch the caller's
-				// scratch.
-				cut := refine(h, parts, maxW, rt, cfg, nil, nil)
+				// scratch. The canceled-path result is discarded by the
+				// caller, but every try still writes a placeholder so
+				// the winner scan below stays in bounds.
+				cut := refine(ctx, h, parts, maxW, rt, cfg, nil, nil)
 				s := newBipState(h, parts, maxW)
 				results[t] = try{parts, cut, s.overload()}
 			}
@@ -227,12 +246,15 @@ func initialPartition(h *hypergraph.Hypergraph, maxW [2]int64, rng *rand.Rand, c
 		} else {
 			parts = randomAssign(h, maxW, rng)
 		}
-		cut := refine(h, parts, maxW, rng, cfg, nil, sc)
+		cut := refine(ctx, h, parts, maxW, rng, cfg, nil, sc)
 		s := newBipStateScratch(h, parts, maxW, sc)
 		over := s.overload()
 		if bestParts == nil || better(cut, over, bestCut, bestOver) {
 			bestParts = parts
 			bestCut, bestOver = cut, over
+		}
+		if ctx.Err() != nil {
+			break
 		}
 	}
 	return bestParts

@@ -1,6 +1,7 @@
 package hgpart
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -230,7 +231,7 @@ func TestMatchRespectsClusterWeightCap(t *testing.T) {
 func TestCoarsenStops(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	h := gridHypergraph(1000)
-	levels := coarsen(h, 0.03, rng, ConfigMondriaanLike(), nil, nil)
+	levels := coarsen(context.Background(), h, 0.03, rng, ConfigMondriaanLike(), nil, nil)
 	if len(levels) == 0 {
 		t.Fatal("no coarsening on a 1000-vertex instance")
 	}

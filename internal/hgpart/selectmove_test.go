@@ -1,6 +1,7 @@
 package hgpart
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestSlackEnablesTightCapMoves(t *testing.T) {
 		parts[v] = v % 2 // every net cut, 8/8 weights
 	}
 	maxW := [2]int64{8, 8} // zero headroom
-	cut := refine(h, parts, maxW, rand.New(rand.NewSource(1)), Config{}, nil, nil)
+	cut := refine(context.Background(), h, parts, maxW, rand.New(rand.NewSource(1)), Config{}, nil, nil)
 	if cut != 1 {
 		t.Fatalf("cut = %d, want 1 (slack must let FM zigzag)", cut)
 	}
@@ -46,7 +47,7 @@ func TestForcedRebalancing(t *testing.T) {
 	h := chain(20)
 	parts := make([]int, 20) // all on side 0: overload 10 at caps 10/10
 	maxW := [2]int64{10, 10}
-	refine(h, parts, maxW, rand.New(rand.NewSource(2)), Config{}, nil, nil)
+	refine(context.Background(), h, parts, maxW, rand.New(rand.NewSource(2)), Config{}, nil, nil)
 	s := newBipState(h, parts, maxW)
 	if s.overload() != 0 {
 		t.Fatalf("rebalancing failed: weights %v", s.partWt)
@@ -80,7 +81,7 @@ func TestEarlyExitConfig(t *testing.T) {
 	h := randomHypergraph(rng, 40, 30)
 	parts := randomBipartitionOf(rng, h)
 	cfg := Config{EarlyExit: 1}
-	cut := refine(h, parts, balancedCaps(h.TotalWeight(), 0.2), rng, cfg, nil, nil)
+	cut := refine(context.Background(), h, parts, balancedCaps(h.TotalWeight(), 0.2), rng, cfg, nil, nil)
 	if cut != h.ConnectivityMinusOne(parts, 2) {
 		t.Fatal("early-exit refine left inconsistent cut")
 	}
@@ -95,7 +96,7 @@ func TestHeavyVertexNeverFits(t *testing.T) {
 	h := b.Build()
 	parts := []int{0, 1, 1}
 	maxW := [2]int64{52, 3}
-	cut := refine(h, parts, maxW, rand.New(rand.NewSource(4)), Config{}, nil, nil)
+	cut := refine(context.Background(), h, parts, maxW, rand.New(rand.NewSource(4)), Config{}, nil, nil)
 	if parts[0] != 0 {
 		t.Fatal("heavy vertex moved to an overfull side")
 	}

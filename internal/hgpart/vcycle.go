@@ -1,6 +1,7 @@
 package hgpart
 
 import (
+	"context"
 	"math/rand"
 
 	"mediumgrain/internal/hypergraph"
@@ -18,7 +19,7 @@ import (
 //
 // parts is modified in place; the final cut is returned.
 func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {
-	return VCycleRefinePool(h, parts, maxW, rng, cfg, nil)
+	return VCycleRefinePool(context.Background(), h, parts, maxW, rng, cfg, nil)
 }
 
 // VCycleRefinePool is VCycleRefine executing on a shared worker pool.
@@ -26,8 +27,11 @@ func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *ran
 // proposal rounds (the same matchProposal engine as unrestricted
 // coarsening, side-restricted), so the result is identical for every
 // pool size; cfg.Workers == 0 keeps the sequential greedy sweep and its
-// historical results.
-func VCycleRefinePool(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) int64 {
+// historical results. A canceled ctx stops the cycle at the next level
+// (or FM-move stride) boundary; because every FM pass rolls back to its
+// best prefix and projection only copies parts, the caller's parts
+// remain a valid bipartition whose cut is never worse than the input.
+func VCycleRefinePool(ctx context.Context, h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool) int64 {
 	type restrictedLevel struct {
 		coarse *hypergraph.Hypergraph
 		map_   []int32
@@ -53,6 +57,9 @@ func VCycleRefinePool(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng 
 	var levels []restrictedLevel
 	cur, curParts := h, parts
 	for cur.NumVerts > coarsenTo {
+		if ctx.Err() != nil {
+			break
+		}
 		vmap, numCoarse := matchRestricted(cur, curParts, rng, cfg, maxClusterWt, pl)
 		if float64(numCoarse) > stall*float64(cur.NumVerts) {
 			break
@@ -68,7 +75,7 @@ func VCycleRefinePool(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng 
 
 	// Refine at the coarsest level, then project down refining each
 	// level; the finest refinement writes through to the caller's parts.
-	refine(cur, curParts, maxW, rng, cfg, pl, nil)
+	refine(ctx, cur, curParts, maxW, rng, cfg, pl, nil)
 	for li := len(levels) - 1; li >= 0; li-- {
 		var fine *hypergraph.Hypergraph
 		var fparts []int
@@ -81,7 +88,7 @@ func VCycleRefinePool(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng 
 		for v := 0; v < fine.NumVerts; v++ {
 			fparts[v] = levels[li].parts[vmap[v]]
 		}
-		refine(fine, fparts, maxW, rng, cfg, pl, nil)
+		refine(ctx, fine, fparts, maxW, rng, cfg, pl, nil)
 	}
 	return h.ConnectivityMinusOne(parts, 2)
 }

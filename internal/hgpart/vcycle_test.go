@@ -1,6 +1,7 @@
 package hgpart
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -98,7 +99,7 @@ func TestVCycleRefinePoolDeterministicAcrossPools(t *testing.T) {
 
 	run := func(pl *pool.Pool) ([]int, int64) {
 		parts := append([]int(nil), base...)
-		cut := VCycleRefinePool(h, parts, maxW, rand.New(rand.NewSource(9)), cfg, pl)
+		cut := VCycleRefinePool(context.Background(), h, parts, maxW, rand.New(rand.NewSource(9)), cfg, pl)
 		return parts, cut
 	}
 	refParts, refCut := run(nil)

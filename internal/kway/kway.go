@@ -9,12 +9,17 @@
 package kway
 
 import (
+	"context"
 	"math/rand"
 
 	"mediumgrain/internal/metrics"
 	"mediumgrain/internal/pool"
 	"mediumgrain/internal/sparse"
 )
+
+// cancelStride is how many candidate moves run between context checks
+// inside one greedy pass.
+const cancelStride = 4096
 
 // Options tunes the refinement.
 type Options struct {
@@ -34,7 +39,26 @@ type Options struct {
 // Refine improves parts in place and returns the resulting volume. The
 // volume never increases; balance (within eps) is preserved for inputs
 // that satisfy it and never worsened otherwise.
-func Refine(a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) int64 {
+//
+// Cancellation is cooperative: ctx is checked at every pass boundary
+// and every few thousand candidate moves within a pass. Because each
+// applied move individually lowers the volume, a canceled refinement
+// still leaves parts valid and never worse than the input; the returned
+// volume is however computed from a possibly canceled scan, so callers
+// with a cancellable ctx must check ctx.Err() before trusting it.
+func Refine(ctx context.Context, a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) int64 {
+	var pl *pool.Pool
+	if opts.Workers != 0 {
+		pl = pool.New(opts.Workers)
+	}
+	return RefineOn(ctx, a, parts, p, opts, rng, pl)
+}
+
+// RefineOn is Refine executing on a caller-held worker pool (nil =
+// inline; opts.Workers then only selects the count-construction
+// algorithm). Long-lived engines thread their shared pool through here
+// instead of paying pool construction per refinement.
+func RefineOn(ctx context.Context, a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand, pl *pool.Pool) int64 {
 	n := a.NNZ()
 	if n == 0 || p < 2 {
 		return 0
@@ -42,11 +66,6 @@ func Refine(a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) 
 	maxPasses := opts.MaxPasses
 	if maxPasses <= 0 {
 		maxPasses = 8
-	}
-
-	var pl *pool.Pool
-	if opts.Workers != 0 {
-		pl = pool.New(opts.Workers)
 	}
 
 	// Per-row and per-column part counts, built on the shared CSR/CSC
@@ -140,8 +159,14 @@ func Refine(a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) 
 	cand := make([]int, 0, p)
 	seen := make([]bool, p)
 	for pass := 0; pass < maxPasses; pass++ {
+		if ctx.Err() != nil {
+			break
+		}
 		improved := false
-		for _, k := range rng.Perm(n) {
+		for ki, k := range rng.Perm(n) {
+			if ki%cancelStride == 0 && ctx.Err() != nil {
+				break
+			}
 			from := parts[k]
 			i, j := a.RowIdx[k], a.ColIdx[k]
 			// Candidate targets: parts already present in this row or
@@ -175,5 +200,5 @@ func Refine(a *sparse.Matrix, parts []int, p int, opts Options, rng *rand.Rand) 
 			break
 		}
 	}
-	return metrics.VolumeIndexed(a, parts, p, &ix.Row, &ix.Col, pl)
+	return metrics.VolumeIndexed(ctx, a, parts, p, &ix.Row, &ix.Col, pl)
 }

@@ -1,11 +1,14 @@
-package kway
+package kway_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"mediumgrain/internal/sparse"
+
+	. "mediumgrain/internal/kway"
 )
 
 // TestRefineWorkersEquivalence: the greedy move loop is sequential by
@@ -31,7 +34,7 @@ func TestRefineWorkersEquivalence(t *testing.T) {
 
 	run := func(workers int) ([]int, int64) {
 		parts := append([]int(nil), base...)
-		vol := Refine(a, parts, p, Options{Eps: 0.1, Workers: workers}, rand.New(rand.NewSource(5)))
+		vol := Refine(context.Background(), a, parts, p, Options{Eps: 0.1, Workers: workers}, rand.New(rand.NewSource(5)))
 		return parts, vol
 	}
 	refParts, refVol := run(0)

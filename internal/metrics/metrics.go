@@ -34,7 +34,7 @@ func Volume(a *sparse.Matrix, parts []int, p int) int64 {
 // and columns have λ = 0. It is the sequential, index-building form of
 // LambdasIndexed.
 func Lambdas(a *sparse.Matrix, parts []int, p int) (rowLambda, colLambda []int) {
-	return LambdasIndexed(a, parts, p, nil, nil, nil)
+	return LambdasPool(a, parts, p, nil)
 }
 
 // PartSizes returns the number of nonzeros assigned to each part.

@@ -16,6 +16,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /corpus", s.handleCorpus)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -101,6 +102,20 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobs.View(job))
 }
 
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok, canceled := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	if !canceled {
+		// Finished before the cancel landed; nothing to undo.
+		writeJSON(w, http.StatusConflict, s.jobs.View(job))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.View(job))
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -122,7 +137,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := s.jobs.View(job)
-	if v.State == StateFailed {
+	if v.State == StateFailed || v.State == StateCanceled {
 		writeJSON(w, http.StatusGone, v)
 		return
 	}

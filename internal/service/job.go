@@ -148,11 +148,19 @@ func (s *Server) resolve(spec JobSpec) (*resolvedSpec, error) {
 
 // Job states.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
 )
+
+// terminal reports whether a job state is final; terminal transitions
+// are applied at most once (a cancel racing a completion keeps
+// whichever landed first).
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
 
 // Job is one submission's lifecycle record. All fields are guarded by
 // the owning jobStore; read them through View/ResultView.
@@ -281,6 +289,11 @@ func (st *jobStore) drop(id string) {
 func (st *jobStore) markRunning(j *Job) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// A DELETE can land between a runner's member snapshot and this
+	// call; a terminal job must not be resurrected into "running".
+	if terminal(j.state) {
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 }
@@ -298,6 +311,9 @@ func resultMeta(res *CachedResult) *CachedResult {
 func (st *jobStore) complete(j *Job, res *CachedResult) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if terminal(j.state) {
+		return
+	}
 	j.state = StateDone
 	j.result = resultMeta(res)
 	st.finishLocked(j)
@@ -317,9 +333,26 @@ func (st *jobStore) completeCached(j *Job, res *CachedResult) {
 func (st *jobStore) fail(j *Job, msg string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if terminal(j.state) {
+		return
+	}
 	j.state = StateFailed
 	j.errMsg = msg
 	st.finishLocked(j)
+}
+
+// cancel moves a job to the canceled state; false when the job already
+// reached a terminal state first.
+func (st *jobStore) cancel(j *Job) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if terminal(j.state) {
+		return false
+	}
+	j.state = StateCanceled
+	j.errMsg = "canceled by client"
+	st.finishLocked(j)
+	return true
 }
 
 // View snapshots a job's status under the store lock.

@@ -70,11 +70,35 @@ func saveCacheEntry(dataDir string, res *CachedResult, a *sparse.Matrix) error {
 	return os.Rename(tmp.Name(), filepath.Join(dataDir, res.Key+".meta.json"))
 }
 
+// removeCacheEntry deletes one persisted entry's files. The meta file
+// goes first: it is what makes an entry visible to rehydration, so a
+// removal cut short by a crash leaves an invisible (and later
+// re-persistable) bundle, never a meta pointing at missing files.
+// Callers hold persistMu.
+func removeCacheEntry(dir, key string) error {
+	var firstErr error
+	for _, name := range []string{
+		key + ".meta.json",
+		key + ".mtx",
+		key + ".parts",
+		key + ".invec",
+		key + ".outvec",
+	} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // loadCacheDir rehydrates up to max persisted entries under dir —
-// newest first, since eviction never deletes bundles and the directory
-// can hold far more than the cache: reading and hash-validating entries
-// the LRU would immediately discard would make startup cost scale with
-// everything ever written instead of with capacity. The kept entries
+// newest first. Runtime eviction garbage-collects its key's files, so
+// the directory normally tracks the cache; the cap still matters
+// because persistence is best-effort (a failed removal, a crash
+// mid-GC, or a directory inherited from an older version can leave
+// extra entries) and reading and hash-validating entries the LRU would
+// immediately discard would make startup cost scale with everything
+// ever written instead of with capacity. The kept entries
 // are returned oldest first so sequential cache Puts leave the newest
 // most recent. Corrupt or inconsistent entries are skipped and
 // reported (and don't count against max); they never poison the cache,

@@ -1,7 +1,7 @@
 // Package service implements mgserve, the partitioning-as-a-service
 // daemon: a long-running HTTP/JSON server that accepts partition jobs,
-// runs them on a bounded scheduler whose jobs multiplex onto one shared
-// worker pool (internal/pool), and serves results from a
+// runs them on a bounded scheduler whose jobs share one long-lived
+// core.Engine (worker pool + scratch memory), and serves results from a
 // content-addressed LRU cache so repeat submissions are O(1). Completed
 // results persist as internal/distio bundles, letting a restarted
 // server rehydrate its cache.
@@ -23,9 +23,9 @@
 //	                                 // engine on the server's shared pool
 //	  "timeout_ms": 0                // per-job compute budget, overriding the
 //	                                 // server default in either direction
-//	                                 // (0 = default); covers the wait for a
-//	                                 // computation slot plus the run, not time
-//	                                 // spent queued for a runner
+//	                                 // (0 = default); enforced by canceling the
+//	                                 // computation's context, so a timed-out
+//	                                 // job's work actually stops
 //	}
 //
 // Responses: 200 with the job in state "done" when the result was
@@ -35,12 +35,20 @@
 // the queue is full or the server is draining. The body of every
 // success is the job view:
 //
-//	{"id": "j-00000001", "state": "queued|running|done|failed",
+//	{"id": "j-00000001", "state": "queued|running|done|failed|canceled",
 //	 "cached": false, "error": "…", "key": "<content address>",
 //	 "matrix": "lap2d-24", "p": 4, "method": "MG", "seed": 42,
 //	 "queue_ms": 0.1, "run_ms": 12.3, "total_ms": 12.4}
 //
 // GET /jobs/{id} — the job view above; 404 for unknown ids.
+//
+// DELETE /jobs/{id} — cancel a queued or running job. The job moves to
+// state "canceled"; when it was the last job interested in its
+// computation, the computation's context is canceled and the work
+// stops (unless the server runs with salvage-on-cancel, which lets it
+// finish in the background and keeps the result in the cache). Answers
+// the job view with 200; 404 for unknown ids; 409 when the job already
+// finished.
 //
 // GET /jobs/{id}/result — the full result once the job is done:
 // matrix facts (name, content hash, rows, cols, nnz), the resolved
@@ -48,8 +56,8 @@
 // prediction of spmv.Predict, wall time, and the per-nonzero parts
 // vector (rejoined from the result cache; job records keep scalars
 // only). 404 for unknown ids, 409 while the job is not done, 410 when
-// the job failed or its result has since been evicted from the cache —
-// resubmit the spec, which recomputes or hits.
+// the job failed or was canceled or its result has since been evicted
+// from the cache — resubmit the spec, which recomputes or hits.
 //
 // GET /corpus — the named instances this server can partition:
 // {"scale": 1, "seed": 20140519, "names": ["lap2d-24", …]}. A client
@@ -59,8 +67,9 @@
 // GET /healthz — {"status": "ok"} (or "draining") with 200.
 //
 // GET /stats — operational counters: queue depth, running jobs,
-// accepted/completed/failed/rejected totals, cache entries/hits/misses/
-// hit-rate, and per-method latency percentiles (p50/p90/p99).
+// accepted/completed/failed/rejected/canceled/deduplicated totals,
+// cache entries/hits/misses/hit-rate, and per-method latency
+// percentiles (p50/p90/p99).
 //
 // # Determinism and the cache key
 //
@@ -73,28 +82,43 @@
 // matrix that byte-for-byte equals a corpus instance hits the same
 // cache entries as jobs naming that instance.
 //
-// # Scheduling
+// # Scheduling, cancellation, and single-flight deduplication
 //
 // Admission control is a bounded queue: Submit rejects with ErrQueueFull
 // when it is full, and with ErrDraining once a graceful shutdown has
-// begun. A fixed set of runner goroutines executes admitted jobs; each
-// parallel-engine job threads the server-wide pool.Pool through
-// core.PartitionPool, so helper parallelism is shared across concurrent
-// jobs rather than multiplied by them (each runner's root goroutine
-// works inline besides the pool's helpers, so total compute threads are
-// bounded by Workers + Runners - 1, not Workers × Runners). Per-job
-// timeouts
-// fail the job and free its runner; the computation itself is not
-// interruptible mid-flight, so it keeps running — within the
-// Config.MaxAbandoned budget, beyond which runners block before
-// starting new work — and its eventual result is salvaged into the
-// cache (counted in /stats as "salvaged") so a re-submission hits
-// instead of recomputing. Draining stops admission, lets the queue
-// empty, and waits for in-flight jobs — accepted work is never
-// dropped.
+// begun. A fixed set of runner goroutines executes admitted jobs; every
+// job runs on the server's one core.Engine, so helper parallelism is
+// shared across concurrent jobs rather than multiplied by them (each
+// runner's root goroutine works inline besides the pool's helpers, so
+// total compute threads are bounded by Workers + Runners - 1, not
+// Workers × Runners).
+//
+// Identical in-flight submissions are deduplicated: jobs whose cache
+// key matches a computation that is already queued or running attach to
+// it instead of queueing a second one, and every attached job completes
+// with that computation's outcome (its compute budget is the first
+// submission's). Canceling one attached job detaches only it; the
+// computation itself is canceled when its last interested job is.
+//
+// Per-job timeouts and DELETE cancellation act through the
+// computation's context: the engine observes it at bisection, multilevel
+// and scan boundaries, so the work stops within milliseconds, the
+// runner is freed, and nothing leaks. With Config.SalvageOnCancel the
+// pre-context behavior is retained instead: the computation is
+// abandoned to the background — within the Config.MaxAbandoned budget,
+// beyond which runners block before starting new work — and its
+// eventual result is salvaged into the cache (counted in /stats as
+// "salvaged") so a re-submission hits instead of recomputing.
+//
+// Cache eviction garbage-collects the persisted bundle and meta file of
+// the evicted key, so the data directory tracks the cache instead of
+// growing without bound. Draining stops admission, lets the queue
+// empty, and waits for in-flight jobs — accepted work is never dropped.
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -104,7 +128,6 @@ import (
 	"mediumgrain/internal/core"
 	"mediumgrain/internal/corpus"
 	"mediumgrain/internal/metrics"
-	"mediumgrain/internal/pool"
 	"mediumgrain/internal/sparse"
 	"mediumgrain/internal/spmv"
 )
@@ -125,20 +148,25 @@ type Config struct {
 	// (default 4096); older finished jobs age out FIFO so a long-running
 	// daemon's memory is bounded. Queued/running jobs are never evicted.
 	JobHistory int
-	// MaxAbandoned bounds how many timed-out computations may still be
-	// running beyond the Runners budget (default = Runners). A partition
-	// call is not interruptible, so a timeout frees the runner while the
-	// computation finishes in the background; when this extra budget is
-	// exhausted, runners block before starting new work — backpressure
-	// that fills the queue and sheds load with 503s instead of letting
-	// abandoned computations pile up unboundedly.
+	// SalvageOnCancel retains the pre-context timeout behavior: a
+	// timed-out or canceled job's computation is not interrupted but
+	// abandoned to the background, and its eventual result is salvaged
+	// into the cache. Off by default — timeouts and DELETE cancel the
+	// computation's context and the work stops.
+	SalvageOnCancel bool
+	// MaxAbandoned bounds how many abandoned computations may still be
+	// running beyond the Runners budget (default = Runners); it only
+	// applies with SalvageOnCancel, where a timeout frees the runner
+	// while the computation finishes in the background. When this extra
+	// budget is exhausted, runners block before starting new work —
+	// backpressure that fills the queue and sheds load with 503s instead
+	// of letting abandoned computations pile up unboundedly.
 	MaxAbandoned int
 	// DataDir persists completed results as distio bundles and
 	// rehydrates them on startup; empty disables persistence.
 	DataDir string
-	// DefaultTimeout caps a job's computation — the wait for a compute
-	// slot plus the run, not time queued for a runner — unless its spec
-	// overrides it (default 5 minutes).
+	// DefaultTimeout caps a job's computation unless its spec overrides
+	// it (default 5 minutes).
 	DefaultTimeout time.Duration
 	// CorpusScale / CorpusSeed build the named-instance corpus (defaults
 	// from corpus.DefaultOptions).
@@ -150,6 +178,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = -1 // GOMAXPROCS; 0 would select the sequential engine
+	}
 	if c.Runners <= 0 {
 		c.Runners = 2
 	}
@@ -181,7 +212,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the daemon: corpus, shared pool, scheduler, cache, stats.
+// flight is one in-flight computation and the set of jobs awaiting its
+// outcome. The first submission of a cache key creates the flight and
+// queues itself; identical submissions attach instead of queueing.
+// All fields are guarded by the server's flightMu.
+type flight struct {
+	key  string
+	jobs []*Job
+	// matrix is captured at flight creation: job records release their
+	// matrix reference on any terminal transition (including a cancel
+	// of the submitting job), but the computation and its persistence
+	// need it for the flight's whole lifetime.
+	matrix *sparse.Matrix
+	// cancel stops the computation's context; set once a runner claims
+	// the flight (and never, under SalvageOnCancel).
+	cancel context.CancelFunc
+	// running marks the flight claimed by a runner; done marks its
+	// outcome delivered (or every job canceled), after which the flight
+	// is no longer in the server's map.
+	running bool
+	done    bool
+}
+
+// Server is the daemon: corpus, shared engines, scheduler, cache, stats.
 type Server struct {
 	cfg       Config
 	instances []corpus.Instance
@@ -189,20 +242,30 @@ type Server struct {
 	// instance, so a named-instance submission — the cache-hit hot path
 	// — never rehashes an immutable matrix.
 	hashes map[string]string
-	pool   *pool.Pool
-	cache  *Cache
-	sched  *scheduler
-	jobs   *jobStore
-	stats  *statsRecorder
-	// compSem bounds the total number of live partition computations
-	// (running + abandoned-by-timeout) at Runners + MaxAbandoned; a
-	// runner blocks here before starting work when timed-out
-	// computations have consumed the extra budget.
+	// engine executes every parallel-class job; seqEngine is its
+	// sequential sibling for workers == 0 specs (legacy bit-path). Both
+	// are long-lived and safe for concurrent jobs.
+	engine    *core.Engine
+	seqEngine *core.Engine
+	cache     *Cache
+	sched     *scheduler
+	jobs      *jobStore
+	stats     *statsRecorder
+
+	// flights deduplicates identical in-flight computations by cache
+	// key; see flight.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// compSem bounds live computations (running + abandoned) at
+	// Runners + MaxAbandoned under SalvageOnCancel; unused otherwise
+	// (cancellation keeps live computations <= Runners by itself).
 	compSem chan struct{}
-	// persistMu serializes disk persists: distio writes bundle files in
-	// place, so two runners completing the same key concurrently must
-	// not interleave — the second writer sees the first's meta file and
-	// skips, keeping the meta-exists ⇒ bundle-complete invariant.
+	// persistMu serializes disk persists and eviction garbage
+	// collection: distio writes bundle files in place, so two runners
+	// completing the same key concurrently must not interleave — the
+	// second writer sees the first's meta file and skips, keeping the
+	// meta-exists ⇒ bundle-complete invariant.
 	persistMu sync.Mutex
 	started   time.Time
 	draining  atomic.Bool
@@ -216,10 +279,12 @@ func New(cfg Config) (*Server, []error) {
 	s := &Server{
 		cfg:       cfg,
 		instances: corpus.Build(corpus.Options{Scale: cfg.CorpusScale, Seed: cfg.CorpusSeed}),
-		pool:      pool.New(cfg.Workers),
+		engine:    core.NewEngine(cfg.Workers),
+		seqEngine: core.NewEngine(0),
 		cache:     newCache(cfg.CacheEntries),
 		jobs:      newJobStore(cfg.JobHistory),
 		stats:     newStatsRecorder(),
+		flights:   make(map[string]*flight),
 		started:   time.Now(),
 	}
 	s.hashes = make(map[string]string, len(s.instances))
@@ -240,8 +305,9 @@ func New(cfg Config) (*Server, []error) {
 }
 
 // Submit resolves, admits, and (on a cache hit) immediately completes a
-// job. The returned error is ErrDraining, ErrQueueFull, or a
-// *BadSpecError; the job is non-nil exactly when err is nil.
+// job; identical in-flight submissions share one computation. The
+// returned error is ErrDraining, ErrQueueFull, or a *BadSpecError; the
+// job is non-nil exactly when err is nil.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if s.draining.Load() {
 		s.stats.rejected()
@@ -267,7 +333,38 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.jobs.completeCached(job, res)
 		return job, nil
 	}
+	// Single-flight: attach to an identical in-flight computation
+	// instead of queueing a duplicate.
+	s.flightMu.Lock()
+	if f, ok := s.flights[rs.key]; ok && !f.done {
+		f.jobs = append(f.jobs, job)
+		s.flightMu.Unlock()
+		s.stats.deduped()
+		s.stats.accepted()
+		return job, nil
+	}
+	f := &flight{key: rs.key, jobs: []*Job{job}, matrix: rs.matrix}
+	s.flights[rs.key] = f
+	s.flightMu.Unlock()
 	if err := s.sched.submit(job); err != nil {
+		// Identical submissions may have attached to the flight between
+		// the publish above and this failure; retire the flight and fail
+		// them too — their clients already hold a 202 and would
+		// otherwise poll a forever-"queued" job no runner will claim.
+		s.flightMu.Lock()
+		f.done = true
+		members := f.jobs
+		f.jobs = nil
+		if s.flights[rs.key] == f {
+			delete(s.flights, rs.key)
+		}
+		s.flightMu.Unlock()
+		for _, j := range members {
+			if j != job {
+				s.stats.failed()
+				s.jobs.fail(j, err.Error())
+			}
+		}
 		s.jobs.drop(job.id)
 		s.stats.rejected()
 		return nil, err
@@ -279,24 +376,179 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	return job, nil
 }
 
-// execute runs one admitted job on a scheduler runner, enforcing the
-// per-job timeout.
+// Cancel moves a queued or running job to the canceled state. When it
+// was the computation's last interested job, the computation's context
+// is canceled too (except under SalvageOnCancel, which lets it finish
+// and keeps the result). ok is false for unknown ids; canceled reports
+// whether the job is (now or already) canceled — false means it had
+// finished first.
+func (s *Server) Cancel(id string) (job *Job, ok, canceled bool) {
+	job, ok = s.jobs.get(id)
+	if !ok {
+		return nil, false, false
+	}
+	switch s.jobs.state(job) {
+	case StateCanceled:
+		return job, true, true // idempotent
+	case StateDone, StateFailed:
+		return job, true, false
+	}
+	// Detach from the flight first so a concurrently finishing
+	// computation no longer completes this job.
+	s.flightMu.Lock()
+	if f, fok := s.flights[job.resolved.key]; fok && !f.done {
+		for i, j := range f.jobs {
+			if j == job {
+				f.jobs = append(f.jobs[:i], f.jobs[i+1:]...)
+				break
+			}
+		}
+		if len(f.jobs) == 0 {
+			// Nobody is interested anymore: stop the computation (its
+			// runner observes ctx and returns) — or, under
+			// salvage-on-cancel, let it finish into the cache. A flight
+			// that never started is retired here; a claimed one is
+			// retired by its runner's finish.
+			if !f.running {
+				f.done = true
+				delete(s.flights, f.key)
+			} else if f.cancel != nil && !s.cfg.SalvageOnCancel {
+				f.cancel()
+			}
+		}
+	}
+	s.flightMu.Unlock()
+	if s.jobs.cancel(job) {
+		s.stats.canceled()
+	}
+	// The job may have finished in the race window above.
+	return job, true, s.jobs.state(job) == StateCanceled
+}
+
+// claimFlight marks the job's flight as running and snapshots its
+// members; ok is false when every interested job was canceled before a
+// runner got here (the flight is already retired).
+func (s *Server) claimFlight(job *Job) (f *flight, members []*Job, ok bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	f = s.flights[job.resolved.key]
+	if f == nil || f.done || f.running || len(f.jobs) == 0 {
+		return nil, nil, false
+	}
+	f.running = true
+	return f, append([]*Job(nil), f.jobs...), true
+}
+
+// outcome is one computation's result.
+type outcome struct {
+	res *CachedResult
+	err error
+}
+
+// finishFlight retires a flight and delivers its outcome to every still
+// attached job. Successful results enter the cache (and disk) even when
+// every job has moved on — that is the salvage path, counted when the
+// flight was already retired.
+func (s *Server) finishFlight(f *flight, o outcome, matrix *sparse.Matrix) {
+	if o.err == nil {
+		s.keepResult(o.res, matrix)
+	}
+	s.flightMu.Lock()
+	already := f.done
+	f.done = true
+	members := f.jobs
+	f.jobs = nil
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
+	s.flightMu.Unlock()
+	if already {
+		if o.err == nil {
+			s.stats.salvaged()
+		}
+		return
+	}
+	for _, j := range members {
+		switch {
+		case o.err == nil:
+			s.stats.completed(o.res.Method, o.res.WallMS)
+			s.jobs.complete(j, o.res)
+		case errors.Is(o.err, context.Canceled):
+			// Raced: canceled between the member snapshot and here.
+			if s.jobs.cancel(j) {
+				s.stats.canceled()
+			}
+		default:
+			s.stats.failed()
+			s.jobs.fail(j, o.err.Error())
+		}
+	}
+}
+
+// abandonFlight fails (or cancels) every attached job now while the
+// computation keeps running; its eventual outcome is salvaged by
+// finishFlight.
+func (s *Server) abandonFlight(f *flight, msg string) {
+	s.flightMu.Lock()
+	f.done = true
+	members := f.jobs
+	f.jobs = nil
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
+	s.flightMu.Unlock()
+	for _, j := range members {
+		s.stats.failed()
+		s.jobs.fail(j, msg)
+	}
+}
+
+// execute runs one admitted job (and every deduplicated job attached to
+// its flight) on a scheduler runner, enforcing the per-job timeout
+// through the computation's context.
 func (s *Server) execute(job *Job) {
 	rs := job.resolved
+	f, members, ok := s.claimFlight(job)
+	if !ok {
+		return // every interested job was canceled while queued
+	}
 
 	// The spec's timeout overrides the server default in either
-	// direction; the computation semaphore bounds how many budgets —
-	// short ones included — can be executing at once.
+	// direction; attached duplicates share this budget.
 	timeout := s.cfg.DefaultTimeout
 	if rs.spec.TimeoutMS > 0 {
 		timeout = time.Duration(rs.spec.TimeoutMS) * time.Millisecond
 	}
-	matrix := rs.matrix // survives the job record, for persistence
+	// The flight's reference, not rs.matrix: the job store releases the
+	// latter as soon as the submitting job reaches any terminal state
+	// (e.g. a DELETE while queued), which can precede this computation.
+	matrix := f.matrix
 
-	type outcome struct {
-		res *CachedResult
-		err error
+	if s.cfg.SalvageOnCancel {
+		s.executeSalvage(f, rs, matrix, members, timeout)
+		return
 	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	s.flightMu.Lock()
+	f.cancel = cancel
+	s.flightMu.Unlock()
+	for _, j := range members {
+		s.jobs.markRunning(j)
+	}
+	res, err := s.partition(ctx, rs, matrix)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("timeout after %s (computation canceled)", timeout)
+	}
+	s.finishFlight(f, outcome{res, err}, matrix)
+}
+
+// executeSalvage is the pre-context execution path, kept behind
+// Config.SalvageOnCancel: the computation cannot be interrupted, a
+// timeout abandons it to the background (bounded by compSem), and its
+// eventual result is salvaged into the cache.
+func (s *Server) executeSalvage(f *flight, rs *resolvedSpec, matrix *sparse.Matrix, members []*Job, timeout time.Duration) {
 	// The budget clock covers the wait for a computation slot too, so a
 	// job's timeout fires on schedule even while abandoned computations
 	// hold the extra budget.
@@ -309,61 +561,54 @@ func (s *Server) execute(job *Job) {
 	select {
 	case s.compSem <- struct{}{}:
 	case <-timer.C:
-		s.stats.failed()
-		s.jobs.fail(job, fmt.Sprintf("timeout after %s waiting for a computation slot", timeout))
+		s.abandonFlight(f, fmt.Sprintf("timeout after %s waiting for a computation slot", timeout))
 		return
 	}
 	// Marked running only once a computation slot is held, so the
 	// queue/run split in job views stays honest when runners block on
 	// the abandoned-computation budget.
-	s.jobs.markRunning(job)
+	for _, j := range members {
+		s.jobs.markRunning(j)
+	}
 	done := make(chan outcome, 1)
 	go func() {
 		defer func() { <-s.compSem }()
-		res, err := s.partition(rs, matrix)
+		res, err := s.partition(context.Background(), rs, matrix)
 		done <- outcome{res, err}
 	}()
 
-	finish := func(o outcome) bool {
-		if o.err != nil {
-			return false
-		}
-		s.cache.Put(o.res.Key, o.res)
-		if s.cfg.DataDir != "" {
-			s.persistMu.Lock()
-			err := saveCacheEntry(s.cfg.DataDir, o.res, matrix)
-			s.persistMu.Unlock()
-			if err != nil {
-				// Persistence is best-effort: the result is still served
-				// from memory; the entry is simply absent after restart.
-				s.stats.persistErr()
-			}
-		}
-		return true
-	}
-
 	select {
 	case o := <-done:
-		if !finish(o) {
-			s.stats.failed()
-			s.jobs.fail(job, o.err.Error())
-			return
-		}
-		s.stats.completed(o.res.Method, o.res.WallMS)
-		s.jobs.complete(job, o.res)
+		s.finishFlight(f, o, matrix)
 	case <-timer.C:
-		s.stats.failed()
-		s.jobs.fail(job, fmt.Sprintf("timeout after %s (computation abandoned)", timeout))
-		// The partition call cannot be interrupted mid-flight; the
-		// runner moves on, but the computation's eventual result is
-		// salvaged into the cache so a re-submission hits instead of
-		// recomputing. The salvage goroutine may outlive a drain; the
-		// meta-last write order keeps a cut-off persist harmless.
+		s.abandonFlight(f, fmt.Sprintf("timeout after %s (computation abandoned)", timeout))
+		// The salvage goroutine may outlive a drain; the meta-last write
+		// order keeps a cut-off persist harmless.
 		go func() {
-			if o := <-done; finish(o) {
-				s.stats.salvaged()
-			}
+			s.finishFlight(f, <-done, matrix)
 		}()
+	}
+}
+
+// keepResult enters a completed result into the cache (and disk, when
+// persistence is on) and garbage-collects the files of the entry the
+// insert evicted, so the data directory tracks the cache.
+func (s *Server) keepResult(res *CachedResult, matrix *sparse.Matrix) {
+	evicted := s.cache.Put(res.Key, res)
+	if s.cfg.DataDir == "" {
+		return
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if err := saveCacheEntry(s.cfg.DataDir, res, matrix); err != nil {
+		// Persistence is best-effort: the result is still served
+		// from memory; the entry is simply absent after restart.
+		s.stats.persistErr()
+	}
+	if evicted != "" && evicted != res.Key {
+		if err := removeCacheEntry(s.cfg.DataDir, evicted); err != nil {
+			s.stats.persistErr()
+		}
 	}
 }
 
@@ -372,21 +617,18 @@ func (s *Server) execute(job *Job) {
 // explicitly (not read from rs): the job store releases rs.matrix when
 // the job reaches a terminal state, which for a timed-out job happens
 // while this computation is still running.
-func (s *Server) partition(rs *resolvedSpec, a *sparse.Matrix) (*CachedResult, error) {
+func (s *Server) partition(ctx context.Context, rs *resolvedSpec, a *sparse.Matrix) (*CachedResult, error) {
 	opts := core.DefaultOptions()
 	opts.Eps = rs.eps
 	opts.Refine = rs.spec.Refine
 	rng := rand.New(rand.NewSource(rs.spec.Seed))
 
-	start := time.Now()
-	var res *core.Result
-	var err error
+	eng := s.engine
 	if rs.engine == engineSeq {
-		opts.Workers = 0
-		res, err = core.Partition(a, rs.spec.P, rs.method, opts, rng)
-	} else {
-		res, err = core.PartitionPool(a, rs.spec.P, rs.method, opts, rng, s.pool)
+		eng = s.seqEngine
 	}
+	start := time.Now()
+	res, err := eng.Partition(ctx, a, rs.spec.P, rs.method, opts, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -494,7 +494,12 @@ func TestUploadCanonicalization(t *testing.T) {
 }
 
 func TestTimeoutSalvagesResult(t *testing.T) {
-	s, ts := newTestServer(t, testConfig())
+	cfg := testConfig()
+	// Salvage is opt-in since timeouts cancel the computation's context;
+	// with it on, the timed-out computation runs to completion in the
+	// background and its result lands in the cache.
+	cfg.SalvageOnCancel = true
+	s, ts := newTestServer(t, cfg)
 	spec := JobSpec{Corpus: "lap2d-24", P: 64, Seed: 21, Workers: 1, TimeoutMS: 1}
 	v, _ := postJob(t, ts, spec)
 	if done := waitDone(t, ts, v.ID); done.State != StateFailed {

@@ -18,6 +18,8 @@ type statsRecorder struct {
 	completedN  atomic.Int64
 	failedN     atomic.Int64
 	rejectedN   atomic.Int64
+	canceledN   atomic.Int64
+	dedupedN    atomic.Int64
 	cacheHitN   atomic.Int64
 	cacheMissN  atomic.Int64
 	persistErrN atomic.Int64
@@ -48,6 +50,8 @@ func newStatsRecorder() *statsRecorder {
 func (st *statsRecorder) accepted()   { st.acceptedN.Add(1) }
 func (st *statsRecorder) failed()     { st.failedN.Add(1) }
 func (st *statsRecorder) rejected()   { st.rejectedN.Add(1) }
+func (st *statsRecorder) canceled()   { st.canceledN.Add(1) }
+func (st *statsRecorder) deduped()    { st.dedupedN.Add(1) }
 func (st *statsRecorder) cacheHit()   { st.cacheHitN.Add(1) }
 func (st *statsRecorder) cacheMiss()  { st.cacheMissN.Add(1) }
 func (st *statsRecorder) persistErr() { st.persistErrN.Add(1) }
@@ -97,8 +101,14 @@ type StatsView struct {
 	Completed  int64   `json:"completed"`
 	Failed     int64   `json:"failed"`
 	Rejected   int64   `json:"rejected"`
-	// Salvaged counts timed-out jobs whose abandoned computation later
-	// finished and was kept in the cache anyway.
+	// Canceled counts jobs canceled via DELETE /jobs/{id}; Deduplicated
+	// counts submissions that attached to an identical in-flight
+	// computation instead of queueing their own.
+	Canceled     int64 `json:"canceled"`
+	Deduplicated int64 `json:"deduplicated"`
+	// Salvaged counts timed-out or canceled jobs whose abandoned
+	// computation later finished and was kept in the cache anyway
+	// (salvage-on-cancel mode).
 	Salvaged    int64                            `json:"salvaged"`
 	PersistErrs int64                            `json:"persist_errors"`
 	Cache       CacheStats                       `json:"cache"`
@@ -118,19 +128,21 @@ func (s *Server) Stats() StatsView {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	return StatsView{
-		Status:      status,
-		UptimeMS:    float64(time.Since(s.started).Microseconds()) / 1000,
-		Workers:     s.pool.Workers(),
-		Runners:     s.cfg.Runners,
-		QueueCap:    s.cfg.QueueDepth,
-		QueueDepth:  s.sched.depth(),
-		Running:     s.sched.active(),
-		Accepted:    s.stats.acceptedN.Load(),
-		Completed:   s.stats.completedN.Load(),
-		Failed:      s.stats.failedN.Load(),
-		Rejected:    s.stats.rejectedN.Load(),
-		Salvaged:    s.stats.salvagedN.Load(),
-		PersistErrs: s.stats.persistErrN.Load(),
+		Status:       status,
+		UptimeMS:     float64(time.Since(s.started).Microseconds()) / 1000,
+		Workers:      s.engine.Workers(),
+		Runners:      s.cfg.Runners,
+		QueueCap:     s.cfg.QueueDepth,
+		QueueDepth:   s.sched.depth(),
+		Running:      s.sched.active(),
+		Accepted:     s.stats.acceptedN.Load(),
+		Completed:    s.stats.completedN.Load(),
+		Failed:       s.stats.failedN.Load(),
+		Rejected:     s.stats.rejectedN.Load(),
+		Canceled:     s.stats.canceledN.Load(),
+		Deduplicated: s.stats.dedupedN.Load(),
+		Salvaged:     s.stats.salvagedN.Load(),
+		PersistErrs:  s.stats.persistErrN.Load(),
 		Cache: CacheStats{
 			Entries:  s.cache.Len(),
 			Capacity: s.cfg.CacheEntries,

@@ -6,19 +6,37 @@
 // from-scratch multilevel FM hypergraph partitioner, and a parallel SpMV
 // substrate for validating communication volumes.
 //
-// Quick start:
+// Quick start — create one Engine for the life of the process and run
+// every request through it:
 //
 //	a, _ := mediumgrain.ReadMatrixMarketFile("matrix.mtx")
-//	opts := mediumgrain.DefaultOptions()
-//	opts.Refine = true // apply the paper's iterative refinement
-//	res, _ := mediumgrain.Bipartition(a, mediumgrain.MethodMediumGrain,
-//	    opts, mediumgrain.NewRNG(42))
+//	eng := mediumgrain.New(mediumgrain.EngineConfig{Workers: -1}) // GOMAXPROCS pool
+//	res, _ := eng.Partition(context.Background(), mediumgrain.Request{
+//	    Matrix: a,
+//	    P:      4,
+//	    Method: mediumgrain.MethodMediumGrain,
+//	    Seed:   42,
+//	    Refine: true, // apply the paper's iterative refinement
+//	})
 //	fmt.Println("communication volume:", res.Volume)
+//
+// The Engine owns the worker pool and the per-worker scratch memory, is
+// safe for concurrent use, and honors its context: canceling ctx stops
+// the computation cooperatively (recursive bisection nodes, multilevel
+// coarsening levels, FM passes, and metric scan chunks all observe it),
+// returns ctx.Err() promptly, and leaks nothing. Requests are seeded —
+// equal seeds give bit-identical results at every worker count — which
+// replaces the *rand.Rand threading of the deprecated free functions.
+//
+// The free functions (Bipartition, Partition, IterativeRefine, ...) and
+// their *Parallel forks predate the Engine; they survive as thin
+// deprecated wrappers that build a throwaway engine per call and cannot
+// be canceled. New code should not use them; each carries a migration
+// note.
 //
 // # Parallel execution
 //
-// Every partitioning entry point runs on a shared worker-pool engine
-// (internal/pool) selected by Options.Workers:
+// An Engine's worker count selects the execution engine:
 //
 //   - Workers == 0 (the zero value) is the sequential legacy path; it
 //     preserves the exact per-seed results of earlier versions.
@@ -95,6 +113,7 @@
 package mediumgrain
 
 import (
+	"context"
 	"math/rand"
 	"os"
 
@@ -209,6 +228,11 @@ func WriteMatrixMarketFile(path string, a *Matrix) error {
 // Bipartition splits the nonzeros of a into two parts with the given
 // method. The result satisfies the load-balance constraint
 // max|A_i| ≤ (1+ε)·N/2 and reports the communication volume V.
+//
+// Deprecated: use Engine.Bipartition — New(EngineConfig{Workers:
+// opts.Workers}).Bipartition(ctx, Request{Matrix: a, Method: method,
+// Seed: s}) is bit-identical for rng = NewRNG(s) — which reuses pool
+// and scratch memory across calls and honors its context.
 func Bipartition(a *Matrix, method Method, opts Options, rng *rand.Rand) (*Result, error) {
 	return core.Bipartition(a, method, opts, rng)
 }
@@ -217,6 +241,11 @@ func Bipartition(a *Matrix, method Method, opts Options, rng *rand.Rand) (*Resul
 // bisection with the given method. With opts.Workers set, the disjoint
 // subproblems of the bisection tree run concurrently on the worker-pool
 // engine (see the package comment for the determinism guarantees).
+//
+// Deprecated: use Engine.Partition — New(EngineConfig{Workers:
+// opts.Workers}).Partition(ctx, Request{Matrix: a, P: p, Method:
+// method, Seed: s}) is bit-identical for rng = NewRNG(s) — which reuses
+// pool and scratch memory across calls and honors its context.
 func Partition(a *Matrix, p int, method Method, opts Options, rng *rand.Rand) (*Result, error) {
 	return core.Partition(a, p, method, opts, rng)
 }
@@ -225,6 +254,10 @@ func Partition(a *Matrix, p int, method Method, opts Options, rng *rand.Rand) (*
 // bipartitioning of a (parts[k] ∈ {0,1} per nonzero) and returns an
 // improved partitioning with never-larger communication volume. It can
 // post-process the output of any method.
+//
+// Deprecated: use Engine.Refine with Request.Parts set and P = 2; it
+// runs under a context and returns the refined volume alongside the
+// parts.
 func IterativeRefine(a *Matrix, parts []int, opts Options, rng *rand.Rand) []int {
 	return core.IterativeRefine(a, parts, opts, rng)
 }
@@ -234,6 +267,11 @@ func IterativeRefine(a *Matrix, parts []int, opts Options, rng *rand.Rand) []int
 // coarsening that respects the current bipartition followed by FM at all
 // levels, alternating medium-grain encoding directions. More expensive
 // than IterativeRefine, sometimes stronger; also monotone.
+//
+// Deprecated: construct an Engine and use its VCycleRefine-backed
+// refinement via the internal core engine, or keep Engine.Refine for
+// the paper's cheaper Algorithm 2; this wrapper builds a throwaway pool
+// per call and cannot be canceled.
 func VCycleRefine(a *Matrix, parts []int, opts Options, rng *rand.Rand) []int {
 	return core.VCycleRefine(a, parts, opts, rng)
 }
@@ -244,6 +282,10 @@ func VCycleRefine(a *Matrix, parts []int, opts Options, rng *rand.Rand) []int {
 // of the composite hypergraph, trading computation time for quality. The
 // best result over `iterations` rounds is returned; one round equals a
 // plain medium-grain run.
+//
+// Deprecated: this wrapper builds a throwaway engine per call and
+// cannot be canceled; long-lived callers should hold an Engine and a
+// future Engine method will expose the full iterative method directly.
 func FullIterative(a *Matrix, iterations int, opts Options, rng *rand.Rand) (*Result, error) {
 	return core.FullIterative(a, iterations, opts, rng)
 }
@@ -258,6 +300,10 @@ func InitialSplit(a *Matrix, strategy SplitStrategy, rng *rand.Rand) []bool {
 // InitialSplitParallel is the multi-goroutine formulation of Algorithm 1
 // sketched in the paper's §V; its output is identical to
 // InitialSplit(a, SplitNNZ, rng) for equal rng seeds.
+//
+// Deprecated: the split runs in parallel automatically inside every
+// parallel Engine's medium-grain partitioning; callers that only need
+// the split itself should use InitialSplit, whose output is identical.
 func InitialSplitParallel(a *Matrix, rng *rand.Rand, workers int) []bool {
 	return core.SplitParallel(a, rng, workers)
 }
@@ -282,8 +328,12 @@ func Imbalance(parts []int, p int) float64 { return metrics.Imbalance(parts, p) 
 // between any pair of parts when that reduces volume and keeps balance.
 // Useful after recursive bisection, whose splits are optimized in
 // isolation. parts is modified in place; the final volume is returned.
+//
+// Deprecated: use Engine.Refine with Request.Parts and Request.P set;
+// it runs under a context, never mutates the request's parts, and
+// reuses the engine's pool.
 func KWayRefine(a *Matrix, parts []int, p int, eps float64, rng *rand.Rand) int64 {
-	return kway.Refine(a, parts, p, kway.Options{Eps: eps}, rng)
+	return kway.Refine(context.Background(), a, parts, p, kway.Options{Eps: eps}, rng)
 }
 
 // KWayRefineParallel is KWayRefine with the count construction and
@@ -291,8 +341,12 @@ func KWayRefine(a *Matrix, parts []int, p int, eps float64, rng *rand.Rand) int6
 // negative = GOMAXPROCS). The greedy move loop is sequential either
 // way, so the refined parts and returned volume are identical to
 // KWayRefine for equal seeds.
+//
+// Deprecated: use Engine.Refine on an Engine built with the desired
+// worker count; this fork exists only because the legacy API had no
+// handle to hang a pool on.
 func KWayRefineParallel(a *Matrix, parts []int, p int, eps float64, workers int, rng *rand.Rand) int64 {
-	return kway.Refine(a, parts, p, kway.Options{Eps: eps, Workers: workers}, rng)
+	return kway.Refine(context.Background(), a, parts, p, kway.Options{Eps: eps, Workers: workers}, rng)
 }
 
 // CartesianResult is a coarse-grain p×q Cartesian partitioning (rows

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Deprecation gate: the context-aware Engine API (mediumgrain.Engine /
+# core.Engine) is the single entry point for every caller; the legacy
+# free functions and their *Parallel/*Pool forks survive only as
+# deprecated wrappers for external users. No non-test code in this repo
+# outside the root package may call them — new call sites must go
+# through an Engine. Wired into `make lint` and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Deprecated root-package wrappers and core free functions. The \( after
+# the alternation keeps identifiers like PartitionerConfig from
+# matching.
+pattern='(mediumgrain|core)\.(Partition|Bipartition|IterativeRefine|VCycleRefine|FullIterative|KWayRefine|KWayRefineParallel|InitialSplitParallel|PartitionPool)\('
+
+bad=$(grep -rnE --include='*.go' "$pattern" cmd examples internal | grep -v '_test\.go' || true)
+if [ -n "$bad" ]; then
+  echo "deprecated legacy API called outside the root package (use the Engine):"
+  echo "$bad"
+  exit 1
+fi
+echo "check_deprecated: OK (no non-test caller of the deprecated API outside the root package)"

@@ -17,7 +17,10 @@ go build -o "$WORKDIR/mgserve" ./cmd/mgserve
 go build -o "$WORKDIR/mgload" ./cmd/mgload
 
 echo "==> booting mgserve on $ADDR"
-"$WORKDIR/mgserve" -addr "$ADDR" -data "$WORKDIR/data" -runners 2 \
+# One runner: the cancel step below parks it with a heavy job so the
+# victim job is deterministically still queued (or at worst freshly
+# running) when the DELETE arrives.
+"$WORKDIR/mgserve" -addr "$ADDR" -data "$WORKDIR/data" -runners 1 \
   >"$WORKDIR/mgserve.log" 2>&1 &
 SERVER_PID=$!
 
@@ -54,6 +57,23 @@ RESUBMIT=$(curl -sf -X POST "$BASE/jobs" -d "$SPEC")
 echo "$RESUBMIT" | grep -q '"cached": true' || { echo "no cache hit"; exit 1; }
 curl -sf "$BASE/stats" -o "$WORKDIR/stats.json"
 grep -q '"hits": [1-9]' "$WORKDIR/stats.json" || { echo "stats missed the hit"; exit 1; }
+
+echo "==> DELETE /jobs/{id} cancels a job"
+# Park the single spare runner budget with a heavy job, then cancel a
+# second heavy job: whether it is still queued or already running, the
+# DELETE must land it in state "canceled" and /stats must count it.
+HEAVY='{"corpus":"lap2d-24","p":64,"method":"MG","seed":910,"refine":true,"workers":1}'
+curl -sf -X POST "$BASE/jobs" -d "$HEAVY" >/dev/null
+VICTIM=$(curl -sf -X POST "$BASE/jobs" -d '{"corpus":"lap2d-24","p":64,"method":"MG","seed":911,"refine":true,"workers":1}')
+VICTIM_ID=$(echo "$VICTIM" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+test -n "$VICTIM_ID"
+CANCELED=$(curl -sf -X DELETE "$BASE/jobs/$VICTIM_ID")
+echo "$CANCELED" | grep -q '"state": "canceled"' || { echo "DELETE did not cancel: $CANCELED"; exit 1; }
+curl -sf "$BASE/jobs/$VICTIM_ID" | grep -q '"state": "canceled"' || { echo "canceled state not persisted"; exit 1; }
+# The canceled job's result is gone (410), and /stats counted the cancel.
+RESULT_CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/jobs/$VICTIM_ID/result")
+test "$RESULT_CODE" = "410" || { echo "canceled result answered $RESULT_CODE, want 410"; exit 1; }
+curl -sf "$BASE/stats" | grep -q '"canceled": [1-9]' || { echo "stats missed the cancel"; exit 1; }
 
 echo "==> mgload burst with offline verification"
 "$WORKDIR/mgload" -addr "$BASE" -clients 8 -requests 3 -seeds 1 \
