@@ -4,7 +4,7 @@ GO       ?= go
 DATE     := $(shell date -u +%F)
 BENCHOUT ?= BENCH_$(DATE).json
 
-.PHONY: build test race bench bench-json bench-scale3 bench-diff lint check-deprecated serve load-test smoke-service
+.PHONY: build test race bench bench-json bench-scale3 bench-diff profile lint check-deprecated serve load-test smoke-service
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ bench-json:
 # multi-core box). Same schema, so bench-diff gates it like any report.
 bench-scale3:
 	$(GO) run ./cmd/mgbench -scale 3 -out BENCH_$(DATE)-scale3.json
+
+# Profile the quick benchmark grid: writes bench-cpu.pprof and
+# bench-mem.pprof next to the JSON report, so every perf PR can ship
+# pprof evidence (`go tool pprof -top bench-cpu.pprof`).
+profile:
+	$(GO) run ./cmd/mgbench -quick -out BENCH_profile.json \
+		-cpuprofile bench-cpu.pprof -memprofile bench-mem.pprof
 
 # Compare two bench reports per grid point; exits nonzero when any
 # common point regresses communication volume by more than 5%.

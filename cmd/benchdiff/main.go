@@ -39,8 +39,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if oldRep.ExactFM != newRep.ExactFM {
+		// Per-seed volumes legitimately differ between the FM modes;
+		// gating one against the other would misattribute the delta.
+		log.Fatalf("FM mode mismatch: old report exact_fm=%t, new report exact_fm=%t — regenerate the reports in one mode",
+			oldRep.ExactFM, newRep.ExactFM)
+	}
+
 	rows := report.DiffBench(oldRep, newRep)
 	fmt.Print(report.FormatDiff(rows))
+	if wallGeo, bytesGeo, wallN, bytesN := report.PerfSummary(rows); wallN > 0 || bytesN > 0 {
+		// Informational only — CI machines are too noisy for hard time
+		// gates — but logged on every run so the CI history doubles as
+		// the perf trend record.
+		fmt.Printf("\nperf (geomean, new/old):")
+		if wallN > 0 {
+			fmt.Printf(" wall %.3fx over %d points", wallGeo, wallN)
+		}
+		if bytesN > 0 {
+			fmt.Printf("  bytes/op %.3fx over %d points", bytesGeo, bytesN)
+		}
+		fmt.Println()
+	}
 
 	bad := report.VolumeRegressions(rows, *volTol)
 	if len(bad) > 0 {

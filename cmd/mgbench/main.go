@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mediumgrain"
@@ -38,8 +39,12 @@ type gridMatrix struct {
 	a     *sparse.Matrix
 	class sparse.Class
 	// ps restricts this matrix to specific part counts (nil = the grid's
-	// defaults); the huge tier runs p=64 only.
+	// defaults); the huge tier runs a small p sweep.
 	ps []int
+	// methods restricts this matrix to specific methods (nil = MG only);
+	// the huge tier also runs the fine-grain model now that boundary FM
+	// keeps its wall time tolerable.
+	methods []string
 	// runsOverride caps the repetitions (0 = the grid's -runs); the huge
 	// tier is timed once.
 	runsOverride int
@@ -57,8 +62,19 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker count benchmarked against workers=1")
 		quick   = flag.Bool("quick", false, "CI smoke mode: small grid, 1 run")
 		eps     = flag.Float64("eps", 0.03, "allowed load imbalance")
+		exactFM = flag.Bool("exact-fm", false, "benchmark the exact all-vertex FM passes instead of the boundary-driven default")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole grid here")
+		memProf = flag.String("memprofile", "", "write a heap profile (after the grid) here")
 	)
 	flag.Parse()
+	// Every later error path exits through fatalf, which flushes the CPU
+	// profile first: log.Fatal skips deferred functions, and a truncated
+	// pprof file would ship as corrupt "evidence" in the CI artifact.
+	stopProfile := func() {}
+	fatalf := func(format string, args ...any) {
+		stopProfile()
+		log.Fatalf(format, args...)
+	}
 	if *quick {
 		*runs = 1
 	}
@@ -76,6 +92,25 @@ func main() {
 		*workers, runtime.GOMAXPROCS(0), *runs, *seed, *quick)
 
 	grid := buildGrid(*seed, *scale, *quick)
+	// Start profiling only now: buildGrid can log.Fatal (bypassing
+	// fatalf), and grid generation is not what the profile is for.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("closing %s: %v", *cpuProf, err)
+			}
+			stopProfile = func() {}
+		}
+		defer stopProfile()
+	}
 	pValues := []int{2, 16, 64}
 	if *quick {
 		pValues = []int{2, 64}
@@ -89,12 +124,15 @@ func main() {
 	// engine per worker count, as a production caller would hold it —
 	// so the report gates the Engine path against the baseline (results
 	// are bit-identical to the legacy per-call API for equal seeds).
+	pcfg := mediumgrain.MondriaanLikeConfig()
+	pcfg.ExactFM = *exactFM
 	engines := make(map[int]*mediumgrain.Engine, len(workerValues))
 	for _, w := range workerValues {
-		engines[w] = mediumgrain.New(mediumgrain.EngineConfig{Workers: w})
+		engines[w] = mediumgrain.New(mediumgrain.EngineConfig{Workers: w, Partitioner: pcfg})
 	}
 
 	rep := report.NewBenchReport(time.Now().UTC().Format(time.RFC3339), *seed, *runs)
+	rep.ExactFM = *exactFM
 	for _, gm := range grid {
 		ps := pValues
 		if gm.ps != nil {
@@ -104,23 +142,42 @@ func main() {
 		if gm.runsOverride > 0 && gm.runsOverride < runsHere {
 			runsHere = gm.runsOverride
 		}
-		for _, p := range ps {
-			for _, w := range workerValues {
-				entry, err := runPoint(engines[w], gm, p, "MG", w, *eps, *seed, runsHere)
-				if err != nil {
-					log.Fatalf("%s p=%d workers=%d: %v", gm.name, p, w, err)
+		methods := gm.methods
+		if methods == nil {
+			methods = []string{"MG"}
+		}
+		for _, method := range methods {
+			for _, p := range ps {
+				for _, w := range workerValues {
+					entry, err := runPoint(engines[w], gm, p, method, w, *eps, *seed, runsHere)
+					if err != nil {
+						fatalf("%s %s p=%d workers=%d: %v", gm.name, method, p, w, err)
+					}
+					rep.Entries = append(rep.Entries, entry)
+					fmt.Printf("%-14s %-2s p=%-3d workers=%-2d  %8.1f ms  volume=%-7d imbalance=%.4f  allocs/op=%-8d MB/op=%.1f\n",
+						gm.name, method, p, w, entry.WallMS, entry.Volume, entry.Imbalance,
+						entry.AllocsPerOp, float64(entry.BytesPerOp)/(1024*1024))
 				}
-				rep.Entries = append(rep.Entries, entry)
-				fmt.Printf("%-14s p=%-3d workers=%-2d  %8.1f ms  volume=%-7d imbalance=%.4f  allocs/op=%-8d MB/op=%.1f\n",
-					gm.name, p, w, entry.WallMS, entry.Volume, entry.Imbalance,
-					entry.AllocsPerOp, float64(entry.BytesPerOp)/(1024*1024))
 			}
 		}
 	}
 	rep.FillSpeedups()
 
 	if err := rep.WriteJSONFile(*outPath); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	fmt.Printf("\nreport written to %s\n", *outPath)
 	printSpeedupSummary(rep, *workers)
@@ -132,7 +189,8 @@ func main() {
 // the p=64 recursion enough work to measure. Raising -scale above 1
 // additionally enables the huge tier: a grid Laplacian with at least a
 // million nonzeros (n = 330·scale per side, so -scale 2 ≈ 2.2M nnz),
-// timed once at p=64 only so the full grid stays tractable. -scale 3
+// timed once per point over methods {MG, FG} × p {16, 64} — the wider
+// sweep the boundary-driven FM refinement made affordable. -scale 3
 // widens the side to n = 340·scale ≈ 1020, crossing the paper's
 // 5M-nonzero corpus ceiling (5n² − 4n ≈ 5.2M); the entry reuses the
 // same BENCH_* schema and grid-point naming, so `make bench-diff` and
@@ -167,7 +225,8 @@ func buildGrid(seed int64, scale int, quick bool) []gridMatrix {
 			name:         fmt.Sprintf("lap2d-huge-%d", n),
 			a:            huge,
 			class:        huge.Classify(),
-			ps:           []int{64},
+			ps:           []int{16, 64},
+			methods:      []string{"MG", "FG"},
 			runsOverride: 1,
 		})
 	}

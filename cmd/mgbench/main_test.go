@@ -19,8 +19,18 @@ func TestBuildGridHugeTier(t *testing.T) {
 	if huge.a.NNZ() < 1_000_000 {
 		t.Fatalf("huge tier has only %d nonzeros, want >= 1M", huge.a.NNZ())
 	}
-	if len(huge.ps) != 1 || huge.ps[0] != 64 || huge.runsOverride != 1 {
-		t.Fatalf("huge tier must run once at p=64 only, got ps=%v runs=%d", huge.ps, huge.runsOverride)
+	checkHugeTierSweep(t, huge)
+}
+
+// checkHugeTierSweep asserts the widened huge tier: timed once per
+// point, p sweep {16, 64}, methods {MG, FG}.
+func checkHugeTierSweep(t *testing.T, huge *gridMatrix) {
+	t.Helper()
+	if len(huge.ps) != 2 || huge.ps[0] != 16 || huge.ps[1] != 64 || huge.runsOverride != 1 {
+		t.Fatalf("huge tier must run once over p={16,64}, got ps=%v runs=%d", huge.ps, huge.runsOverride)
+	}
+	if len(huge.methods) != 2 || huge.methods[0] != "MG" || huge.methods[1] != "FG" {
+		t.Fatalf("huge tier must sweep methods {MG, FG}, got %v", huge.methods)
 	}
 }
 
@@ -41,14 +51,12 @@ func TestBuildGridScale3ReachesPaperRegime(t *testing.T) {
 	if huge.a.NNZ() < 5_000_000 {
 		t.Fatalf("scale-3 tier has only %d nonzeros, want >= 5M (the paper's corpus ceiling)", huge.a.NNZ())
 	}
-	if len(huge.ps) != 1 || huge.ps[0] != 64 || huge.runsOverride != 1 {
-		t.Fatalf("huge tier must run once at p=64 only, got ps=%v runs=%d", huge.ps, huge.runsOverride)
-	}
+	checkHugeTierSweep(t, huge)
 }
 
 func TestBuildGridDefaultHasNoHugeTier(t *testing.T) {
 	for _, gm := range buildGrid(1, 1, false) {
-		if gm.ps != nil || gm.runsOverride != 0 {
+		if gm.ps != nil || gm.methods != nil || gm.runsOverride != 0 {
 			t.Fatalf("default grid contains a restricted entry: %+v", gm.name)
 		}
 	}

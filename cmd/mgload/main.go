@@ -62,6 +62,7 @@ func main() {
 		seeds    = flag.Int("seeds", 2, "partitioning seeds per (matrix, p): 1..n")
 		method   = flag.String("method", "MG", "partitioning method")
 		workers  = flag.Int("workers", 2, "job spec workers field (0 = sequential engine)")
+		exactFM  = flag.Bool("exact-fm", false, "request exact all-vertex FM passes instead of the boundary-driven default")
 		theta    = flag.Float64("zipf", 0.9, "Zipf skew over the spec space (0 = uniform)")
 		seed     = flag.Int64("seed", 1, "load-generator RNG seed")
 		poll     = flag.Duration("poll", 2*time.Millisecond, "poll interval while a job runs")
@@ -74,7 +75,7 @@ func main() {
 		*clients = 1
 	}
 
-	specs := buildSpecs(*matrices, *psFlag, *seeds, *method, *workers)
+	specs := buildSpecs(*matrices, *psFlag, *seeds, *method, *workers, *exactFM)
 	if len(specs) == 0 {
 		log.Fatal("empty spec space")
 	}
@@ -135,7 +136,7 @@ func main() {
 }
 
 // buildSpecs crosses matrices × part counts × seeds into the spec space.
-func buildSpecs(matrices, psFlag string, seeds int, method string, workers int) []service.JobSpec {
+func buildSpecs(matrices, psFlag string, seeds int, method string, workers int, exactFM bool) []service.JobSpec {
 	var ps []int
 	for _, f := range strings.Split(psFlag, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(f))
@@ -157,6 +158,7 @@ func buildSpecs(matrices, psFlag string, seeds int, method string, workers int) 
 			for s := 1; s <= seeds; s++ {
 				specs = append(specs, service.JobSpec{
 					Corpus: name, P: p, Method: method, Seed: int64(s), Workers: workers,
+					ExactFM: exactFM,
 				})
 			}
 		}
@@ -461,6 +463,7 @@ func offline(a *sparse.Matrix, spec service.JobSpec) ([]int, error) {
 		opts.Eps = *spec.Eps
 	}
 	opts.Refine = spec.Refine
+	opts.Config.ExactFM = spec.ExactFM
 	eng := verifySeqEngine
 	if spec.Workers != 0 {
 		eng = verifyParEngine

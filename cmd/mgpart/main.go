@@ -37,6 +37,7 @@ func main() {
 		eps     = flag.Float64("eps", 0.03, "allowed load imbalance")
 		ir      = flag.Bool("ir", false, "apply iterative refinement")
 		engine  = flag.String("engine", "mondriaan", "hypergraph engine: mondriaan or alt")
+		exactFM = flag.Bool("exact-fm", false, "exact all-vertex FM passes (historical behavior) instead of the boundary-driven default")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel engine (0 = sequential legacy path)")
 		outPath = flag.String("out", "", "write part assignment (one id per line)")
@@ -73,6 +74,7 @@ func main() {
 	default:
 		log.Fatalf("unknown engine %q (want mondriaan or alt)", *engine)
 	}
+	pcfg.ExactFM = *exactFM
 	// One reusable engine runs the partitioning and any post-refinement;
 	// ^C-style cancellation would only need a signal-bound context here.
 	eng := mediumgrain.New(mediumgrain.EngineConfig{Workers: *workers, Partitioner: pcfg})
@@ -111,7 +113,7 @@ func main() {
 	}
 
 	fmt.Printf("matrix:    %v (class %v)\n", a, a.Classify())
-	fmt.Printf("method:    %v  refine=%v  engine=%s  p=%d  eps=%g  workers=%d\n", m, *ir, *engine, *p, *eps, *workers)
+	fmt.Printf("method:    %v  refine=%v  engine=%s  exactfm=%v  p=%d  eps=%g  workers=%d\n", m, *ir, *engine, *exactFM, *p, *eps, *workers)
 	fmt.Printf("volume:    %d\n", res.Volume)
 	fmt.Printf("imbalance: %.4f (allowed %.4f)\n", mediumgrain.Imbalance(res.Parts, *p), *eps)
 	fmt.Printf("BSP cost:  %d\n", mediumgrain.BSPCost(a, res.Parts, *p))

@@ -23,7 +23,10 @@ type EngineConfig struct {
 	// throughput knob.
 	Workers int
 	// Partitioner tunes the multilevel hypergraph engine; the zero value
-	// selects MondriaanLikeConfig(), the paper's primary engine.
+	// selects MondriaanLikeConfig(), the paper's primary engine. Its
+	// ExactFM field selects between the boundary-driven FM refinement
+	// default and the historical exact all-vertex passes; see
+	// PartitionerConfig.
 	Partitioner PartitionerConfig
 }
 

@@ -30,7 +30,7 @@ type level struct {
 func match(h *hypergraph.Hypergraph, rng *rand.Rand, cfg Config, maxClusterWt int64, pl *pool.Pool, sc *Scratch) ([]int32, int) {
 	nv := h.NumVerts
 	mate, conn := sc.matchBuffers(nv)
-	order := rng.Perm(nv)
+	order := sc.perm(rng, nv)
 
 	netLimit := cfg.MatchingNetLimit
 	if netLimit <= 0 {
@@ -161,10 +161,15 @@ func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int, cfg Config,
 	for v := 0; v < h.NumVerts; v++ {
 		wt[vmap[v]] += h.VertWt[v]
 	}
-	b := hypergraph.NewBuilder(numCoarse, wt)
+	// Accumulate the deduplicated nets into the scratch first, then copy
+	// once into exactly-sized owned arrays: the coarse hypergraph must
+	// own its memory (the V-cycle revisits every level on the way back
+	// up), but building it through an append-grown Builder used to
+	// allocate the growth chain on top of the final arrays every level.
 	stamp, pins := sc.contractBuffers(numCoarse)
+	ptr := sc.contractPtr()
 	for n := 0; n < h.NumNets; n++ {
-		pins = pins[:0]
+		start := len(pins)
 		for _, v := range h.NetPins(n) {
 			cv := vmap[v]
 			if stamp[cv] != n {
@@ -172,12 +177,19 @@ func contract(h *hypergraph.Hypergraph, vmap []int32, numCoarse int, cfg Config,
 				pins = append(pins, cv)
 			}
 		}
-		if len(pins) >= 2 {
-			b.AddNet(pins)
+		if len(pins)-start >= 2 {
+			ptr = append(ptr, int32(len(pins)))
+		} else {
+			// Nets that shrink to a single pin can never be cut at this
+			// or any coarser level; drop them.
+			pins = pins[:start]
 		}
 	}
+	netPtr := append(make([]int32, 0, len(ptr)), ptr...)
+	outPins := append(make([]int32, 0, len(pins)), pins...)
 	sc.keepPins(pins)
-	return b.Build()
+	sc.keepPtr(ptr)
+	return hypergraph.FromCSR(numCoarse, wt, netPtr, outPins)
 }
 
 // contractParallel is the multi-goroutine formulation of contract. Nets

@@ -4,6 +4,50 @@
 // (FM) refinement with gain buckets, minimizing the cut-net metric (which
 // equals the λ−1 communication-volume metric for two parts) under the
 // load-balance constraint of the paper (eqn (1)).
+//
+// # The refinement engine
+//
+// FM refinement is the package's hot path — it runs at every
+// recursive-bisection node, every multilevel uncoarsening step, and
+// every iterative-refinement/V-cycle round — and is built as three
+// layers of constant-factor reduction over the textbook algorithm:
+//
+// Locked-net pruning (always on, bit-identical). bipState tracks, per
+// net and side, how many pins are locked in the current pass
+// (netState packs pin counts and locked counts into one 16-byte record
+// per net). A net with locked pins on both sides can never change cut
+// state again, so a move skips its gain-update pin scans entirely and
+// only applies the pin-count deltas; a lone critical pin on a side
+// that holds a lock is that locked pin, so the scan that would find it
+// is skipped too. Every skipped update is provably a no-op — locked
+// vertices have left the gain buckets — so pruning never moves a
+// result bit in either refinement mode.
+//
+// Boundary-driven passes (the default; Config.ExactFM restores the
+// historical behavior). An exact pass seeds its gain buckets from all
+// nv vertices and moves each at most once to exhaustion. Boundary mode
+// instead seeds from the boundary — the pins of cut nets — grows the
+// bucket set incrementally as moves cut new nets (move() reports the
+// newly-boundary vertices, which enter with from-scratch gains), and
+// bounds the exhaustive tail with an adaptive early exit (64 + nv/16
+// consecutive non-improving moves; measured on the bench corpus, ~96%
+// of exhaustive-pass moves were rolled-back tail). An infeasible state
+// still gets exact passes until a pass restores balance — only
+// interior vertices may be able to fix it — and every pass rolls back
+// to its best state under feasibility-first ordering, so boundary mode
+// never yields a less feasible result. Per-seed partitions differ
+// between the modes (the candidate set differs); the bench suite gates
+// the quality delta at <= 5% volume per grid point. Within each mode,
+// results remain bit-identical for a given seed at every worker count.
+//
+// Zero-allocation pass setup. All per-pass working memory — the
+// permutation (a scratch-backed Fisher–Yates reproducing rand.Perm's
+// exact draws), gain buckets, locked flags, boundary marks and
+// worklist, and the per-net counter records — lives in Scratch and is
+// reused level to level; Scratch.reserve grows everything once per
+// multilevel run at the finest dimensions. Passes restore their
+// buffers on exit (buckets drained, locks and marks lowered via the
+// move log), so acquisition needs no O(nv) or O(numNets) clearing.
 package hgpart
 
 // gainBuckets is the classical FM bucket structure: a doubly linked list
@@ -93,21 +137,48 @@ func (g *gainBuckets) remove(v int32) {
 	g.count[s]--
 }
 
-// adjust moves vertex v to a new gain bucket by the given delta.
+// adjust moves vertex v to a new gain bucket by the given delta. It is
+// the FM update's inner operation — one call per free pin of every
+// critical net — so it relinks in place instead of paying remove+insert:
+// side, membership, and counts are unchanged, only the list links and
+// the gain move. The result is exactly remove(v) followed by
+// insert(v, side, gain+delta): v leaves its old bucket and becomes the
+// head of the new one (the LIFO tie-break order of insert).
 func (g *gainBuckets) adjust(v int32, delta int32) {
 	if !g.in[v] || delta == 0 {
 		return
 	}
 	s := int(g.side[v])
+	oldIdx := int(g.gain[v]) + g.maxDeg
+	if g.prev[v] >= 0 {
+		g.next[g.prev[v]] = g.next[v]
+	} else {
+		g.heads[s][oldIdx] = g.next[v]
+	}
+	if g.next[v] >= 0 {
+		g.prev[g.next[v]] = g.prev[v]
+	}
 	newGain := g.gain[v] + delta
-	g.remove(v)
-	g.insert(v, s, newGain)
+	idx := int(newGain) + g.maxDeg
+	g.gain[v] = newGain
+	head := g.heads[s][idx]
+	g.next[v] = head
+	g.prev[v] = -1
+	if head >= 0 {
+		g.prev[head] = v
+	}
+	g.heads[s][idx] = v
+	if idx > g.maxGain[s] {
+		g.maxGain[s] = idx
+	}
 }
 
 // bestFeasible scans side s from the highest occupied gain downward and
-// returns the first vertex accepted by ok. Returns -1 when the side has
-// no acceptable vertex.
-func (g *gainBuckets) bestFeasible(s int, ok func(v int32) bool) int32 {
+// returns the first vertex whose weight fits within budget (the room
+// left on the receiving side; pass math.MaxInt64 to accept any vertex).
+// The weight test is inlined rather than a callback — this scan runs
+// once per FM move. Returns -1 when the side has no acceptable vertex.
+func (g *gainBuckets) bestFeasible(s int, wt []int64, budget int64) int32 {
 	for idx := g.maxGain[s]; idx >= 0; idx-- {
 		v := g.heads[s][idx]
 		if v < 0 {
@@ -117,12 +188,32 @@ func (g *gainBuckets) bestFeasible(s int, ok func(v int32) bool) int32 {
 			continue
 		}
 		for ; v >= 0; v = g.next[v] {
-			if ok(v) {
+			if wt[v] <= budget {
 				return v
 			}
 		}
 	}
 	return -1
+}
+
+// drain unlinks every remaining vertex, restoring the all-empty state
+// (heads -1, in false everywhere). fmPass drains on exit so the next
+// reinit pays O(touched) instead of O(numVerts + maxDeg) clears —
+// boundary-only passes touch a fraction of either.
+func (g *gainBuckets) drain() {
+	for s := 0; s < 2; s++ {
+		// Indexes above maxGain are empty by the insert invariant.
+		for idx := g.maxGain[s]; idx >= 0; idx-- {
+			for v := g.heads[s][idx]; v >= 0; {
+				next := g.next[v]
+				g.in[v] = false
+				v = next
+			}
+			g.heads[s][idx] = -1
+		}
+		g.maxGain[s] = -1
+		g.count[s] = 0
+	}
 }
 
 // peekGain returns the highest occupied gain of side s and whether the

@@ -1,6 +1,7 @@
 package hgpart
 
 import (
+	"math"
 	"testing"
 )
 
@@ -70,7 +71,8 @@ func TestGainBucketsLIFO(t *testing.T) {
 	g.insert(0, 0, 1)
 	g.insert(1, 0, 1)
 	// last inserted must be first in the chain (LIFO tie-breaking)
-	v := g.bestFeasible(0, func(int32) bool { return true })
+	wt := []int64{1, 1, 1, 1, 1}
+	v := g.bestFeasible(0, wt, math.MaxInt64)
 	if v != 1 {
 		t.Fatalf("bestFeasible = %d, want 1 (LIFO)", v)
 	}
@@ -80,11 +82,14 @@ func TestBestFeasibleSkipsRejected(t *testing.T) {
 	g := newGainBuckets(5, 2)
 	g.insert(0, 0, 2)
 	g.insert(1, 0, 1)
-	v := g.bestFeasible(0, func(v int32) bool { return v != 0 })
+	// vertex 0 is too heavy for the budget; the scan must fall through
+	// to the lower-gain feasible vertex
+	wt := []int64{10, 1, 1, 1, 1}
+	v := g.bestFeasible(0, wt, 5)
 	if v != 1 {
 		t.Fatalf("bestFeasible = %d, want 1", v)
 	}
-	v = g.bestFeasible(0, func(v int32) bool { return false })
+	v = g.bestFeasible(0, wt, 0)
 	if v != -1 {
 		t.Fatalf("bestFeasible with no acceptance = %d, want -1", v)
 	}

@@ -43,6 +43,15 @@ type Config struct {
 	// EarlyExit aborts an FM pass after this many consecutive moves
 	// without a new best state (0 = full passes).
 	EarlyExit int
+	// ExactFM restores the historical all-vertex FM passes: every pass
+	// seeds its gain buckets from every vertex. The default (false) runs
+	// boundary-driven refinement — after each refine call's first pass,
+	// buckets are seeded from the pins of cut nets only and grown
+	// incrementally as moves cut new nets. Boundary mode is deterministic
+	// per seed at every worker count but explores a restricted move set,
+	// so its per-seed partitions (not their feasibility) may differ from
+	// ExactFM's; the bench suite gates the quality delta at <= 5% volume.
+	ExactFM bool
 	// Workers selects the parallel engine: 0 keeps the legacy sequential
 	// algorithms; any other value switches matching to deterministic
 	// proposal rounds and initial partitioning to independent seeded
@@ -123,6 +132,12 @@ func BipartitionCapsPoolScratch(ctx context.Context, h *hypergraph.Hypergraph, m
 	if h.NumVerts == 0 {
 		return parts, 0
 	}
+
+	// One up-front reserve at the finest dimensions keeps every
+	// per-level buffer acquisition of the run allocation-free: levels
+	// only shrink while coarsening, and the refinement upstroke re-visits
+	// them in ascending size order.
+	sc.reserve(h.NumVerts, h.NumNets)
 
 	levels := coarsen(ctx, h, capsToEps(h, maxW), rng, cfg, pl, sc)
 	coarsest := h
@@ -210,6 +225,16 @@ func initialPartition(ctx context.Context, h *hypergraph.Hypergraph, maxW [2]int
 		}
 		results := make([]try, tries)
 		pl.ForEach(tries, func(lo, hi int) {
+			// The pool is already saturated with whole tries; the inner
+			// refinement runs inline, and the tries execute concurrently,
+			// so none of them may touch the caller's scratch. A private
+			// per-chunk scratch still collapses the per-pass and
+			// per-state allocations of every try in the chunk (the
+			// scratch never influences results). The canceled-path
+			// result is discarded by the caller, but every try still
+			// writes a placeholder so the winner scan below stays in
+			// bounds.
+			var chunkSc Scratch
 			for t := lo; t < hi; t++ {
 				rt := rand.New(rand.NewSource(seeds[t]))
 				var parts []int
@@ -218,15 +243,8 @@ func initialPartition(ctx context.Context, h *hypergraph.Hypergraph, maxW [2]int
 				} else {
 					parts = randomAssign(h, maxW, rt)
 				}
-				// The pool is already saturated with whole tries; the
-				// inner refinement runs inline, and the tries execute
-				// concurrently, so none of them may touch the caller's
-				// scratch. The canceled-path result is discarded by the
-				// caller, but every try still writes a placeholder so
-				// the winner scan below stays in bounds.
-				cut := refine(ctx, h, parts, maxW, rt, cfg, nil, nil)
-				s := newBipState(h, parts, maxW)
-				results[t] = try{parts, cut, s.overload()}
+				cut := refine(ctx, h, parts, maxW, rt, cfg, nil, &chunkSc)
+				results[t] = try{parts, cut, overloadOf(h, parts, maxW)}
 			}
 		})
 		best := 0
@@ -247,8 +265,7 @@ func initialPartition(ctx context.Context, h *hypergraph.Hypergraph, maxW [2]int
 			parts = randomAssign(h, maxW, rng)
 		}
 		cut := refine(ctx, h, parts, maxW, rng, cfg, nil, sc)
-		s := newBipStateScratch(h, parts, maxW, sc)
-		over := s.overload()
+		over := overloadOf(h, parts, maxW)
 		if bestParts == nil || better(cut, over, bestCut, bestOver) {
 			bestParts = parts
 			bestCut, bestOver = cut, over

@@ -21,16 +21,56 @@ type Scratch struct {
 	// Contraction.
 	stamp []int
 	pins  []int32
+	ctPtr []int32
 	// Parallel contraction (per-net sizes and pin offsets; written by
 	// disjoint net ranges, scanned by the owning goroutine).
 	ctSizes []int32
 	ctOff   []int32
 	// FM refinement.
-	pinCt0, pinCt1 []int32
-	locked         []bool
-	gains          []int32
-	moves          []int32
-	buckets        gainBuckets
+	netSt   []netState
+	locked  []bool
+	gains   []int32
+	moves   []int32
+	buckets gainBuckets
+	// Boundary-only passes.
+	bndMark []bool
+	bndWork []int32
+	// Randomized orders (fmPass, matching).
+	permBuf []int
+}
+
+// reserve grows every size-tracking buffer to the dimensions of the
+// finest hypergraph of a multilevel run. Buffer sizes only shrink while
+// coarsening, but refinement walks the hierarchy back up — without the
+// reserve, each ascending level's acquisition re-grows pin counts, gain
+// buckets, permutations, and marks (sparse.Resize allocates exactly, so
+// every growth is a fresh array). One call per run makes all of those
+// acquisitions overwrite-only. Contents are not touched; every
+// acquisition helper still initializes what it hands out.
+func (sc *Scratch) reserve(numVerts, numNets int) {
+	if sc == nil {
+		return
+	}
+	sc.mate = sparse.Resize(sc.mate, numVerts)
+	sc.conn = sparse.Resize(sc.conn, numVerts)
+	sc.stamp = sparse.Resize(sc.stamp, numVerts)
+	sc.ctSizes = sparse.Resize(sc.ctSizes, numNets)
+	sc.ctOff = sparse.Resize(sc.ctOff, numNets)
+	sc.netSt = sparse.Resize(sc.netSt, numNets)
+	sc.locked = sparse.Resize(sc.locked, numVerts)
+	sc.gains = sparse.Resize(sc.gains, numVerts)
+	sc.bndMark = sparse.Resize(sc.bndMark, numVerts)
+	sc.permBuf = sparse.Resize(sc.permBuf, numVerts)
+	g := &sc.buckets
+	g.next = sparse.Resize(g.next, numVerts)
+	g.prev = sparse.Resize(g.prev, numVerts)
+	g.gain = sparse.Resize(g.gain, numVerts)
+	g.side = sparse.Resize(g.side, numVerts)
+	g.in = sparse.Resize(g.in, numVerts)
+	// The heads arrays are deliberately NOT pre-grown here: reinit owns
+	// them, because growth must come with the -1 fill of the drained
+	// invariant — a bare Resize hands back zeroed memory, where every
+	// entry would read as "vertex 0".
 }
 
 // matchBuffers returns the mate array (filled with -1) and the zeroed
@@ -89,27 +129,78 @@ func (sc *Scratch) keepPins(pins []int32) {
 	}
 }
 
-// pinCounts returns the two zeroed per-net pin-count arrays of bipState.
-func (sc *Scratch) pinCounts(numNets int) (ct0, ct1 []int32) {
+// contractPtr returns the net-pointer accumulator of a contraction,
+// seeded with the leading 0 of a CSR pointer array.
+func (sc *Scratch) contractPtr() []int32 {
 	if sc == nil {
-		return make([]int32, numNets), make([]int32, numNets)
+		return append(make([]int32, 0, 64), 0)
 	}
-	sc.pinCt0 = sparse.Resize(sc.pinCt0, numNets)
-	clear(sc.pinCt0)
-	sc.pinCt1 = sparse.Resize(sc.pinCt1, numNets)
-	clear(sc.pinCt1)
-	return sc.pinCt0, sc.pinCt1
+	return append(sc.ctPtr[:0], 0)
+}
+
+// keepPtr records the grown net-pointer accumulator back into the
+// scratch.
+func (sc *Scratch) keepPtr(ptr []int32) {
+	if sc != nil {
+		sc.ctPtr = ptr[:0]
+	}
+}
+
+// netStates returns the per-net counter records of bipState (pin counts
+// and locked-pin counts, packed per net), uninitialized: the state
+// constructor resets every record in its counting pass, and fmPass
+// re-zeroes the locked counts it touched before returning, so the
+// locked halves stay all-zero between passes without per-pass
+// O(numNets) clears.
+func (sc *Scratch) netStates(numNets int) []netState {
+	if sc == nil {
+		return make([]netState, numNets)
+	}
+	sc.netSt = sparse.Resize(sc.netSt, numNets)
+	return sc.netSt
+}
+
+// boundaryMarks returns the all-false per-vertex boundary flags of a
+// boundary-only pass. No clearing happens here: the pass resets every
+// flag it raised while inserting the collected boundary, and freshly
+// grown arrays come zeroed, so acquisition is O(1).
+func (sc *Scratch) boundaryMarks(numVerts int) []bool {
+	if sc == nil {
+		return make([]bool, numVerts)
+	}
+	sc.bndMark = sparse.Resize(sc.bndMark, numVerts)
+	return sc.bndMark
+}
+
+// boundaryWork returns an empty vertex worklist (boundary collection at
+// pass start, newly-cut tracking during the pass — the uses do not
+// overlap, so they share one backing array).
+func (sc *Scratch) boundaryWork() []int32 {
+	if sc == nil {
+		return make([]int32, 0, 64)
+	}
+	return sc.bndWork[:0]
+}
+
+// keepBoundaryWork records the (possibly grown) worklist back into the
+// scratch so its capacity carries over to the next pass.
+func (sc *Scratch) keepBoundaryWork(work []int32) {
+	if sc != nil {
+		sc.bndWork = work[:0]
+	}
 }
 
 // fmBuffers returns the per-pass FM arrays: the gain buckets sized for
-// (numVerts, maxDeg), the cleared locked flags, and an empty move log.
+// (numVerts, maxDeg), the all-false locked flags, and an empty move
+// log. No clearing happens here: fmPass leaves the buckets drained and
+// the locked flags reset on every exit path (and sparse.Resize hands
+// out zeroed memory when it must grow), so acquisition is O(1).
 func (sc *Scratch) fmBuffers(numVerts, maxDeg int) (g *gainBuckets, locked []bool, moves []int32) {
 	if sc == nil {
 		return newGainBuckets(numVerts, maxDeg), make([]bool, numVerts), make([]int32, 0, numVerts)
 	}
 	sc.buckets.reinit(numVerts, maxDeg)
 	sc.locked = sparse.Resize(sc.locked, numVerts)
-	clear(sc.locked)
 	return &sc.buckets, sc.locked, sc.moves[:0]
 }
 
@@ -130,14 +221,22 @@ func (sc *Scratch) gainBuf(numVerts int) []int32 {
 }
 
 // reinit resizes the bucket structure for a hypergraph of numVerts
-// vertices and maximum degree maxDeg, reusing the backing arrays, and
-// leaves it empty (the state reset() produces).
+// vertices and maximum degree maxDeg, reusing the backing arrays. It
+// relies on the drained invariant — every head -1, every in false, in
+// entries beyond the current length included — which drain() restores
+// after each pass and which freshly grown (zeroed) arrays satisfy for
+// `in`; only a grown heads array needs its -1 fill.
 func (g *gainBuckets) reinit(numVerts, maxDeg int) {
 	g.maxDeg = maxDeg
+	hn := 2*maxDeg + 1
 	for s := 0; s < 2; s++ {
-		g.heads[s] = sparse.Resize(g.heads[s], 2*maxDeg+1)
-		for i := range g.heads[s] {
-			g.heads[s][i] = -1
+		if cap(g.heads[s]) < hn {
+			g.heads[s] = make([]int32, hn)
+			for i := range g.heads[s] {
+				g.heads[s][i] = -1
+			}
+		} else {
+			g.heads[s] = g.heads[s][:hn]
 		}
 		g.maxGain[s] = -1
 		g.count[s] = 0
@@ -147,5 +246,4 @@ func (g *gainBuckets) reinit(numVerts, maxDeg int) {
 	g.gain = sparse.Resize(g.gain, numVerts)
 	g.side = sparse.Resize(g.side, numVerts)
 	g.in = sparse.Resize(g.in, numVerts)
-	clear(g.in)
 }

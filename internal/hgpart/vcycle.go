@@ -15,7 +15,9 @@ import (
 // same side (so the current bipartition projects exactly onto every
 // coarse level), and FM refinement then runs at all levels from coarsest
 // to finest. Like the paper's IR, the procedure is monotonically
-// non-increasing in the cut.
+// non-increasing in the cut. The per-level FM runs follow cfg.ExactFM
+// like every other refinement: boundary-driven by default, exact
+// all-vertex passes when set (see the package comment).
 //
 // parts is modified in place; the final cut is returned.
 func VCycleRefine(h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config) int64 {

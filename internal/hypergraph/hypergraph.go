@@ -11,6 +11,7 @@ package hypergraph
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mediumgrain/internal/sparse"
 )
@@ -30,6 +31,15 @@ type Hypergraph struct {
 
 	VertPtr  []int32 // len NumVerts+1
 	VertNets []int32 // nets incident to each vertex
+
+	// maxDegPlus1 / maxWtPlus1 cache MaxDegree()+1 and MaxVertWt()+1
+	// (0 = not yet computed). FM refinement asks for both once per pass;
+	// caching turns the repeated O(NumVerts) scans into field reads.
+	// Atomics because concurrent readers (the parallel initial-partition
+	// tries share one coarsest hypergraph) may race to fill the cache —
+	// they all write the same value, so lost updates are harmless.
+	maxDegPlus1 atomic.Int64
+	maxWtPlus1  atomic.Int64
 }
 
 // Pins2 returns the pin list of net n.
@@ -55,6 +65,40 @@ func (h *Hypergraph) TotalWeight() int64 {
 
 // NumPins returns the total number of pins.
 func (h *Hypergraph) NumPins() int { return len(h.Pins) }
+
+// MaxDegree returns the largest vertex degree (0 for a vertex-free
+// hypergraph), computed on first use and cached: FM sizes its gain
+// buckets with it on every refinement call at every multilevel level.
+func (h *Hypergraph) MaxDegree() int {
+	if c := h.maxDegPlus1.Load(); c != 0 {
+		return int(c - 1)
+	}
+	maxDeg := 0
+	for v := 0; v < h.NumVerts; v++ {
+		if d := h.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	h.maxDegPlus1.Store(int64(maxDeg) + 1)
+	return maxDeg
+}
+
+// MaxVertWt returns the largest vertex weight (0 for a vertex-free
+// hypergraph), computed on first use and cached; FM uses it as the
+// balance slack its intermediate states may borrow.
+func (h *Hypergraph) MaxVertWt() int64 {
+	if c := h.maxWtPlus1.Load(); c != 0 {
+		return c - 1
+	}
+	var maxWt int64
+	for _, w := range h.VertWt {
+		if w > maxWt {
+			maxWt = w
+		}
+	}
+	h.maxWtPlus1.Store(maxWt + 1)
+	return maxWt
+}
 
 // Builder accumulates nets incrementally and produces a Hypergraph with
 // both incidence directions populated.

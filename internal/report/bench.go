@@ -43,15 +43,21 @@ type BenchEntry struct {
 
 // BenchReport is the machine-readable output of cmd/mgbench.
 type BenchReport struct {
-	Schema     string       `json:"schema"`
-	CreatedUTC string       `json:"created_utc"`
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Seed       int64        `json:"seed"`
-	Runs       int          `json:"runs"`
-	Entries    []BenchEntry `json:"entries"`
+	Schema     string `json:"schema"`
+	CreatedUTC string `json:"created_utc"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Seed       int64  `json:"seed"`
+	Runs       int    `json:"runs"`
+	// ExactFM records which FM refinement mode produced the report:
+	// false = the boundary-driven default, true = exact all-vertex
+	// passes. Per-seed volumes legitimately differ between the modes,
+	// so benchdiff refuses to gate one against the other. Absent in
+	// pre-PR-5 reports, which decode as false.
+	ExactFM bool         `json:"exact_fm,omitempty"`
+	Entries []BenchEntry `json:"entries"`
 }
 
 // NewBenchReport returns a report header stamped with the current

@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -14,10 +15,13 @@ type DiffRow struct {
 	Method  string
 	Workers int
 
-	OldWallMS, NewWallMS   float64
-	OldVolume, NewVolume   int64
-	OldAllocs, NewAllocs   uint64
-	WallRatio, VolumeRatio float64 // new/old; 0 when old is 0
+	OldWallMS, NewWallMS float64
+	OldVolume, NewVolume int64
+	OldAllocs, NewAllocs uint64
+	OldBytes, NewBytes   uint64
+	// Ratios are new/old; 0 when the old value is 0 (except VolumeRatio,
+	// which is 1 for 0 -> 0).
+	WallRatio, VolumeRatio, BytesRatio float64
 }
 
 // DiffBench matches the grid points of two reports and returns one row
@@ -50,6 +54,7 @@ func DiffBench(oldRep, newRep *BenchReport) []DiffRow {
 			OldWallMS: o.WallMS, NewWallMS: e.WallMS,
 			OldVolume: o.Volume, NewVolume: e.Volume,
 			OldAllocs: o.AllocsPerOp, NewAllocs: e.AllocsPerOp,
+			OldBytes: o.BytesPerOp, NewBytes: e.BytesPerOp,
 		}
 		if o.WallMS > 0 {
 			row.WallRatio = e.WallMS / o.WallMS
@@ -58,6 +63,9 @@ func DiffBench(oldRep, newRep *BenchReport) []DiffRow {
 			row.VolumeRatio = float64(e.Volume) / float64(o.Volume)
 		} else if e.Volume == 0 {
 			row.VolumeRatio = 1
+		}
+		if o.BytesPerOp > 0 {
+			row.BytesRatio = float64(e.BytesPerOp) / float64(o.BytesPerOp)
 		}
 		rows = append(rows, row)
 	}
@@ -93,19 +101,50 @@ func VolumeRegressions(rows []DiffRow, tol float64) []DiffRow {
 	return bad
 }
 
-// FormatDiff renders the comparison as an aligned text table.
+// FormatDiff renders the comparison as an aligned text table: the
+// quality gate's volume columns plus the informational wall-time and
+// bytes-per-op deltas, so the CI log doubles as the perf trend record.
 func FormatDiff(rows []DiffRow) string {
 	if len(rows) == 0 {
 		return "no common grid points\n"
 	}
+	mb := func(b uint64) float64 { return float64(b) / (1024 * 1024) }
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %-4s %-3s %-3s %12s %12s %8s %10s %10s %8s\n",
-		"matrix", "p", "w", "m", "old ms", "new ms", "ms x", "old vol", "new vol", "vol x")
+	fmt.Fprintf(&b, "%-18s %-4s %-3s %-3s %12s %12s %8s %10s %10s %8s %9s %9s %8s\n",
+		"matrix", "p", "w", "m", "old ms", "new ms", "ms x", "old vol", "new vol", "vol x",
+		"old MB/op", "new MB/op", "MB x")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %-4d %-3d %-3s %12.2f %12.2f %8.2f %10d %10d %8.3f\n",
+		fmt.Fprintf(&b, "%-18s %-4d %-3d %-3s %12.2f %12.2f %8.2f %10d %10d %8.3f %9.1f %9.1f %8.2f\n",
 			r.Matrix, r.P, r.Workers, r.Method,
 			r.OldWallMS, r.NewWallMS, r.WallRatio,
-			r.OldVolume, r.NewVolume, r.VolumeRatio)
+			r.OldVolume, r.NewVolume, r.VolumeRatio,
+			mb(r.OldBytes), mb(r.NewBytes), r.BytesRatio)
 	}
 	return b.String()
+}
+
+// PerfSummary aggregates the informational per-point deltas into two
+// geometric-mean ratios (wall time and bytes/op, new/old), skipping
+// points without a comparable measurement. Each metric carries its own
+// sample count — older reports may lack bytes_per_op on some points,
+// and a 4-point bytes geomean must not masquerade as a 15-point one.
+func PerfSummary(rows []DiffRow) (wallGeo, bytesGeo float64, wallN, bytesN int) {
+	var wallSum, bytesSum float64
+	for _, r := range rows {
+		if r.WallRatio > 0 {
+			wallSum += math.Log(r.WallRatio)
+			wallN++
+		}
+		if r.BytesRatio > 0 {
+			bytesSum += math.Log(r.BytesRatio)
+			bytesN++
+		}
+	}
+	if wallN > 0 {
+		wallGeo = math.Exp(wallSum / float64(wallN))
+	}
+	if bytesN > 0 {
+		bytesGeo = math.Exp(bytesSum / float64(bytesN))
+	}
+	return wallGeo, bytesGeo, wallN, bytesN
 }

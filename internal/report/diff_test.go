@@ -75,7 +75,37 @@ func TestFormatDiff(t *testing.T) {
 	if !strings.Contains(out, "lap") || !strings.Contains(out, "vol x") {
 		t.Fatalf("unexpected table:\n%s", out)
 	}
+	if !strings.Contains(out, "MB x") {
+		t.Fatalf("table is missing the bytes/op delta column:\n%s", out)
+	}
 	if got := FormatDiff(nil); !strings.Contains(got, "no common grid points") {
 		t.Fatalf("empty diff rendered %q", got)
+	}
+}
+
+func TestPerfSummary(t *testing.T) {
+	rows := []DiffRow{
+		{WallRatio: 0.5, BytesRatio: 0.8},
+		{WallRatio: 2.0, BytesRatio: 0.2},
+		{WallRatio: 0, BytesRatio: 0}, // unmeasured point is skipped
+	}
+	wall, bytes, wallN, bytesN := PerfSummary(rows)
+	if wallN != 2 || bytesN != 2 {
+		t.Fatalf("counts = %d %d, want 2 2", wallN, bytesN)
+	}
+	if wall < 0.999 || wall > 1.001 {
+		t.Fatalf("wall geomean = %g, want 1.0", wall)
+	}
+	if bytes < 0.399 || bytes > 0.401 {
+		t.Fatalf("bytes geomean = %g, want 0.4", bytes)
+	}
+	// A point measured on one metric only must not inflate the other
+	// metric's count.
+	_, _, wallN, bytesN = PerfSummary(append(rows, DiffRow{WallRatio: 1.5}))
+	if wallN != 3 || bytesN != 2 {
+		t.Fatalf("mixed counts = %d %d, want 3 2", wallN, bytesN)
+	}
+	if w, b, wn, bn := PerfSummary(nil); w != 0 || b != 0 || wn != 0 || bn != 0 {
+		t.Fatalf("empty summary = %g %g %d %d", w, b, wn, bn)
 	}
 }

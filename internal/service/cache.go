@@ -23,6 +23,7 @@ type CachedResult struct {
 	Seed       int64            `json:"seed"`
 	Eps        float64          `json:"eps"`
 	Refine     bool             `json:"refine"`
+	ExactFM    bool             `json:"exact_fm,omitempty"`
 	Engine     string           `json:"engine"`
 	Volume     int64            `json:"volume"`
 	Imbalance  float64          `json:"imbalance"`

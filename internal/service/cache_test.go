@@ -64,15 +64,16 @@ func TestMatrixHashIsContentAddressed(t *testing.T) {
 func TestCacheKeySensitivity(t *testing.T) {
 	in := corpus.Build(corpus.DefaultOptions())
 	h := MatrixHash(in[0].A)
-	base := CacheKey(h, 4, "MG", 42, 0.03, false, enginePar)
+	base := CacheKey(h, 4, "MG", 42, 0.03, false, false, enginePar)
 	variants := []string{
-		CacheKey(h, 8, "MG", 42, 0.03, false, enginePar),
-		CacheKey(h, 4, "FG", 42, 0.03, false, enginePar),
-		CacheKey(h, 4, "MG", 43, 0.03, false, enginePar),
-		CacheKey(h, 4, "MG", 42, 0.1, false, enginePar),
-		CacheKey(h, 4, "MG", 42, 0.03, true, enginePar),
-		CacheKey(h, 4, "MG", 42, 0.03, false, engineSeq),
-		CacheKey(MatrixHash(in[1].A), 4, "MG", 42, 0.03, false, enginePar),
+		CacheKey(h, 8, "MG", 42, 0.03, false, false, enginePar),
+		CacheKey(h, 4, "FG", 42, 0.03, false, false, enginePar),
+		CacheKey(h, 4, "MG", 43, 0.03, false, false, enginePar),
+		CacheKey(h, 4, "MG", 42, 0.1, false, false, enginePar),
+		CacheKey(h, 4, "MG", 42, 0.03, true, false, enginePar),
+		CacheKey(h, 4, "MG", 42, 0.03, false, true, enginePar),
+		CacheKey(h, 4, "MG", 42, 0.03, false, false, engineSeq),
+		CacheKey(MatrixHash(in[1].A), 4, "MG", 42, 0.03, false, false, enginePar),
 	}
 	seen := map[string]bool{base: true}
 	for i, v := range variants {
@@ -81,7 +82,7 @@ func TestCacheKeySensitivity(t *testing.T) {
 		}
 		seen[v] = true
 	}
-	if base != CacheKey(h, 4, "MG", 42, 0.03, false, enginePar) {
+	if base != CacheKey(h, 4, "MG", 42, 0.03, false, false, enginePar) {
 		t.Fatal("key not deterministic")
 	}
 }

@@ -35,10 +35,13 @@ func MatrixHash(a *sparse.Matrix) string {
 // CacheKey derives the content address of a result from the matrix hash
 // and the partitioning configuration. The engine class ("seq"/"par")
 // stands in for the worker count: every Workers >= 1 run is
-// bit-identical, so they share one slot.
-func CacheKey(matrixHash string, p int, method string, seed int64, eps float64, refine bool, engine string) string {
+// bit-identical, so they share one slot. The FM mode (boundary-driven
+// default vs exact all-vertex passes) changes per-seed results, so it is
+// part of the key; the version tag is bumped so results computed before
+// boundary mode existed can never answer a current request.
+func CacheKey(matrixHash string, p int, method string, seed int64, eps float64, refine, exactFM bool, engine string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "mgserve/1|%s|p=%d|m=%s|seed=%d|eps=%g|refine=%t|engine=%s",
-		matrixHash, p, method, seed, eps, refine, engine)
+	fmt.Fprintf(h, "mgserve/2|%s|p=%d|m=%s|seed=%d|eps=%g|refine=%t|exactfm=%t|engine=%s",
+		matrixHash, p, method, seed, eps, refine, exactFM, engine)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }

@@ -39,10 +39,14 @@ type JobSpec struct {
 	Seed     int64  `json:"seed"`
 	// Eps is a pointer so an explicit 0 — a strict balance request — is
 	// distinguishable from an omitted field (the 0.03 default).
-	Eps       *float64 `json:"eps,omitempty"`
-	Refine    bool     `json:"refine,omitempty"`
-	Workers   int      `json:"workers,omitempty"`
-	TimeoutMS int      `json:"timeout_ms,omitempty"`
+	Eps    *float64 `json:"eps,omitempty"`
+	Refine bool     `json:"refine,omitempty"`
+	// ExactFM selects the historical exact all-vertex FM passes instead
+	// of the boundary-driven default; per-seed results differ between
+	// the modes, so the choice is part of the cache key.
+	ExactFM   bool `json:"exact_fm,omitempty"`
+	Workers   int  `json:"workers,omitempty"`
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
 }
 
 // Engine classes of the cache key: all Workers >= 1 runs share "par"
@@ -142,7 +146,7 @@ func (s *Server) resolve(spec JobSpec) (*resolvedSpec, error) {
 		name:   name,
 		hash:   hash,
 		engine: engine,
-		key:    CacheKey(hash, spec.P, method.String(), spec.Seed, eps, spec.Refine, engine),
+		key:    CacheKey(hash, spec.P, method.String(), spec.Seed, eps, spec.Refine, spec.ExactFM, engine),
 	}, nil
 }
 
@@ -213,6 +217,7 @@ type ResultView struct {
 	Seed      int64            `json:"seed"`
 	Eps       float64          `json:"eps"`
 	Refine    bool             `json:"refine"`
+	ExactFM   bool             `json:"exact_fm,omitempty"`
 	Engine    string           `json:"engine"`
 	Volume    int64            `json:"volume"`
 	Imbalance float64          `json:"imbalance"`
@@ -416,6 +421,7 @@ func (st *jobStore) Result(j *Job) (ResultView, bool) {
 		Seed:      r.Seed,
 		Eps:       r.Eps,
 		Refine:    r.Refine,
+		ExactFM:   r.ExactFM,
 		Engine:    r.Engine,
 		Volume:    r.Volume,
 		Imbalance: r.Imbalance,

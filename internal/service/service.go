@@ -19,6 +19,11 @@
 //	  "eps":        0.03,            // load-imbalance bound; omitted = 0.03,
 //	                                 // an explicit 0 requests exact balance
 //	  "refine":     false,           // apply the paper's iterative refinement
+//	  "exact_fm":   false,           // exact all-vertex FM passes (historical
+//	                                 // behavior); omitted = the faster
+//	                                 // boundary-driven refinement. Per-seed
+//	                                 // results differ between the modes, so the
+//	                                 // choice is part of the cache key
 //	  "workers":    1,               // 0 = sequential legacy engine; != 0 = parallel
 //	                                 // engine on the server's shared pool
 //	  "timeout_ms": 0                // per-job compute budget, overriding the
@@ -621,6 +626,7 @@ func (s *Server) partition(ctx context.Context, rs *resolvedSpec, a *sparse.Matr
 	opts := core.DefaultOptions()
 	opts.Eps = rs.eps
 	opts.Refine = rs.spec.Refine
+	opts.Config.ExactFM = rs.spec.ExactFM
 	rng := rand.New(rand.NewSource(rs.spec.Seed))
 
 	eng := s.engine
@@ -650,6 +656,7 @@ func (s *Server) partition(ctx context.Context, rs *resolvedSpec, a *sparse.Matr
 		Seed:       rs.spec.Seed,
 		Eps:        rs.eps,
 		Refine:     rs.spec.Refine,
+		ExactFM:    rs.spec.ExactFM,
 		Engine:     rs.engine,
 		Volume:     res.Volume,
 		Imbalance:  metrics.Imbalance(res.Parts, rs.spec.P),

@@ -60,6 +60,21 @@
 // paths are individually deterministic per seed. InitialSplitParallel
 // remains bit-identical to InitialSplit for equal seeds.
 //
+// # FM refinement modes
+//
+// The hypergraph partitioner's FM refinement runs boundary-driven by
+// default: after balance is established, each pass seeds its gain
+// buckets from the pins of cut nets only (grown incrementally as moves
+// cut new nets) and bounds the exhaustive tail with an adaptive early
+// exit, which makes refinement cost track the partition boundary
+// instead of the hypergraph size. PartitionerConfig.ExactFM restores
+// the historical exact all-vertex passes. Per-seed results differ
+// between the two modes — the bench suite gates the quality delta at
+// <= 5% volume per grid point — but each mode is individually
+// deterministic per seed at every worker count. The locked-net pruning
+// and allocation-free pass setup underneath are bit-identical in both
+// modes (see internal/hgpart's package comment).
+//
 // # Memory model
 //
 // The parallel engine keeps the per-node cost of recursive bisection at
@@ -102,7 +117,8 @@
 // records the Go version, GOMAXPROCS, and the seed, so reports are
 // comparable across commits. Raising -scale past 1 adds the huge tier —
 // a generated grid Laplacian with millions of nonzeros, the paper's
-// size regime — timed once at p=64. `make bench-json` is the
+// size regime — timed once per point over methods {MG, FG} and
+// p ∈ {16, 64}. `make bench-json` is the
 // one-command entry point, `make bench-diff OLD=a.json NEW=b.json`
 // compares two reports grid point by grid point (failing on >5% volume
 // regression), and CI runs a smoke grid on every push, gates it against
