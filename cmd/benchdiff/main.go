@@ -45,6 +45,13 @@ func main() {
 		log.Fatalf("FM mode mismatch: old report exact_fm=%t, new report exact_fm=%t — regenerate the reports in one mode",
 			oldRep.ExactFM, newRep.ExactFM)
 	}
+	if normTries(oldRep.Tries) != normTries(newRep.Tries) {
+		// Best-of-N volumes are not comparable to single-run volumes (or
+		// to a different N): the gate would credit search width as a
+		// quality change of the code under test.
+		log.Fatalf("search width mismatch: old report tries=%d, new report tries=%d — regenerate the reports with one -tries setting",
+			normTries(oldRep.Tries), normTries(newRep.Tries))
+	}
 
 	rows := report.DiffBench(oldRep, newRep)
 	fmt.Print(report.FormatDiff(rows))
@@ -77,6 +84,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nno volume regression beyond %.0f%% on %d common grid points\n", *volTol*100, len(rows))
+}
+
+// normTries folds the two spellings of "no search" together: reports
+// from before the tries field decode as 0, new single-run reports say 1.
+func normTries(tries int) int {
+	if tries < 1 {
+		return 1
+	}
+	return tries
 }
 
 func readReport(path string) (*report.BenchReport, error) {

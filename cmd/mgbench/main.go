@@ -23,6 +23,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"sync"
 	"time"
 
 	"mediumgrain"
@@ -63,6 +65,8 @@ func main() {
 		quick   = flag.Bool("quick", false, "CI smoke mode: small grid, 1 run")
 		eps     = flag.Float64("eps", 0.03, "allowed load imbalance")
 		exactFM = flag.Bool("exact-fm", false, "benchmark the exact all-vertex FM passes instead of the boundary-driven default")
+		tries   = flag.Int("tries", 1, "race-to-best search width per grid point (>1 races seed variants and reports a quality-vs-time frontier)")
+		budget  = flag.Duration("budget", 0, "wall-time budget per search (0 = none); only meaningful with -tries > 1")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole grid here")
 		memProf = flag.String("memprofile", "", "write a heap profile (after the grid) here")
 	)
@@ -131,8 +135,14 @@ func main() {
 		engines[w] = mediumgrain.New(mediumgrain.EngineConfig{Workers: w, Partitioner: pcfg})
 	}
 
+	if *tries < 1 {
+		*tries = 1
+	}
 	rep := report.NewBenchReport(time.Now().UTC().Format(time.RFC3339), *seed, *runs)
 	rep.ExactFM = *exactFM
+	if *tries > 1 {
+		rep.Tries = *tries
+	}
 	for _, gm := range grid {
 		ps := pValues
 		if gm.ps != nil {
@@ -149,14 +159,14 @@ func main() {
 		for _, method := range methods {
 			for _, p := range ps {
 				for _, w := range workerValues {
-					entry, err := runPoint(engines[w], gm, p, method, w, *eps, *seed, runsHere)
+					entry, err := runPoint(engines[w], gm, p, method, w, *eps, *seed, runsHere, *tries, *budget)
 					if err != nil {
 						fatalf("%s %s p=%d workers=%d: %v", gm.name, method, p, w, err)
 					}
 					rep.Entries = append(rep.Entries, entry)
-					fmt.Printf("%-14s %-2s p=%-3d workers=%-2d  %8.1f ms  volume=%-7d imbalance=%.4f  allocs/op=%-8d MB/op=%.1f\n",
+					fmt.Printf("%-14s %-2s p=%-3d workers=%-2d  %8.1f ms  volume=%-7d imbalance=%.4f  allocs/op=%-8d MB/op=%.1f%s\n",
 						gm.name, method, p, w, entry.WallMS, entry.Volume, entry.Imbalance,
-						entry.AllocsPerOp, float64(entry.BytesPerOp)/(1024*1024))
+						entry.AllocsPerOp, float64(entry.BytesPerOp)/(1024*1024), frontierColumn(entry.Frontier))
 				}
 			}
 		}
@@ -235,8 +245,10 @@ func buildGrid(seed int64, scale int, quick bool) []gridMatrix {
 
 // runPoint times Engine.Partition for one grid point, keeping the best
 // wall time over runs; quality metrics come from the last run (all runs
-// use the same seed and are identical for Workers >= 1).
-func runPoint(eng *mediumgrain.Engine, gm gridMatrix, p int, method string, workers int, eps float64, seed int64, runs int) (report.BenchEntry, error) {
+// use the same seed and are identical for Workers >= 1). With tries > 1
+// the point races a best-of-N search and the entry carries the
+// quality-vs-time frontier of the last run.
+func runPoint(eng *mediumgrain.Engine, gm gridMatrix, p int, method string, workers int, eps float64, seed int64, runs, tries int, budget time.Duration) (report.BenchEntry, error) {
 	m, err := core.ParseMethod(method)
 	if err != nil {
 		return report.BenchEntry{}, err
@@ -246,12 +258,32 @@ func runPoint(eng *mediumgrain.Engine, gm gridMatrix, p int, method string, work
 		epsReq = -1 // Request semantics: 0 = default, negative = exact
 	}
 	req := mediumgrain.Request{Matrix: gm.a, P: p, Method: m, Seed: seed, Eps: epsReq}
+	var frontier []report.FrontierPoint
+	if tries > 1 {
+		req.Search = mediumgrain.Search{Tries: tries, Budget: budget}
+		var mu sync.Mutex
+		req.Progress = func(ev mediumgrain.Event) {
+			if ev.Stage != mediumgrain.StagePartition || ev.BestVolume < 0 {
+				return
+			}
+			mu.Lock()
+			if n := len(frontier); n == 0 || ev.BestVolume < frontier[n-1].Volume {
+				frontier = append(frontier, report.FrontierPoint{
+					WallMS: float64(ev.Elapsed.Microseconds()) / 1000,
+					Volume: ev.BestVolume,
+					Try:    ev.Try,
+				})
+			}
+			mu.Unlock()
+		}
+	}
 
 	var best time.Duration
 	var res *core.Result
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	for r := 0; r < runs; r++ {
+		frontier = nil
 		start := time.Now()
 		res, err = eng.Partition(context.Background(), req)
 		elapsed := time.Since(start)
@@ -277,7 +309,26 @@ func runPoint(eng *mediumgrain.Engine, gm gridMatrix, p int, method string, work
 		Imbalance:   metrics.Imbalance(res.Parts, p),
 		AllocsPerOp: (msAfter.Mallocs - msBefore.Mallocs) / uint64(runs),
 		BytesPerOp:  (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(runs),
+		Frontier:    frontier,
 	}, nil
+}
+
+// frontierColumn renders a search entry's quality-vs-time frontier as a
+// compact "frontier: vol@ms > vol@ms ..." console column; empty for
+// single-try entries.
+func frontierColumn(frontier []report.FrontierPoint) string {
+	if len(frontier) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("  frontier: ")
+	for i, fp := range frontier {
+		if i > 0 {
+			b.WriteString(" > ")
+		}
+		fmt.Fprintf(&b, "%d@%.0fms", fp.Volume, fp.WallMS)
+	}
+	return b.String()
 }
 
 func printSpeedupSummary(rep *report.BenchReport, workers int) {

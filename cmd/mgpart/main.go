@@ -6,6 +6,11 @@
 //
 //	mgpart -in matrix.mtx [-method MG] [-p 2] [-eps 0.03] [-ir]
 //	       [-engine mondriaan|alt] [-seed 1] [-workers N] [-out parts.txt]
+//	       [-tries N] [-budget 30s]
+//
+// With -tries N > 1 the run races N deterministic seed variants
+// (seed..seed+N-1) and keeps the lowest-volume result; -budget bounds
+// the race's wall time.
 //
 // The output lists one part id per nonzero, in the (row-sorted) order of
 // the input file's nonzeros after canonicalization.
@@ -21,6 +26,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
 
 	"mediumgrain"
 	"mediumgrain/internal/report"
@@ -39,6 +45,9 @@ func main() {
 		engine  = flag.String("engine", "mondriaan", "hypergraph engine: mondriaan or alt")
 		exactFM = flag.Bool("exact-fm", false, "exact all-vertex FM passes (historical behavior) instead of the boundary-driven default")
 		seed    = flag.Int64("seed", 1, "random seed")
+		tries   = flag.Int("tries", 1, "race-to-best search width (>1 races seed variants seed..seed+N-1)")
+		budget  = flag.Duration("budget", 0, "wall-time budget for the search race (0 = none)")
+		varyFM  = flag.Bool("vary-fm", false, "race both FM modes across the search tries (odd tries flip -exact-fm)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel engine (0 = sequential legacy path)")
 		outPath = flag.String("out", "", "write part assignment (one id per line)")
 		spy     = flag.Bool("spy", false, "print an ASCII spy plot of the partitioned matrix")
@@ -84,14 +93,24 @@ func main() {
 	if epsReq == 0 {
 		epsReq = -1 // Request: 0 means default; negative asks exact balance
 	}
-	res, err := eng.Partition(ctx, mediumgrain.Request{
+	req := mediumgrain.Request{
 		Matrix: a,
 		P:      *p,
 		Method: m,
 		Seed:   *seed,
 		Eps:    epsReq,
 		Refine: *ir,
-	})
+	}
+	var winnerTry atomic.Int64
+	if *tries > 1 {
+		req.Search = mediumgrain.Search{Tries: *tries, Budget: *budget, VaryFM: *varyFM}
+		req.Progress = func(ev mediumgrain.Event) {
+			if ev.Stage == mediumgrain.StageDone {
+				winnerTry.Store(int64(ev.Try))
+			}
+		}
+	}
+	res, err := eng.Partition(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,6 +133,10 @@ func main() {
 
 	fmt.Printf("matrix:    %v (class %v)\n", a, a.Classify())
 	fmt.Printf("method:    %v  refine=%v  engine=%s  exactfm=%v  p=%d  eps=%g  workers=%d\n", m, *ir, *engine, *exactFM, *p, *eps, *workers)
+	if *tries > 1 {
+		fmt.Printf("search:    tries=%d budget=%v vary-fm=%v  winner: try %d (seed %d)\n",
+			*tries, *budget, *varyFM, winnerTry.Load(), *seed+winnerTry.Load()-1)
+	}
 	fmt.Printf("volume:    %d\n", res.Volume)
 	fmt.Printf("imbalance: %.4f (allowed %.4f)\n", mediumgrain.Imbalance(res.Parts, *p), *eps)
 	fmt.Printf("BSP cost:  %d\n", mediumgrain.BSPCost(a, res.Parts, *p))

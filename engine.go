@@ -84,13 +84,41 @@ func DefaultEngine() *Engine {
 	return defaultEngine
 }
 
+// Stage identifies the phase of the request an Event reports on.
+type Stage string
+
+// The stages an Event can carry. Partition and Bipartition report
+// StagePartition while running and StageDone on completion; Refine and
+// Evaluate report StageRefine and StageEvaluate respectively.
+const (
+	StagePartition Stage = "partition"
+	StageRefine    Stage = "refine"
+	StageEvaluate  Stage = "evaluate"
+	StageDone      Stage = "done"
+)
+
 // Event reports Engine progress to a Request's Progress callback.
+//
+// Concurrency contract: the callback may be invoked concurrently from
+// several worker goroutines, and — during a search — events of
+// different tries interleave in no particular order; the callback must
+// be cheap and thread-safe. No event is delivered after the Engine
+// method returns. Events never influence results.
 type Event struct {
-	// Stage is "partition", "refine", "evaluate", or "done".
-	Stage string
+	// Stage is the phase being reported.
+	Stage Stage
 	// CompletedNNZ counts nonzeros whose final part is decided;
-	// TotalNNZ is the request matrix's nonzero count.
+	// TotalNNZ is the request matrix's nonzero count. During a search,
+	// CompletedNNZ counts the event's own try (see Try).
 	CompletedNNZ, TotalNNZ int
+	// Try is the 1-based index of the search try this event belongs to;
+	// it is 0 for non-search requests (Search.Tries <= 1). The StageDone
+	// event of a search carries the winning try.
+	Try int
+	// BestVolume is the running best volume of the search race: -1 while
+	// no try has finished yet, the incumbent volume afterwards. It is 0
+	// for non-search requests.
+	BestVolume int64
 	// Elapsed is the wall time since the request started.
 	Elapsed time.Duration
 }
@@ -124,14 +152,81 @@ type Request struct {
 	// Parts is the existing partitioning that Refine and Evaluate
 	// operate on; Partition and Bipartition ignore it.
 	Parts []int
-	// Progress, when non-nil, receives Events as the request advances.
-	// It may be called concurrently from several worker goroutines and
-	// must be cheap and thread-safe.
+	// Search, when Tries > 1, races that many deterministic seed
+	// variants of the request and returns the best; see Search. The zero
+	// value runs the single classic partitioning.
+	Search Search
+	// Progress, when non-nil, receives Events as the request advances;
+	// see Event for the concurrency contract.
 	Progress func(Event)
 }
 
-// errNilMatrix is returned for requests without a matrix.
-var errNilMatrix = errors.New("mediumgrain: request has no matrix")
+// Search configures speculative best-of-N partitioning on a Request:
+// Partition races Tries fully deterministic variants of the request —
+// variant i uses Seed+i, each bit-identical at every worker count —
+// over the engine's existing worker budget, prunes variants that can no
+// longer beat the running best (the partial volume down the bisection
+// tree is a monotone lower bound on the final volume), and returns the
+// winner under a deterministic tie-break: lowest volume, then lowest
+// try index. The winner is therefore bit-identical across repeated runs
+// and worker counts. Progress events stream the race via Event.Try and
+// Event.BestVolume.
+type Search struct {
+	// Tries is the number of seed variants raced; values <= 1 disable
+	// the search and run the single classic partitioning.
+	Tries int
+	// Budget, when positive, bounds the search's wall time: expired
+	// tries are cut off and the best completed result is returned (or
+	// context.DeadlineExceeded when none finished). A budgeted search
+	// trades the bit-identical guarantee for a latency bound.
+	Budget time.Duration
+	// VaryFM additionally races the two FM refinement modes: odd tries
+	// flip EngineConfig.Partitioner.ExactFM, so seeds and refinement
+	// styles are explored together. Still deterministic per variant.
+	VaryFM bool
+}
+
+// ErrNoMatrix is returned for requests without a matrix.
+var ErrNoMatrix = errors.New("mediumgrain: request has no matrix")
+
+// PartsLengthError reports a Refine or Evaluate request whose Parts
+// slice does not have one entry per nonzero of the matrix.
+type PartsLengthError struct {
+	// Got is len(Request.Parts); Want is the matrix's nonzero count.
+	Got, Want int
+}
+
+func (e *PartsLengthError) Error() string {
+	return fmt.Sprintf("mediumgrain: request has %d parts for %d nonzeros", e.Got, e.Want)
+}
+
+// BipartitionPError reports a Bipartition request carrying P > 2;
+// Partition handles p-way requests.
+type BipartitionPError struct {
+	// P is the part count the request asked for.
+	P int
+}
+
+func (e *BipartitionPError) Error() string {
+	return fmt.Sprintf("mediumgrain: Bipartition cannot produce %d parts; use Partition", e.P)
+}
+
+// resolve validates the request and returns the effective part count
+// (P defaulted to 2). With needParts it additionally checks that Parts
+// covers the matrix, the Refine/Evaluate precondition.
+func (req Request) resolve(needParts bool) (int, error) {
+	if req.Matrix == nil {
+		return 0, ErrNoMatrix
+	}
+	p := req.P
+	if p == 0 {
+		p = 2
+	}
+	if needParts && len(req.Parts) != req.Matrix.NNZ() {
+		return 0, &PartsLengthError{Got: len(req.Parts), Want: req.Matrix.NNZ()}
+	}
+	return p, nil
+}
 
 // options maps a Request onto the internal Options, resolving defaults.
 func (e *Engine) options(req Request) Options {
@@ -152,22 +247,22 @@ func (e *Engine) options(req Request) Options {
 
 // progress wires a Request's Progress callback into a leaf counter; the
 // returned onLeaf is nil when the request has no callback.
-func progressHooks(req Request, start time.Time) (onLeaf func(int), emit func(stage string, completed int)) {
+func progressHooks(req Request, start time.Time) (onLeaf func(int), emit func(stage Stage, completed int)) {
 	if req.Progress == nil {
-		return nil, func(string, int) {}
+		return nil, func(Stage, int) {}
 	}
 	total := req.Matrix.NNZ()
 	var completed atomic.Int64
 	onLeaf = func(nnz int) {
 		done := completed.Add(int64(nnz))
 		req.Progress(Event{
-			Stage:        "partition",
+			Stage:        StagePartition,
 			CompletedNNZ: int(done),
 			TotalNNZ:     total,
 			Elapsed:      time.Since(start),
 		})
 	}
-	emit = func(stage string, done int) {
+	emit = func(stage Stage, done int) {
 		req.Progress(Event{
 			Stage:        stage,
 			CompletedNNZ: done,
@@ -182,13 +277,16 @@ func progressHooks(req Request, start time.Time) (onLeaf func(int), emit func(st
 // recursive bisection with req.Method. The result satisfies the
 // load-balance constraint of eqn (1) and reports the communication
 // volume V. Cancellation of ctx aborts the run with ctx.Err().
+//
+// With req.Search.Tries > 1 it instead races that many deterministic
+// seed variants and returns the best; see Search.
 func (e *Engine) Partition(ctx context.Context, req Request) (*Result, error) {
-	if req.Matrix == nil {
-		return nil, errNilMatrix
+	p, err := req.resolve(false)
+	if err != nil {
+		return nil, err
 	}
-	p := req.P
-	if p == 0 {
-		p = 2
+	if req.Search.Tries > 1 {
+		return e.partitionSearch(ctx, req, p)
 	}
 	start := time.Now()
 	onLeaf, emit := progressHooks(req, start)
@@ -196,15 +294,78 @@ func (e *Engine) Partition(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	emit("done", req.Matrix.NNZ())
+	emit(StageDone, req.Matrix.NNZ())
 	return res, nil
 }
 
-// Bipartition is Partition with p = 2 (req.P is ignored); it exists
-// because the paper's core contribution is the bipartitioning step.
+// partitionSearch runs the race-to-best path of Partition: it maps the
+// request onto core.PartitionSearch and translates the race's hooks
+// into Events with per-try completion counters and the running best.
+func (e *Engine) partitionSearch(ctx context.Context, req Request, p int) (*Result, error) {
+	spec := core.SearchSpec{
+		Tries:  req.Search.Tries,
+		Budget: req.Search.Budget,
+		VaryFM: req.Search.VaryFM,
+	}
+	start := time.Now()
+	total := req.Matrix.NNZ()
+	var hooks *core.SearchHooks
+	if req.Progress != nil {
+		completed := make([]atomic.Int64, spec.Tries)
+		var best atomic.Int64
+		best.Store(-1)
+		hooks = &core.SearchHooks{
+			OnLeaf: func(try, nnz int) {
+				done := completed[try-1].Add(int64(nnz))
+				req.Progress(Event{
+					Stage:        StagePartition,
+					CompletedNNZ: int(done),
+					TotalNNZ:     total,
+					Try:          try,
+					BestVolume:   best.Load(),
+					Elapsed:      time.Since(start),
+				})
+			},
+			OnTry: func(try int, vol, incumbent int64, bestTry int) {
+				best.Store(incumbent)
+				req.Progress(Event{
+					Stage:        StagePartition,
+					CompletedNNZ: int(completed[try-1].Load()),
+					TotalNNZ:     total,
+					Try:          try,
+					BestVolume:   incumbent,
+					Elapsed:      time.Since(start),
+				})
+			},
+		}
+	}
+	res, rep, err := e.eng.PartitionSearch(ctx, req.Matrix, p, req.Method, e.options(req), req.Seed, spec, hooks)
+	if err != nil {
+		return nil, err
+	}
+	if req.Progress != nil {
+		req.Progress(Event{
+			Stage:        StageDone,
+			CompletedNNZ: total,
+			TotalNNZ:     total,
+			Try:          rep.WinnerTry,
+			BestVolume:   res.Volume,
+			Elapsed:      time.Since(start),
+		})
+	}
+	return res, nil
+}
+
+// Bipartition is Partition fixed at two parts; it exists because the
+// paper's core contribution is the bipartitioning step. Requests asking
+// for more than two parts are rejected with a *BipartitionPError.
 func (e *Engine) Bipartition(ctx context.Context, req Request) (*Result, error) {
-	if req.Matrix == nil {
-		return nil, errNilMatrix
+	p, err := req.resolve(false)
+	if err != nil {
+		return nil, err
+	}
+	if p > 2 {
+		return nil, &BipartitionPError{P: p}
 	}
 	start := time.Now()
 	_, emit := progressHooks(req, start)
@@ -212,7 +373,7 @@ func (e *Engine) Bipartition(ctx context.Context, req Request) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	emit("done", req.Matrix.NNZ())
+	emit(StageDone, req.Matrix.NNZ())
 	return res, nil
 }
 
@@ -222,15 +383,9 @@ func (e *Engine) Bipartition(ctx context.Context, req Request) (*Result, error) 
 // direct k-way greedy refinement under the λ−1 metric. req.Parts is not
 // modified; the refined copy rides in the returned Result.
 func (e *Engine) Refine(ctx context.Context, req Request) (*Result, error) {
-	if req.Matrix == nil {
-		return nil, errNilMatrix
-	}
-	p := req.P
-	if p == 0 {
-		p = 2
-	}
-	if len(req.Parts) != req.Matrix.NNZ() {
-		return nil, fmt.Errorf("mediumgrain: request has %d parts for %d nonzeros", len(req.Parts), req.Matrix.NNZ())
+	p, err := req.resolve(true)
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	_, emit := progressHooks(req, start)
@@ -239,7 +394,6 @@ func (e *Engine) Refine(ctx context.Context, req Request) (*Result, error) {
 
 	parts := append([]int(nil), req.Parts...)
 	var vol int64
-	var err error
 	if p == 2 {
 		parts, vol, err = e.eng.IterativeRefine(ctx, req.Matrix, parts, opts, rng)
 	} else {
@@ -248,7 +402,7 @@ func (e *Engine) Refine(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	emit("refine", req.Matrix.NNZ())
+	emit(StageRefine, req.Matrix.NNZ())
 	return &Result{Parts: parts, Volume: vol, Method: req.Method, Refined: true}, nil
 }
 
@@ -267,15 +421,9 @@ type Evaluation struct {
 // (default 2) on the engine's pool: communication volume, achieved
 // imbalance, and BSP cost.
 func (e *Engine) Evaluate(ctx context.Context, req Request) (*Evaluation, error) {
-	if req.Matrix == nil {
-		return nil, errNilMatrix
-	}
-	p := req.P
-	if p == 0 {
-		p = 2
-	}
-	if len(req.Parts) != req.Matrix.NNZ() {
-		return nil, fmt.Errorf("mediumgrain: request has %d parts for %d nonzeros", len(req.Parts), req.Matrix.NNZ())
+	p, err := req.resolve(true)
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	_, emit := progressHooks(req, start)
@@ -287,7 +435,7 @@ func (e *Engine) Evaluate(ctx context.Context, req Request) (*Evaluation, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	emit("evaluate", req.Matrix.NNZ())
+	emit(StageEvaluate, req.Matrix.NNZ())
 	return &Evaluation{
 		Volume:    vol,
 		Imbalance: metrics.Imbalance(req.Parts, p),

@@ -148,6 +148,39 @@ func ExampleEngine_Partition() {
 	// balanced: true
 }
 
+// ExampleEngine_search trades spare cores for cut quality: the engine
+// races several deterministic seed variants of one request and returns
+// the best, pruning variants that can no longer win.
+func ExampleEngine_search() {
+	a := gen.Laplacian2D(24, 24)
+	eng := mediumgrain.New(mediumgrain.EngineConfig{Workers: -1})
+
+	req := mediumgrain.Request{
+		Matrix: a,
+		P:      8,
+		Method: mediumgrain.MethodMediumGrain,
+		Seed:   42,
+	}
+	single, err := eng.Partition(context.Background(), req)
+	if err != nil {
+		panic(err)
+	}
+
+	// Race 8 variants (seeds 42..49); a time.Duration Budget could bound
+	// the race's wall time. The winner — lowest volume, then lowest try —
+	// is bit-identical across runs and worker counts.
+	req.Search = mediumgrain.Search{Tries: 8}
+	best, err := eng.Partition(context.Background(), req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("winner no worse than single run:", best.Volume <= single.Volume)
+	fmt.Println("balanced:", mediumgrain.Imbalance(best.Parts, 8) <= 0.03)
+	// Output:
+	// winner no worse than single run: true
+	// balanced: true
+}
+
 // ExampleEngine_cancellation shows cooperative cancellation: canceling
 // the context makes the engine stop partitioning and return ctx.Err()
 // promptly, with all scratch memory checked back in.

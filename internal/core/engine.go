@@ -75,7 +75,7 @@ func (e *Engine) Partition(ctx context.Context, a *sparse.Matrix, p int, method 
 // once per finalized bisection leaf with the number of nonzeros whose
 // part just became final (possibly from several goroutines at once).
 func (e *Engine) PartitionProgress(ctx context.Context, a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, onLeaf func(nnz int)) (*Result, error) {
-	return e.partitionMode(ctx, a, p, method, opts, rng, true, onLeaf)
+	return e.partitionMode(ctx, a, p, method, opts, rng, true, leafHooks(onLeaf))
 }
 
 // partitionMode is Partition with the subproblem-extraction mode
@@ -85,7 +85,7 @@ func (e *Engine) PartitionProgress(ctx context.Context, a *sparse.Matrix, p int,
 // nonzero-vertex models (medium-grain, fine-grain); the equivalence
 // tests run both to prove it. The sequential engine always uses the
 // legacy extraction, preserving historical per-seed results.
-func (e *Engine) partitionMode(ctx context.Context, a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, compact bool, onLeaf func(int)) (*Result, error) {
+func (e *Engine) partitionMode(ctx context.Context, a *sparse.Matrix, p int, method Method, opts Options, rng *rand.Rand, compact bool, hooks *runHooks) (*Result, error) {
 	opts = e.normalize(opts)
 	if p < 1 {
 		return nil, fmt.Errorf("core: p must be >= 1, got %d", p)
@@ -98,9 +98,7 @@ func (e *Engine) partitionMode(ctx context.Context, a *sparse.Matrix, p int, met
 	}
 	parts := make([]int, a.NNZ())
 	if p == 1 {
-		if onLeaf != nil {
-			onLeaf(a.NNZ())
-		}
+		hooks.leaf(a.NNZ())
 		return &Result{Parts: parts, Volume: 0, Method: method, Refined: opts.Refine}, nil
 	}
 
@@ -113,12 +111,12 @@ func (e *Engine) partitionMode(ctx context.Context, a *sparse.Matrix, p int, met
 		all[k] = k
 	}
 	if e.pl == nil {
-		if err := bisectRec(ctx, a, all, 0, p, parts, method, opts, delta, rng, onLeaf); err != nil {
+		if err := bisectRec(ctx, a, all, 0, p, parts, method, opts, delta, rng, hooks); err != nil {
 			return nil, err
 		}
 	} else {
 		sc := e.st.get()
-		err := bisectRecPool(ctx, a, all, 0, p, parts, method, opts, delta, rng, e.pl, e.st, sc, compact, onLeaf)
+		err := bisectRecPool(ctx, a, all, 0, p, parts, method, opts, delta, rng, e.pl, e.st, sc, compact, hooks)
 		e.st.put(sc)
 		if err != nil {
 			return nil, err

@@ -34,10 +34,47 @@ func partitionMode(a *sparse.Matrix, p int, method Method, opts Options, rng *ra
 	return NewEngine(opts.Workers).partitionMode(context.Background(), a, p, method, opts, rng, compact, nil)
 }
 
+// runHooks carries a run's optional observation callbacks down the
+// bisection tree. A nil *runHooks (or a nil field) observes nothing and
+// costs nothing; the callbacks never influence results.
+type runHooks struct {
+	// onLeaf fires once per finalized bisection leaf with the number of
+	// nonzeros whose part just became final (possibly from several
+	// goroutines at once).
+	onLeaf func(nnz int)
+	// onSplit fires once per completed bisection with that split's
+	// communication volume. The final p-way volume is exactly the sum of
+	// all split volumes (each split raises λ of its straddled rows and
+	// columns by one), so the running sum is a monotone lower bound on
+	// the final volume — the property the race-to-best search prunes on.
+	onSplit func(vol int64)
+}
+
+// leafHooks wraps a bare leaf counter, the Partition/PartitionProgress
+// surface. nil in, nil out.
+func leafHooks(onLeaf func(int)) *runHooks {
+	if onLeaf == nil {
+		return nil
+	}
+	return &runHooks{onLeaf: onLeaf}
+}
+
+func (h *runHooks) leaf(nnz int) {
+	if h != nil && h.onLeaf != nil {
+		h.onLeaf(nnz)
+	}
+}
+
+func (h *runHooks) split(vol int64) {
+	if h != nil && h.onSplit != nil {
+		h.onSplit(vol)
+	}
+}
+
 // bisectRec assigns parts [base, base+q) to the nonzeros listed in subset
 // (indices into a's COO arrays) on the sequential legacy path. ctx is
 // checked at every node, so cancellation lands within one bisection.
-func bisectRec(ctx context.Context, a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, onLeaf func(int)) error {
+func bisectRec(ctx context.Context, a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, hooks *runHooks) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -45,9 +82,7 @@ func bisectRec(ctx context.Context, a *sparse.Matrix, subset []int, base, q int,
 		for _, k := range subset {
 			parts[k] = base
 		}
-		if onLeaf != nil {
-			onLeaf(len(subset))
-		}
+		hooks.leaf(len(subset))
 		return nil
 	}
 	q0 := (q + 1) / 2
@@ -63,6 +98,7 @@ func bisectRec(ctx context.Context, a *sparse.Matrix, subset []int, base, q int,
 	if err != nil {
 		return err
 	}
+	hooks.split(res.Volume)
 
 	var left, right []int
 	for sk, k := range fwd {
@@ -72,10 +108,10 @@ func bisectRec(ctx context.Context, a *sparse.Matrix, subset []int, base, q int,
 			right = append(right, k)
 		}
 	}
-	if err := bisectRec(ctx, a, left, base, q0, parts, method, opts, delta, rng, onLeaf); err != nil {
+	if err := bisectRec(ctx, a, left, base, q0, parts, method, opts, delta, rng, hooks); err != nil {
 		return err
 	}
-	return bisectRec(ctx, a, right, base+q0, q1, parts, method, opts, delta, rng, onLeaf)
+	return bisectRec(ctx, a, right, base+q0, q1, parts, method, opts, delta, rng, hooks)
 }
 
 // bisectRecPool is bisectRec on a shared worker pool. Each node draws
@@ -95,7 +131,7 @@ func bisectRec(ctx context.Context, a *sparse.Matrix, subset []int, base, q int,
 // multilevel engine below, so a cancel unwinds the whole tree promptly;
 // forked branches still join (Fork always joins) and every checked-out
 // scratch is returned on the way out, keeping the free list balanced.
-func bisectRecPool(ctx context.Context, a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, pl *pool.Pool, st *scratchStore, sc *scratch, compact bool, onLeaf func(int)) error {
+func bisectRecPool(ctx context.Context, a *sparse.Matrix, subset []int, base, q int, parts []int, method Method, opts Options, delta float64, rng *rand.Rand, pl *pool.Pool, st *scratchStore, sc *scratch, compact bool, hooks *runHooks) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -103,9 +139,7 @@ func bisectRecPool(ctx context.Context, a *sparse.Matrix, subset []int, base, q 
 		for _, k := range subset {
 			parts[k] = base
 		}
-		if onLeaf != nil {
-			onLeaf(len(subset))
-		}
+		hooks.leaf(len(subset))
 		return nil
 	}
 	q0 := (q + 1) / 2
@@ -126,6 +160,7 @@ func bisectRecPool(ctx context.Context, a *sparse.Matrix, subset []int, base, q 
 	if err != nil {
 		return err
 	}
+	hooks.split(res.Volume)
 
 	var left, right []int
 	for sk, k := range fwd {
@@ -139,11 +174,11 @@ func bisectRecPool(ctx context.Context, a *sparse.Matrix, subset []int, base, q 
 	var errL, errR error
 	pl.Fork(func() {
 		errL = bisectRecPool(ctx, a, left, base, q0, parts, method, opts, delta,
-			rand.New(rand.NewSource(seedL)), pl, st, sc, compact, onLeaf)
+			rand.New(rand.NewSource(seedL)), pl, st, sc, compact, hooks)
 	}, func() {
 		sc2 := st.get()
 		errR = bisectRecPool(ctx, a, right, base+q0, q1, parts, method, opts, delta,
-			rand.New(rand.NewSource(seedR)), pl, st, sc2, compact, onLeaf)
+			rand.New(rand.NewSource(seedR)), pl, st, sc2, compact, hooks)
 		st.put(sc2)
 	})
 	if errL != nil {

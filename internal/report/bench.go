@@ -39,6 +39,19 @@ type BenchEntry struct {
 	// hot path across commits the way wall_ms tracks speed.
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	BytesPerOp  uint64 `json:"bytes_per_op"`
+	// Frontier is the quality-vs-time trace of a race-to-best run (tries
+	// > 1): one point per improvement of the incumbent best volume.
+	// Absent for single-try entries.
+	Frontier []FrontierPoint `json:"frontier,omitempty"`
+}
+
+// FrontierPoint is one step of a search entry's quality-vs-time
+// frontier: at WallMS into the run, try Try lowered the best volume
+// seen so far to Volume.
+type FrontierPoint struct {
+	WallMS float64 `json:"wall_ms"`
+	Volume int64   `json:"volume"`
+	Try    int     `json:"try"`
 }
 
 // BenchReport is the machine-readable output of cmd/mgbench.
@@ -56,7 +69,13 @@ type BenchReport struct {
 	// passes. Per-seed volumes legitimately differ between the modes,
 	// so benchdiff refuses to gate one against the other. Absent in
 	// pre-PR-5 reports, which decode as false.
-	ExactFM bool         `json:"exact_fm,omitempty"`
+	ExactFM bool `json:"exact_fm,omitempty"`
+	// Tries records the race-to-best search width the report was taken
+	// with (Request.Search.Tries). 0 — the value pre-search reports
+	// decode to — and 1 both mean the single classic run; tries > 1
+	// volumes are best-of-N and must not be gated against single-run
+	// baselines, so benchdiff refuses to compare differing settings.
+	Tries   int          `json:"tries,omitempty"`
 	Entries []BenchEntry `json:"entries"`
 }
 

@@ -12,24 +12,31 @@ import (
 // and everything persisted to disk (the parts vector rides in the distio
 // bundle, the scalars in the meta file).
 type CachedResult struct {
-	Key        string           `json:"key"`
-	MatrixName string           `json:"matrix"`
-	MatrixHash string           `json:"matrix_hash"`
-	Rows       int              `json:"rows"`
-	Cols       int              `json:"cols"`
-	NNZ        int              `json:"nnz"`
-	P          int              `json:"p"`
-	Method     string           `json:"method"`
-	Seed       int64            `json:"seed"`
-	Eps        float64          `json:"eps"`
-	Refine     bool             `json:"refine"`
-	ExactFM    bool             `json:"exact_fm,omitempty"`
-	Engine     string           `json:"engine"`
-	Volume     int64            `json:"volume"`
-	Imbalance  float64          `json:"imbalance"`
-	WallMS     float64          `json:"wall_ms"`
-	Predict    *spmv.Prediction `json:"predict"`
-	Parts      []int            `json:"-"`
+	Key        string  `json:"key"`
+	MatrixName string  `json:"matrix"`
+	MatrixHash string  `json:"matrix_hash"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	NNZ        int     `json:"nnz"`
+	P          int     `json:"p"`
+	Method     string  `json:"method"`
+	Seed       int64   `json:"seed"`
+	Eps        float64 `json:"eps"`
+	Refine     bool    `json:"refine"`
+	ExactFM    bool    `json:"exact_fm,omitempty"`
+	// Tries/BudgetMS record the race-to-best search spec the result was
+	// computed under (0/absent = single run); WinnerTry is the 1-based
+	// index of the winning seed variant. All three ride into the
+	// persisted meta file (schema-additive: old meta decodes them as 0).
+	Tries     int              `json:"tries,omitempty"`
+	BudgetMS  int              `json:"budget_ms,omitempty"`
+	WinnerTry int              `json:"winner_try,omitempty"`
+	Engine    string           `json:"engine"`
+	Volume    int64            `json:"volume"`
+	Imbalance float64          `json:"imbalance"`
+	WallMS    float64          `json:"wall_ms"`
+	Predict   *spmv.Prediction `json:"predict"`
+	Parts     []int            `json:"-"`
 }
 
 // Cache is a bounded LRU over content-addressed results. Get promotes,

@@ -37,11 +37,15 @@ func MatrixHash(a *sparse.Matrix) string {
 // stands in for the worker count: every Workers >= 1 run is
 // bit-identical, so they share one slot. The FM mode (boundary-driven
 // default vs exact all-vertex passes) changes per-seed results, so it is
-// part of the key; the version tag is bumped so results computed before
-// boundary mode existed can never answer a current request.
-func CacheKey(matrixHash string, p int, method string, seed int64, eps float64, refine, exactFM bool, engine string) string {
+// part of the key, and so is the full race-to-best search spec (tries,
+// budgetMS): a best-of-N result must never answer a single-run request
+// or a different N, and a budgeted race is not even deterministic. The
+// version tag ("mgserve/3") is bumped with every key-shape change so
+// results computed under older semantics can never answer a current
+// request. Callers pass tries normalized (>= 1) and budgetMS >= 0.
+func CacheKey(matrixHash string, p int, method string, seed int64, eps float64, refine, exactFM bool, engine string, tries, budgetMS int) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "mgserve/2|%s|p=%d|m=%s|seed=%d|eps=%g|refine=%t|exactfm=%t|engine=%s",
-		matrixHash, p, method, seed, eps, refine, exactFM, engine)
+	fmt.Fprintf(h, "mgserve/3|%s|p=%d|m=%s|seed=%d|eps=%g|refine=%t|exactfm=%t|engine=%s|tries=%d|budget=%dms",
+		matrixHash, p, method, seed, eps, refine, exactFM, engine, tries, budgetMS)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }

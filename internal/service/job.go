@@ -44,9 +44,15 @@ type JobSpec struct {
 	// ExactFM selects the historical exact all-vertex FM passes instead
 	// of the boundary-driven default; per-seed results differ between
 	// the modes, so the choice is part of the cache key.
-	ExactFM   bool `json:"exact_fm,omitempty"`
-	Workers   int  `json:"workers,omitempty"`
-	TimeoutMS int  `json:"timeout_ms,omitempty"`
+	ExactFM bool `json:"exact_fm,omitempty"`
+	Workers int  `json:"workers,omitempty"`
+	// Tries > 1 races that many deterministic seed variants (seed..
+	// seed+N-1) and keeps the lowest-volume result; BudgetMS bounds the
+	// race's wall time. Both are part of the cache key: best-of-N
+	// volumes must never answer single-run requests or a different N.
+	Tries     int `json:"tries,omitempty"`
+	BudgetMS  int `json:"budget_ms,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // Engine classes of the cache key: all Workers >= 1 runs share "par"
@@ -56,12 +62,18 @@ const (
 	enginePar = "par"
 )
 
+// maxTries bounds a job's race-to-best search width: each try is a full
+// partitioning, so an unbounded N would let one request multiply its
+// compute cost arbitrarily past the admission controls.
+const maxTries = 64
+
 // resolvedSpec is a validated spec bound to its matrix and content
 // address.
 type resolvedSpec struct {
 	spec   JobSpec
 	method core.Method
 	eps    float64 // spec.Eps with the default applied
+	tries  int     // spec.Tries normalized to >= 1
 	matrix *sparse.Matrix
 	name   string // corpus name, or "upload"
 	hash   string // matrix content hash
@@ -88,6 +100,24 @@ func (s *Server) resolve(spec JobSpec) (*resolvedSpec, error) {
 	}
 	if eps < 0 {
 		return nil, badSpec("eps must be >= 0, got %g", eps)
+	}
+	if spec.Tries < 0 {
+		return nil, badSpec("tries must be >= 0, got %d", spec.Tries)
+	}
+	if spec.Tries > maxTries {
+		return nil, badSpec("tries must be <= %d, got %d", maxTries, spec.Tries)
+	}
+	if spec.BudgetMS < 0 {
+		return nil, badSpec("budget_ms must be >= 0, got %d", spec.BudgetMS)
+	}
+	if spec.BudgetMS > 0 && spec.Tries <= 1 {
+		return nil, badSpec("budget_ms needs tries > 1")
+	}
+	// 0 and 1 both mean the single classic run; normalize so they share
+	// one cache slot.
+	tries := spec.Tries
+	if tries < 1 {
+		tries = 1
 	}
 
 	var a *sparse.Matrix
@@ -142,11 +172,12 @@ func (s *Server) resolve(spec JobSpec) (*resolvedSpec, error) {
 		spec:   spec,
 		method: method,
 		eps:    eps,
+		tries:  tries,
 		matrix: a,
 		name:   name,
 		hash:   hash,
 		engine: engine,
-		key:    CacheKey(hash, spec.P, method.String(), spec.Seed, eps, spec.Refine, spec.ExactFM, engine),
+		key:    CacheKey(hash, spec.P, method.String(), spec.Seed, eps, spec.Refine, spec.ExactFM, engine, tries, spec.BudgetMS),
 	}, nil
 }
 
@@ -203,21 +234,27 @@ type JobView struct {
 
 // ResultView is the full-result JSON of a done job.
 type ResultView struct {
-	ID        string           `json:"id"`
-	State     string           `json:"state"`
-	Cached    bool             `json:"cached"`
-	Key       string           `json:"key"`
-	Matrix    string           `json:"matrix"`
-	Hash      string           `json:"matrix_hash"`
-	Rows      int              `json:"rows"`
-	Cols      int              `json:"cols"`
-	NNZ       int              `json:"nnz"`
-	P         int              `json:"p"`
-	Method    string           `json:"method"`
-	Seed      int64            `json:"seed"`
-	Eps       float64          `json:"eps"`
-	Refine    bool             `json:"refine"`
-	ExactFM   bool             `json:"exact_fm,omitempty"`
+	ID      string  `json:"id"`
+	State   string  `json:"state"`
+	Cached  bool    `json:"cached"`
+	Key     string  `json:"key"`
+	Matrix  string  `json:"matrix"`
+	Hash    string  `json:"matrix_hash"`
+	Rows    int     `json:"rows"`
+	Cols    int     `json:"cols"`
+	NNZ     int     `json:"nnz"`
+	P       int     `json:"p"`
+	Method  string  `json:"method"`
+	Seed    int64   `json:"seed"`
+	Eps     float64 `json:"eps"`
+	Refine  bool    `json:"refine"`
+	ExactFM bool    `json:"exact_fm,omitempty"`
+	// Tries/BudgetMS echo the job's race-to-best search spec (absent for
+	// single-run jobs); WinnerTry is the 1-based winning variant, whose
+	// seed is Seed+WinnerTry-1.
+	Tries     int              `json:"tries,omitempty"`
+	BudgetMS  int              `json:"budget_ms,omitempty"`
+	WinnerTry int              `json:"winner_try,omitempty"`
 	Engine    string           `json:"engine"`
 	Volume    int64            `json:"volume"`
 	Imbalance float64          `json:"imbalance"`
@@ -422,6 +459,9 @@ func (st *jobStore) Result(j *Job) (ResultView, bool) {
 		Eps:       r.Eps,
 		Refine:    r.Refine,
 		ExactFM:   r.ExactFM,
+		Tries:     r.Tries,
+		BudgetMS:  r.BudgetMS,
+		WinnerTry: r.WinnerTry,
 		Engine:    r.Engine,
 		Volume:    r.Volume,
 		Imbalance: r.Imbalance,

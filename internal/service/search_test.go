@@ -1,0 +1,130 @@
+package service
+
+import (
+	"net/http"
+	"slices"
+	"testing"
+)
+
+// TestSearchJobRecordsSpecAndStats: a tries > 1 job runs a race-to-best
+// search, records the search spec and winner in its result view, is
+// cached under a key distinct from the single-run entry, and ticks the
+// search counters in /stats.
+func TestSearchJobRecordsSpecAndStats(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	single := JobSpec{Corpus: "lap2d-24", P: 4, Seed: 11, Workers: 1}
+	v1, _ := postJob(t, ts, single)
+	if done := waitDone(t, ts, v1.ID); done.State != StateDone {
+		t.Fatalf("single run failed: %s", done.Error)
+	}
+	r1 := getResult(t, ts, v1.ID)
+	if r1.Tries != 0 || r1.WinnerTry != 0 {
+		t.Fatalf("single-run result must not carry search fields: %+v", r1)
+	}
+
+	search := single
+	search.Tries = 4
+	v2, code := postJob(t, ts, search)
+	if code != http.StatusAccepted || v2.Cached {
+		t.Fatalf("search spec must not hit the single-run cache slot: code=%d %+v", code, v2)
+	}
+	if done := waitDone(t, ts, v2.ID); done.State != StateDone {
+		t.Fatalf("search job failed: %s", done.Error)
+	}
+	r2 := getResult(t, ts, v2.ID)
+	if r2.Tries != 4 {
+		t.Fatalf("result view tries = %d, want 4", r2.Tries)
+	}
+	if r2.WinnerTry < 1 || r2.WinnerTry > 4 {
+		t.Fatalf("winner try %d out of range [1,4]", r2.WinnerTry)
+	}
+	if r2.Volume > r1.Volume {
+		t.Fatalf("best-of-4 volume %d worse than single-run %d", r2.Volume, r1.Volume)
+	}
+	if st := s.Stats(); st.SearchJobs != 1 || st.SearchTries != 4 {
+		t.Fatalf("search counters wrong: jobs=%d tries=%d", st.SearchJobs, st.SearchTries)
+	}
+
+	// Resubmitting the identical search spec is a cache hit carrying the
+	// same winner.
+	v3, code := postJob(t, ts, search)
+	if code != http.StatusOK || !v3.Cached {
+		t.Fatalf("identical search spec must hit the cache: code=%d %+v", code, v3)
+	}
+	r3 := getResult(t, ts, v3.ID)
+	if !slices.Equal(r3.Parts, r2.Parts) || r3.WinnerTry != r2.WinnerTry || r3.Tries != r2.Tries {
+		t.Fatal("cached search result differs from computed one")
+	}
+	if st := s.Stats(); st.SearchJobs != 1 {
+		t.Fatalf("cache hit must not recount a search job: %d", st.SearchJobs)
+	}
+
+	// A different width is a different content address.
+	wider := single
+	wider.Tries = 8
+	v4, code := postJob(t, ts, wider)
+	if code != http.StatusAccepted || v4.Cached {
+		t.Fatalf("different tries must not share the cache slot: code=%d %+v", code, v4)
+	}
+	waitDone(t, ts, v4.ID)
+}
+
+// TestSearchTriesOneSharesSingleRunSlot: tries 0 (absent) and tries 1
+// both mean the single classic run and normalize to one cache slot.
+func TestSearchTriesOneSharesSingleRunSlot(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	plain := JobSpec{Corpus: "tridiag", P: 2, Seed: 9, Workers: 1}
+	v1, _ := postJob(t, ts, plain)
+	waitDone(t, ts, v1.ID)
+
+	one := plain
+	one.Tries = 1
+	v2, code := postJob(t, ts, one)
+	if code != http.StatusOK || !v2.Cached {
+		t.Fatalf("tries=1 must share the tries-absent cache slot: code=%d %+v", code, v2)
+	}
+}
+
+// TestSearchBadSpecs: search fields are validated at admission.
+func TestSearchBadSpecs(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	cases := []JobSpec{
+		{Corpus: "lap2d-24", P: 2, Tries: -1},
+		{Corpus: "lap2d-24", P: 2, Tries: maxTries + 1},
+		{Corpus: "lap2d-24", P: 2, Tries: 4, BudgetMS: -1},
+		{Corpus: "lap2d-24", P: 2, BudgetMS: 100},
+		{Corpus: "lap2d-24", P: 2, Tries: 1, BudgetMS: 100},
+	}
+	for i, spec := range cases {
+		if _, code := postJob(t, ts, spec); code != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400", i, code)
+		}
+	}
+}
+
+// TestSearchBudgetedJobCompletes: a generous budget does not change the
+// outcome — the job finishes and records its spec, and the budget is
+// part of the cache key.
+func TestSearchBudgetedJobCompletes(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	spec := JobSpec{Corpus: "lap2d-24", P: 4, Seed: 21, Workers: 1, Tries: 3, BudgetMS: 60_000}
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if done := waitDone(t, ts, v.ID); done.State != StateDone {
+		t.Fatalf("budgeted search failed: %s", done.Error)
+	}
+	rv := getResult(t, ts, v.ID)
+	if rv.Tries != 3 || rv.BudgetMS != 60_000 {
+		t.Fatalf("result view lost the search spec: %+v", rv)
+	}
+
+	unbudgeted := spec
+	unbudgeted.BudgetMS = 0
+	v2, code := postJob(t, ts, unbudgeted)
+	if code != http.StatusAccepted || v2.Cached {
+		t.Fatalf("different budget must not share the cache slot: code=%d %+v", code, v2)
+	}
+	waitDone(t, ts, v2.ID)
+}

@@ -26,6 +26,12 @@
 //	                                 // choice is part of the cache key
 //	  "workers":    1,               // 0 = sequential legacy engine; != 0 = parallel
 //	                                 // engine on the server's shared pool
+//	  "tries":      1,               // > 1 races that many deterministic seed
+//	                                 // variants (seed..seed+N-1) and keeps the
+//	                                 // lowest-volume result; 0/1 = single run.
+//	                                 // Part of the cache key
+//	  "budget_ms":  0,               // wall-time budget of the search race
+//	                                 // (requires tries > 1); part of the cache key
 //	  "timeout_ms": 0                // per-job compute budget, overriding the
 //	                                 // server default in either direction
 //	                                 // (0 = default); enforced by canceling the
@@ -73,19 +79,25 @@
 //
 // GET /stats — operational counters: queue depth, running jobs,
 // accepted/completed/failed/rejected/canceled/deduplicated totals,
-// cache entries/hits/misses/hit-rate, and per-method latency
-// percentiles (p50/p90/p99).
+// race-to-best search totals (search_jobs, search_tries), cache
+// entries/hits/misses/hit-rate, and per-method latency percentiles
+// (p50/p90/p99).
 //
 // # Determinism and the cache key
 //
 // Results are content-addressed by (matrix hash, p, method, seed, eps,
-// refine, engine), where engine is "seq" for workers == 0 and "par"
-// otherwise: the library guarantees bit-identical results for every
-// Workers >= 1, so all parallel worker counts share one cache slot,
-// while the legacy sequential path — which may produce different (but
-// equally valid) partitionings — is addressed separately. Uploading a
-// matrix that byte-for-byte equals a corpus instance hits the same
-// cache entries as jobs naming that instance.
+// refine, exact_fm, engine, tries, budget_ms), where engine is "seq"
+// for workers == 0 and "par" otherwise: the library guarantees
+// bit-identical results for every Workers >= 1, so all parallel worker
+// counts share one cache slot, while the legacy sequential path — which
+// may produce different (but equally valid) partitionings — is
+// addressed separately. The race-to-best search spec is part of the key
+// because a best-of-N volume must never answer a single-run request (or
+// a different N), and a budgeted race is not deterministic; tries 0 and
+// 1 are normalized to one slot. Uploading a matrix that byte-for-byte
+// equals a corpus instance hits the same cache entries as jobs naming
+// that instance. Single-flight deduplication is keyed on the same full
+// key, so only identical search specs share one computation.
 //
 // # Scheduling, cancellation, and single-flight deduplication
 //
@@ -634,7 +646,25 @@ func (s *Server) partition(ctx context.Context, rs *resolvedSpec, a *sparse.Matr
 		eng = s.seqEngine
 	}
 	start := time.Now()
-	res, err := eng.Partition(ctx, a, rs.spec.P, rs.method, opts, rng)
+	var (
+		res       *core.Result
+		winnerTry int
+		err       error
+	)
+	var tries int // recorded in the result; 0 = single classic run
+	if rs.tries > 1 {
+		tries = rs.tries
+		spec := core.SearchSpec{
+			Tries:  rs.tries,
+			Budget: time.Duration(rs.spec.BudgetMS) * time.Millisecond,
+		}
+		var rep core.SearchReport
+		res, rep, err = eng.PartitionSearch(ctx, a, rs.spec.P, rs.method, opts, rs.spec.Seed, spec, nil)
+		winnerTry = rep.WinnerTry
+		s.stats.search(rs.tries)
+	} else {
+		res, err = eng.Partition(ctx, a, rs.spec.P, rs.method, opts, rng)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -657,6 +687,9 @@ func (s *Server) partition(ctx context.Context, rs *resolvedSpec, a *sparse.Matr
 		Eps:        rs.eps,
 		Refine:     rs.spec.Refine,
 		ExactFM:    rs.spec.ExactFM,
+		Tries:      tries,
+		BudgetMS:   rs.spec.BudgetMS,
+		WinnerTry:  winnerTry,
 		Engine:     rs.engine,
 		Volume:     res.Volume,
 		Imbalance:  metrics.Imbalance(res.Parts, rs.spec.P),

@@ -24,6 +24,8 @@ type statsRecorder struct {
 	cacheMissN  atomic.Int64
 	persistErrN atomic.Int64
 	salvagedN   atomic.Int64
+	searchJobsN atomic.Int64
+	searchTryN  atomic.Int64
 
 	mu        sync.Mutex
 	latencies map[string]*latencyRing
@@ -56,6 +58,12 @@ func (st *statsRecorder) cacheHit()   { st.cacheHitN.Add(1) }
 func (st *statsRecorder) cacheMiss()  { st.cacheMissN.Add(1) }
 func (st *statsRecorder) persistErr() { st.persistErrN.Add(1) }
 func (st *statsRecorder) salvaged()   { st.salvagedN.Add(1) }
+
+// search counts one race-to-best computation of the given width.
+func (st *statsRecorder) search(tries int) {
+	st.searchJobsN.Add(1)
+	st.searchTryN.Add(int64(tries))
+}
 
 func (st *statsRecorder) completed(method string, wallMS float64) {
 	st.completedN.Add(1)
@@ -109,7 +117,12 @@ type StatsView struct {
 	// Salvaged counts timed-out or canceled jobs whose abandoned
 	// computation later finished and was kept in the cache anyway
 	// (salvage-on-cancel mode).
-	Salvaged    int64                            `json:"salvaged"`
+	Salvaged int64 `json:"salvaged"`
+	// SearchJobs counts computations that ran a race-to-best search
+	// (tries > 1); SearchTries is the total number of variants they
+	// raced, so SearchTries/SearchJobs is the mean search width.
+	SearchJobs  int64                            `json:"search_jobs"`
+	SearchTries int64                            `json:"search_tries"`
 	PersistErrs int64                            `json:"persist_errors"`
 	Cache       CacheStats                       `json:"cache"`
 	Methods     map[string]report.LatencySummary `json:"method_latency"`
@@ -142,6 +155,8 @@ func (s *Server) Stats() StatsView {
 		Canceled:     s.stats.canceledN.Load(),
 		Deduplicated: s.stats.dedupedN.Load(),
 		Salvaged:     s.stats.salvagedN.Load(),
+		SearchJobs:   s.stats.searchJobsN.Load(),
+		SearchTries:  s.stats.searchTryN.Load(),
 		PersistErrs:  s.stats.persistErrN.Load(),
 		Cache: CacheStats{
 			Entries:  s.cache.Len(),

@@ -75,6 +75,23 @@
 // and allocation-free pass setup underneath are bit-identical in both
 // modes (see internal/hgpart's package comment).
 //
+// # Race-to-best search
+//
+// The paper competes on communication volume, not wall time, so spare
+// cores can be spent on quality directly: setting Request.Search.Tries
+// to N makes Engine.Partition race N fully deterministic seed variants
+// of the request (variant i uses Seed+i) over the engine's existing
+// worker budget and return the best. Because the partial volume down
+// the bisection tree is a monotone lower bound on the final volume,
+// variants that can no longer beat the running best are canceled early
+// through per-try contexts; a variant that could still tie is never
+// pruned, so the winner — lowest volume, then lowest try index — is
+// bit-identical across repeated runs and worker counts. Search.Budget
+// bounds the race's wall time (returning the best completed variant),
+// Search.VaryFM additionally races the two FM refinement modes, and
+// progress events stream the race via Event.Try and Event.BestVolume.
+// See the Search type and ExampleEngine_search.
+//
 // # Memory model
 //
 // The parallel engine keeps the per-node cost of recursive bisection at

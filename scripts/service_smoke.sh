@@ -58,6 +58,27 @@ echo "$RESUBMIT" | grep -q '"cached": true' || { echo "no cache hit"; exit 1; }
 curl -sf "$BASE/stats" -o "$WORKDIR/stats.json"
 grep -q '"hits": [1-9]' "$WORKDIR/stats.json" || { echo "stats missed the hit"; exit 1; }
 
+echo "==> race-to-best search job (tries > 1)"
+SEARCH_SPEC='{"corpus":"lap2d-24","p":4,"method":"MG","seed":42,"workers":2,"tries":4}'
+SEARCH=$(curl -sf -X POST "$BASE/jobs" -d "$SEARCH_SPEC")
+echo "$SEARCH" | grep -q '"cached": true' && { echo "search spec must not hit the single-run cache"; exit 1; }
+SEARCH_ID=$(echo "$SEARCH" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+test -n "$SEARCH_ID"
+for _ in $(seq 1 150); do
+  STATE=$(curl -sf "$BASE/jobs/$SEARCH_ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' || true)
+  [ "$STATE" = "done" ] && break
+  [ "$STATE" = "failed" ] && { echo "search job failed"; exit 1; }
+  sleep 0.2
+done
+test "$STATE" = "done"
+curl -sf "$BASE/jobs/$SEARCH_ID/result" -o "$WORKDIR/search.json"
+# The result endpoint streams compact JSON (no space after the colon).
+grep -Eq '"tries": ?4' "$WORKDIR/search.json" || { echo "result view lost the search spec"; exit 1; }
+grep -Eq '"winner_try": ?[1-9]' "$WORKDIR/search.json" || { echo "result view lost the winner"; exit 1; }
+curl -sf "$BASE/stats" -o "$WORKDIR/stats2.json"
+grep -q '"search_jobs": [1-9]' "$WORKDIR/stats2.json" || { echo "stats missed the search job"; exit 1; }
+grep -q '"search_tries": [1-9]' "$WORKDIR/stats2.json" || { echo "stats missed the search tries"; exit 1; }
+
 echo "==> DELETE /jobs/{id} cancels a job"
 # Park the single spare runner budget with a heavy job, then cancel a
 # second heavy job: whether it is still queued or already running, the
