@@ -29,12 +29,15 @@ bench-json:
 bench-scale3:
 	$(GO) run ./cmd/mgbench -scale 3 -out BENCH_$(DATE)-scale3.json
 
-# Profile the quick benchmark grid: writes bench-cpu.pprof and
-# bench-mem.pprof next to the JSON report, so every perf PR can ship
-# pprof evidence (`go tool pprof -top bench-cpu.pprof`).
+# Profile the quick benchmark grid: writes bench-cpu.pprof,
+# bench-mem.pprof, bench-mutex.pprof, and bench-block.pprof next to the
+# JSON report, so every perf PR can ship pprof evidence
+# (`go tool pprof -top bench-cpu.pprof`); the mutex/block profiles make
+# worker-pool contention in the parallel refinement layers measurable.
 profile:
 	$(GO) run ./cmd/mgbench -quick -out BENCH_profile.json \
-		-cpuprofile bench-cpu.pprof -memprofile bench-mem.pprof
+		-cpuprofile bench-cpu.pprof -memprofile bench-mem.pprof \
+		-mutexprofile bench-mutex.pprof -blockprofile bench-block.pprof
 
 # Compare two bench reports per grid point; exits nonzero when any
 # common point regresses communication volume by more than 5%.

@@ -52,6 +52,25 @@ func main() {
 		log.Fatalf("search width mismatch: old report tries=%d, new report tries=%d — regenerate the reports with one -tries setting",
 			normTries(oldRep.Tries), normTries(newRep.Tries))
 	}
+	if oldRep.ParallelFM != newRep.ParallelFM {
+		// Unlike ExactFM this is a warning, not a refusal: the volume
+		// gate below is exactly how the parallel refinement mode is held
+		// to the serial baseline's quality, so cross-mode comparisons are
+		// intended — but flagged, since wall deltas mix in the mode's own
+		// speed effect.
+		log.Printf("warning: FM parallelism differs (old parallel_fm=%t, new parallel_fm=%t); volume gate applies across modes, wall deltas reflect the mode change too",
+			oldRep.ParallelFM, newRep.ParallelFM)
+	}
+	if oldRep.Workers != 0 && newRep.Workers != 0 && oldRep.Workers != newRep.Workers {
+		// Pre-PR-7 reports decode Workers as 0 (unknown) — only warn when
+		// both sides actually recorded their count.
+		log.Printf("warning: worker counts differ (old workers=%d, new workers=%d); wall times and speedups are not comparable",
+			oldRep.Workers, newRep.Workers)
+	}
+	if oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		log.Printf("warning: GOMAXPROCS differs (old %d, new %d); wall times are not comparable",
+			oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
+	}
 
 	rows := report.DiffBench(oldRep, newRep)
 	fmt.Print(report.FormatDiff(rows))

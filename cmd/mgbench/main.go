@@ -57,18 +57,21 @@ func main() {
 	log.SetPrefix("mgbench: ")
 
 	var (
-		outPath = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
-		runs    = flag.Int("runs", 3, "repetitions per grid point; best wall time is kept")
-		seed    = flag.Int64("seed", 20140519, "random seed for generators and partitioning")
-		scale   = flag.Int("scale", 1, "corpus scale factor")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker count benchmarked against workers=1")
-		quick   = flag.Bool("quick", false, "CI smoke mode: small grid, 1 run")
-		eps     = flag.Float64("eps", 0.03, "allowed load imbalance")
-		exactFM = flag.Bool("exact-fm", false, "benchmark the exact all-vertex FM passes instead of the boundary-driven default")
-		tries   = flag.Int("tries", 1, "race-to-best search width per grid point (>1 races seed variants and reports a quality-vs-time frontier)")
-		budget  = flag.Duration("budget", 0, "wall-time budget per search (0 = none); only meaningful with -tries > 1")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole grid here")
-		memProf = flag.String("memprofile", "", "write a heap profile (after the grid) here")
+		outPath    = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		runs       = flag.Int("runs", 3, "repetitions per grid point; best wall time is kept")
+		seed       = flag.Int64("seed", 20140519, "random seed for generators and partitioning")
+		scale      = flag.Int("scale", 1, "corpus scale factor")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker count benchmarked against workers=1")
+		quick      = flag.Bool("quick", false, "CI smoke mode: small grid, 1 run")
+		eps        = flag.Float64("eps", 0.03, "allowed load imbalance")
+		exactFM    = flag.Bool("exact-fm", false, "benchmark the exact all-vertex FM passes instead of the boundary-driven default")
+		parallelFM = flag.Bool("parallel-fm", false, "benchmark the parallel refinement layers (coarse-level try racing + speculative boundary batches)")
+		tries      = flag.Int("tries", 1, "race-to-best search width per grid point (>1 races seed variants and reports a quality-vs-time frontier)")
+		budget     = flag.Duration("budget", 0, "wall-time budget per search (0 = none); only meaningful with -tries > 1")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole grid here")
+		memProf    = flag.String("memprofile", "", "write a heap profile (after the grid) here")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the whole grid here")
+		blockProf  = flag.String("blockprofile", "", "write a blocking profile of the whole grid here")
 	)
 	flag.Parse()
 	// Every later error path exits through fatalf, which flushes the CPU
@@ -115,6 +118,31 @@ func main() {
 		}
 		defer stopProfile()
 	}
+	// Mutex/block sampling must be armed before any pool work runs; the
+	// profiles are snapshotted after the grid, so they cover exactly the
+	// benchmarked workload (contention on the shared worker pool is what
+	// the parallel refinement layers are tuned against).
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(10_000) // one sample per 10µs blocked
+	}
+	writeLookupProfile := func(name, path string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fatalf("writing %s profile: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	pValues := []int{2, 16, 64}
 	if *quick {
 		pValues = []int{2, 64}
@@ -130,6 +158,7 @@ func main() {
 	// are bit-identical to the legacy per-call API for equal seeds).
 	pcfg := mediumgrain.MondriaanLikeConfig()
 	pcfg.ExactFM = *exactFM
+	pcfg.ParallelFM = *parallelFM
 	engines := make(map[int]*mediumgrain.Engine, len(workerValues))
 	for _, w := range workerValues {
 		engines[w] = mediumgrain.New(mediumgrain.EngineConfig{Workers: w, Partitioner: pcfg})
@@ -139,7 +168,9 @@ func main() {
 		*tries = 1
 	}
 	rep := report.NewBenchReport(time.Now().UTC().Format(time.RFC3339), *seed, *runs)
+	rep.Workers = *workers
 	rep.ExactFM = *exactFM
+	rep.ParallelFM = *parallelFM
 	if *tries > 1 {
 		rep.Tries = *tries
 	}
@@ -189,6 +220,8 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	writeLookupProfile("mutex", *mutexProf)
+	writeLookupProfile("block", *blockProf)
 	fmt.Printf("\nreport written to %s\n", *outPath)
 	printSpeedupSummary(rep, *workers)
 	_ = os.Stdout.Sync()

@@ -53,29 +53,30 @@ func main() {
 	log.SetPrefix("mgload: ")
 
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "mgserve base URL")
-		clients  = flag.Int("clients", 32, "concurrent closed-loop clients")
-		requests = flag.Int("requests", 10, "requests per client (ignored when -duration > 0)")
-		duration = flag.Duration("duration", 0, "run for this long instead of a fixed request count")
-		matrices = flag.String("matrices", "lap2d-24,tridiag,band-5,bip-tall", "comma-separated corpus names")
-		psFlag   = flag.String("ps", "2,4,8", "comma-separated part counts")
-		seeds    = flag.Int("seeds", 2, "partitioning seeds per (matrix, p): 1..n")
-		method   = flag.String("method", "MG", "partitioning method")
-		workers  = flag.Int("workers", 2, "job spec workers field (0 = sequential engine)")
-		exactFM  = flag.Bool("exact-fm", false, "request exact all-vertex FM passes instead of the boundary-driven default")
-		theta    = flag.Float64("zipf", 0.9, "Zipf skew over the spec space (0 = uniform)")
-		seed     = flag.Int64("seed", 1, "load-generator RNG seed")
-		poll     = flag.Duration("poll", 2*time.Millisecond, "poll interval while a job runs")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request completion deadline")
-		outPath  = flag.String("out", "", "write the JSON load report here")
-		verify   = flag.Bool("verify", false, "compare every unique spec's parts against the offline library")
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "mgserve base URL")
+		clients    = flag.Int("clients", 32, "concurrent closed-loop clients")
+		requests   = flag.Int("requests", 10, "requests per client (ignored when -duration > 0)")
+		duration   = flag.Duration("duration", 0, "run for this long instead of a fixed request count")
+		matrices   = flag.String("matrices", "lap2d-24,tridiag,band-5,bip-tall", "comma-separated corpus names")
+		psFlag     = flag.String("ps", "2,4,8", "comma-separated part counts")
+		seeds      = flag.Int("seeds", 2, "partitioning seeds per (matrix, p): 1..n")
+		method     = flag.String("method", "MG", "partitioning method")
+		workers    = flag.Int("workers", 2, "job spec workers field (0 = sequential engine)")
+		exactFM    = flag.Bool("exact-fm", false, "request exact all-vertex FM passes instead of the boundary-driven default")
+		parallelFM = flag.Bool("parallel-fm", false, "request the parallel refinement layers (coarse-level try racing + speculative boundary batches)")
+		theta      = flag.Float64("zipf", 0.9, "Zipf skew over the spec space (0 = uniform)")
+		seed       = flag.Int64("seed", 1, "load-generator RNG seed")
+		poll       = flag.Duration("poll", 2*time.Millisecond, "poll interval while a job runs")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request completion deadline")
+		outPath    = flag.String("out", "", "write the JSON load report here")
+		verify     = flag.Bool("verify", false, "compare every unique spec's parts against the offline library")
 	)
 	flag.Parse()
 	if *clients < 1 {
 		*clients = 1
 	}
 
-	specs := buildSpecs(*matrices, *psFlag, *seeds, *method, *workers, *exactFM)
+	specs := buildSpecs(*matrices, *psFlag, *seeds, *method, *workers, *exactFM, *parallelFM)
 	if len(specs) == 0 {
 		log.Fatal("empty spec space")
 	}
@@ -136,7 +137,7 @@ func main() {
 }
 
 // buildSpecs crosses matrices × part counts × seeds into the spec space.
-func buildSpecs(matrices, psFlag string, seeds int, method string, workers int, exactFM bool) []service.JobSpec {
+func buildSpecs(matrices, psFlag string, seeds int, method string, workers int, exactFM, parallelFM bool) []service.JobSpec {
 	var ps []int
 	for _, f := range strings.Split(psFlag, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(f))
@@ -158,7 +159,7 @@ func buildSpecs(matrices, psFlag string, seeds int, method string, workers int, 
 			for s := 1; s <= seeds; s++ {
 				specs = append(specs, service.JobSpec{
 					Corpus: name, P: p, Method: method, Seed: int64(s), Workers: workers,
-					ExactFM: exactFM,
+					ExactFM: exactFM, ParallelFM: parallelFM,
 				})
 			}
 		}
@@ -464,6 +465,7 @@ func offline(a *sparse.Matrix, spec service.JobSpec) ([]int, error) {
 	}
 	opts.Refine = spec.Refine
 	opts.Config.ExactFM = spec.ExactFM
+	opts.Config.ParallelFM = spec.ParallelFM
 	eng := verifySeqEngine
 	if spec.Workers != 0 {
 		eng = verifyParEngine

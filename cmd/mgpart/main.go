@@ -6,7 +6,7 @@
 //
 //	mgpart -in matrix.mtx [-method MG] [-p 2] [-eps 0.03] [-ir]
 //	       [-engine mondriaan|alt] [-seed 1] [-workers N] [-out parts.txt]
-//	       [-tries N] [-budget 30s]
+//	       [-tries N] [-budget 30s] [-parallel-fm]
 //
 // With -tries N > 1 the run races N deterministic seed variants
 // (seed..seed+N-1) and keeps the lowest-volume result; -budget bounds
@@ -37,23 +37,24 @@ func main() {
 	log.SetPrefix("mgpart: ")
 
 	var (
-		inPath  = flag.String("in", "", "input Matrix Market file (required)")
-		method  = flag.String("method", "MG", "method: MG, LB, FG, RN, CN")
-		p       = flag.Int("p", 2, "number of parts")
-		eps     = flag.Float64("eps", 0.03, "allowed load imbalance")
-		ir      = flag.Bool("ir", false, "apply iterative refinement")
-		engine  = flag.String("engine", "mondriaan", "hypergraph engine: mondriaan or alt")
-		exactFM = flag.Bool("exact-fm", false, "exact all-vertex FM passes (historical behavior) instead of the boundary-driven default")
-		seed    = flag.Int64("seed", 1, "random seed")
-		tries   = flag.Int("tries", 1, "race-to-best search width (>1 races seed variants seed..seed+N-1)")
-		budget  = flag.Duration("budget", 0, "wall-time budget for the search race (0 = none)")
-		varyFM  = flag.Bool("vary-fm", false, "race both FM modes across the search tries (odd tries flip -exact-fm)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel engine (0 = sequential legacy path)")
-		outPath = flag.String("out", "", "write part assignment (one id per line)")
-		spy     = flag.Bool("spy", false, "print an ASCII spy plot of the partitioned matrix")
-		stats   = flag.Bool("stats", false, "print per-part statistics and the lambda histogram")
-		distDir = flag.String("dist", "", "write a distributed bundle (<dir>/<matrixbase>.{mtx,parts,invec,outvec})")
-		kway    = flag.Bool("kway", false, "apply direct k-way refinement after recursive bisection")
+		inPath     = flag.String("in", "", "input Matrix Market file (required)")
+		method     = flag.String("method", "MG", "method: MG, LB, FG, RN, CN")
+		p          = flag.Int("p", 2, "number of parts")
+		eps        = flag.Float64("eps", 0.03, "allowed load imbalance")
+		ir         = flag.Bool("ir", false, "apply iterative refinement")
+		engine     = flag.String("engine", "mondriaan", "hypergraph engine: mondriaan or alt")
+		exactFM    = flag.Bool("exact-fm", false, "exact all-vertex FM passes (historical behavior) instead of the boundary-driven default")
+		parallelFM = flag.Bool("parallel-fm", false, "parallel refinement layers (coarse-level try racing + speculative boundary batches); needs -workers != 0")
+		seed       = flag.Int64("seed", 1, "random seed")
+		tries      = flag.Int("tries", 1, "race-to-best search width (>1 races seed variants seed..seed+N-1)")
+		budget     = flag.Duration("budget", 0, "wall-time budget for the search race (0 = none)")
+		varyFM     = flag.Bool("vary-fm", false, "race both FM modes across the search tries (odd tries flip -exact-fm)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel engine (0 = sequential legacy path)")
+		outPath    = flag.String("out", "", "write part assignment (one id per line)")
+		spy        = flag.Bool("spy", false, "print an ASCII spy plot of the partitioned matrix")
+		stats      = flag.Bool("stats", false, "print per-part statistics and the lambda histogram")
+		distDir    = flag.String("dist", "", "write a distributed bundle (<dir>/<matrixbase>.{mtx,parts,invec,outvec})")
+		kway       = flag.Bool("kway", false, "apply direct k-way refinement after recursive bisection")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -84,6 +85,7 @@ func main() {
 		log.Fatalf("unknown engine %q (want mondriaan or alt)", *engine)
 	}
 	pcfg.ExactFM = *exactFM
+	pcfg.ParallelFM = *parallelFM
 	// One reusable engine runs the partitioning and any post-refinement;
 	// ^C-style cancellation would only need a signal-bound context here.
 	eng := mediumgrain.New(mediumgrain.EngineConfig{Workers: *workers, Partitioner: pcfg})
@@ -132,7 +134,7 @@ func main() {
 	}
 
 	fmt.Printf("matrix:    %v (class %v)\n", a, a.Classify())
-	fmt.Printf("method:    %v  refine=%v  engine=%s  exactfm=%v  p=%d  eps=%g  workers=%d\n", m, *ir, *engine, *exactFM, *p, *eps, *workers)
+	fmt.Printf("method:    %v  refine=%v  engine=%s  exactfm=%v  parallelfm=%v  p=%d  eps=%g  workers=%d\n", m, *ir, *engine, *exactFM, *parallelFM, *p, *eps, *workers)
 	if *tries > 1 {
 		fmt.Printf("search:    tries=%d budget=%v vary-fm=%v  winner: try %d (seed %d)\n",
 			*tries, *budget, *varyFM, winnerTry.Load(), *seed+winnerTry.Load()-1)

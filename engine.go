@@ -25,8 +25,12 @@ type EngineConfig struct {
 	// Partitioner tunes the multilevel hypergraph engine; the zero value
 	// selects MondriaanLikeConfig(), the paper's primary engine. Its
 	// ExactFM field selects between the boundary-driven FM refinement
-	// default and the historical exact all-vertex passes; see
-	// PartitionerConfig.
+	// default and the historical exact all-vertex passes, and its
+	// ParallelFM field (parallel engines only) spends the worker budget
+	// inside refinement itself — coarse-level try racing plus
+	// speculative boundary move batches; see PartitionerConfig and the
+	// package comment's FM-refinement-modes section for the determinism
+	// contract of each flag.
 	Partitioner PartitionerConfig
 }
 

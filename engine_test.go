@@ -214,3 +214,41 @@ func TestEngineCancellationReturnsError(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineParallelFMDeterministic drives the ParallelFM knob through
+// the public surface: for a fixed seed, engines at Workers ∈ {1, 2, max}
+// must produce identical parts vectors — the satellite guarantee of the
+// parallel refinement layers — with the flag both on and off.
+func TestEngineParallelFMDeterministic(t *testing.T) {
+	a := gen.Laplacian2D(40, 40)
+	maxW := runtime.GOMAXPROCS(0)
+	if maxW < 4 {
+		maxW = 4
+	}
+	for _, parallelFM := range []bool{false, true} {
+		pcfg := mediumgrain.MondriaanLikeConfig()
+		pcfg.ParallelFM = parallelFM
+		var ref *mediumgrain.Result
+		for _, workers := range []int{1, 2, maxW} {
+			eng := mediumgrain.New(mediumgrain.EngineConfig{Workers: workers, Partitioner: pcfg})
+			res, err := eng.Partition(context.Background(), mediumgrain.Request{
+				Matrix: a, P: 8, Method: mediumgrain.MethodMediumGrain, Seed: 7,
+			})
+			if err != nil {
+				t.Fatalf("parallelFM=%v workers=%d: %v", parallelFM, workers, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.Volume != ref.Volume {
+				t.Fatalf("parallelFM=%v workers=%d: volume %d != %d", parallelFM, workers, res.Volume, ref.Volume)
+			}
+			for i := range res.Parts {
+				if res.Parts[i] != ref.Parts[i] {
+					t.Fatalf("parallelFM=%v workers=%d: parts diverge at %d", parallelFM, workers, i)
+				}
+			}
+		}
+	}
+}

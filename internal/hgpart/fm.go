@@ -480,11 +480,24 @@ func selectMove(s *bipState, buckets *gainBuckets, slack int64) int32 {
 // ordering, so feasibility is never lost again — the remaining passes
 // seed their buckets from the boundary alone and their cost tracks the
 // boundary size instead of the hypergraph size.
+//
+// With cfg.ParallelFM set (parallel engine only), refinement itself
+// spends the worker budget: coarse levels (nv <= raceMaxVerts) race
+// raceTries independent pass sequences and keep the best, fine levels
+// (nv >= specMinVerts) run the speculative boundary prepass before the
+// serial passes. Both layers are bit-identical per seed at every pool
+// size; see fmpar.go.
 func refine(ctx context.Context, h *hypergraph.Hypergraph, parts []int, maxW [2]int64, rng *rand.Rand, cfg Config, pl *pool.Pool, sc *Scratch) int64 {
+	if parallelFMOn(cfg) && h.NumVerts > 0 && h.NumVerts <= raceMaxVerts {
+		return refineRace(ctx, h, parts, maxW, rng, cfg, pl, sc)
+	}
 	s := newBipStateScratch(h, parts, maxW, sc)
 	passes := cfg.MaxPasses
 	if passes <= 0 {
 		passes = defaultMaxPasses
+	}
+	if parallelFMOn(cfg) && h.NumVerts >= specMinVerts {
+		speculativePrepass(ctx, s, rng, pl, sc)
 	}
 	for i := 0; i < passes; i++ {
 		if ctx.Err() != nil {

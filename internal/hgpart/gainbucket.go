@@ -9,8 +9,12 @@
 //
 // FM refinement is the package's hot path — it runs at every
 // recursive-bisection node, every multilevel uncoarsening step, and
-// every iterative-refinement/V-cycle round — and is built as three
-// layers of constant-factor reduction over the textbook algorithm:
+// every iterative-refinement/V-cycle round — and is built as four
+// layers over the textbook algorithm: two constant-factor reductions
+// of the serial work (locked-net pruning, boundary-driven passes), and
+// two ways to spend idle workers inside a single refine call (coarse-
+// level try racing, speculative boundary batches), all on a
+// zero-allocation scratch substrate:
 //
 // Locked-net pruning (always on, bit-identical). bipState tracks, per
 // net and side, how many pins are locked in the current pass
@@ -39,6 +43,41 @@
 // between the modes (the candidate set differs); the bench suite gates
 // the quality delta at <= 5% volume per grid point. Within each mode,
 // results remain bit-identical for a given seed at every worker count.
+//
+// Coarse-level try racing (Config.ParallelFM, parallel engine only).
+// Refine calls on hypergraphs of at most raceMaxVerts vertices — the
+// cheap coarse levels, where workers would otherwise idle through the
+// serial upstroke — race raceTries FM pass sequences, each on its own
+// parts copy and Scratch, and keep the best by (overload, cut, lowest
+// try index). Try 0 is the serial continuation (the sole consumer of
+// the caller's RNG, drawing exactly as a plain refine would); the
+// extra tries explore substreams seeded from a hash of the input
+// partition, so they displace the serial result only when strictly
+// better and never move the caller's stream off its serial-mode
+// trajectory. Redundant work buys quality (best-of-K) and occupancy
+// at once.
+//
+// Speculative boundary batches (Config.ParallelFM, parallel engine
+// only). On fine levels (>= specMinVerts vertices) a prepass of up to
+// specMaxRounds optimistic rounds runs before the serial passes: the
+// boundary worklist, collected in permutation order, is cut into
+// fixed-size batches whose move gains are computed concurrently
+// against the current state as a read-only snapshot; commits are then
+// validated serially in worklist order against a touched-net conflict
+// set — a candidate whose nets an earlier accepted move touched has a
+// stale gain and is left as residue for the serial passes (the
+// optimistic-work / cheap-validation / serial-fallback idiom).
+// Accepted moves are strictly improving and weight-checked, so each
+// round monotonically lowers the cut and preserves feasibility.
+//
+// Determinism contract of the flags: every layer is bit-identical per
+// seed at every worker count, pool size, and scheduling (batch
+// boundaries and try seeds are fixed, never derived from the live pool;
+// commit order is worklist order). ExactFM and ParallelFM are mode
+// switches — per-seed results differ between modes, never within one —
+// and ParallelFM is inert on the sequential legacy engine
+// (Config.Workers == 0), whose contract is the exact historical move
+// sequence.
 //
 // Zero-allocation pass setup. All per-pass working memory — the
 // permutation (a scratch-backed Fisher–Yates reproducing rand.Perm's

@@ -52,6 +52,18 @@ type Config struct {
 	// so its per-seed partitions (not their feasibility) may differ from
 	// ExactFM's; the bench suite gates the quality delta at <= 5% volume.
 	ExactFM bool
+	// ParallelFM spends the worker budget inside refinement itself (it
+	// requires the parallel engine and is ignored when Workers == 0):
+	// coarse levels race independent FM pass sequences and keep the best
+	// result, fine levels run speculative boundary move batches —
+	// snapshot gains computed concurrently, commits validated serially
+	// against a touched-net conflict set — before the serial passes.
+	// Like ExactFM, this is a mode switch: per-seed partitions differ
+	// from the serial-refinement default, but within the mode every
+	// result is bit-identical per seed at every worker count (including
+	// a nil pool); the bench suite gates the quality delta at <= 5%
+	// volume. Default off.
+	ParallelFM bool
 	// Workers selects the parallel engine: 0 keeps the legacy sequential
 	// algorithms; any other value switches matching to deterministic
 	// proposal rounds and initial partitioning to independent seeded
@@ -235,6 +247,11 @@ func initialPartition(ctx context.Context, h *hypergraph.Hypergraph, maxW [2]int
 			// writes a placeholder so the winner scan below stays in
 			// bounds.
 			var chunkSc Scratch
+			// Each try is already an independent racing attempt; a nested
+			// refineRace inside it would quadruple the coarse-level work
+			// for no extra diversity, so the inner refinement runs plain.
+			tcfg := cfg
+			tcfg.ParallelFM = false
 			for t := lo; t < hi; t++ {
 				rt := rand.New(rand.NewSource(seeds[t]))
 				var parts []int
@@ -243,7 +260,7 @@ func initialPartition(ctx context.Context, h *hypergraph.Hypergraph, maxW [2]int
 				} else {
 					parts = randomAssign(h, maxW, rt)
 				}
-				cut := refine(ctx, h, parts, maxW, rt, cfg, nil, &chunkSc)
+				cut := refine(ctx, h, parts, maxW, rt, tcfg, nil, &chunkSc)
 				results[t] = try{parts, cut, overloadOf(h, parts, maxW)}
 			}
 		})

@@ -35,6 +35,11 @@ type Scratch struct {
 	// Boundary-only passes.
 	bndMark []bool
 	bndWork []int32
+	// Speculative boundary batches (ParallelFM): per-net touched marks
+	// (all-false between rounds) and the touched-net log that re-lowers
+	// them in O(touched).
+	specMark []bool
+	specNets []int32
 	// Randomized orders (fmPass, matching).
 	permBuf []int
 }
@@ -60,6 +65,7 @@ func (sc *Scratch) reserve(numVerts, numNets int) {
 	sc.locked = sparse.Resize(sc.locked, numVerts)
 	sc.gains = sparse.Resize(sc.gains, numVerts)
 	sc.bndMark = sparse.Resize(sc.bndMark, numVerts)
+	sc.specMark = sparse.Resize(sc.specMark, numNets)
 	sc.permBuf = sparse.Resize(sc.permBuf, numVerts)
 	g := &sc.buckets
 	g.next = sparse.Resize(g.next, numVerts)
@@ -187,6 +193,34 @@ func (sc *Scratch) boundaryWork() []int32 {
 func (sc *Scratch) keepBoundaryWork(work []int32) {
 	if sc != nil {
 		sc.bndWork = work[:0]
+	}
+}
+
+// specMarks returns the all-false per-net touched flags of a
+// speculative round. No clearing happens here: the round re-lowers
+// every flag it raised via its touched-net log, and freshly grown
+// arrays come zeroed, so acquisition is O(1).
+func (sc *Scratch) specMarks(numNets int) []bool {
+	if sc == nil {
+		return make([]bool, numNets)
+	}
+	sc.specMark = sparse.Resize(sc.specMark, numNets)
+	return sc.specMark
+}
+
+// specNetLog returns an empty touched-net log for a speculative round.
+func (sc *Scratch) specNetLog() []int32 {
+	if sc == nil {
+		return make([]int32, 0, 64)
+	}
+	return sc.specNets[:0]
+}
+
+// keepSpecNetLog records the (possibly grown) touched-net log back into
+// the scratch so its capacity carries over to the next round.
+func (sc *Scratch) keepSpecNetLog(log []int32) {
+	if sc != nil {
+		sc.specNets = log[:0]
 	}
 }
 

@@ -35,17 +35,19 @@ func MatrixHash(a *sparse.Matrix) string {
 // CacheKey derives the content address of a result from the matrix hash
 // and the partitioning configuration. The engine class ("seq"/"par")
 // stands in for the worker count: every Workers >= 1 run is
-// bit-identical, so they share one slot. The FM mode (boundary-driven
-// default vs exact all-vertex passes) changes per-seed results, so it is
-// part of the key, and so is the full race-to-best search spec (tries,
-// budgetMS): a best-of-N result must never answer a single-run request
-// or a different N, and a budgeted race is not even deterministic. The
-// version tag ("mgserve/3") is bumped with every key-shape change so
-// results computed under older semantics can never answer a current
-// request. Callers pass tries normalized (>= 1) and budgetMS >= 0.
-func CacheKey(matrixHash string, p int, method string, seed int64, eps float64, refine, exactFM bool, engine string, tries, budgetMS int) string {
+// bit-identical, so they share one slot. The FM modes — boundary-driven
+// default vs exact all-vertex passes (exactFM), serial refinement vs the
+// parallel racing/speculative layers (parallelFM) — change per-seed
+// results, so both are part of the key, and so is the full race-to-best
+// search spec (tries, budgetMS): a best-of-N result must never answer a
+// single-run request or a different N, and a budgeted race is not even
+// deterministic. The version tag ("mgserve/4") is bumped with every
+// key-shape change so results computed under older semantics can never
+// answer a current request. Callers pass tries normalized (>= 1) and
+// budgetMS >= 0.
+func CacheKey(matrixHash string, p int, method string, seed int64, eps float64, refine, exactFM, parallelFM bool, engine string, tries, budgetMS int) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "mgserve/3|%s|p=%d|m=%s|seed=%d|eps=%g|refine=%t|exactfm=%t|engine=%s|tries=%d|budget=%dms",
-		matrixHash, p, method, seed, eps, refine, exactFM, engine, tries, budgetMS)
+	fmt.Fprintf(h, "mgserve/4|%s|p=%d|m=%s|seed=%d|eps=%g|refine=%t|exactfm=%t|parallelfm=%t|engine=%s|tries=%d|budget=%dms",
+		matrixHash, p, method, seed, eps, refine, exactFM, parallelFM, engine, tries, budgetMS)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }

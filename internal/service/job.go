@@ -45,7 +45,12 @@ type JobSpec struct {
 	// of the boundary-driven default; per-seed results differ between
 	// the modes, so the choice is part of the cache key.
 	ExactFM bool `json:"exact_fm,omitempty"`
-	Workers int  `json:"workers,omitempty"`
+	// ParallelFM enables the parallel refinement layers (coarse-level try
+	// racing, speculative boundary batches) inside each partition run;
+	// per-seed results differ from the serial-refinement default, so the
+	// choice is part of the cache key. Requires workers != 0.
+	ParallelFM bool `json:"parallel_fm,omitempty"`
+	Workers    int  `json:"workers,omitempty"`
 	// Tries > 1 races that many deterministic seed variants (seed..
 	// seed+N-1) and keeps the lowest-volume result; BudgetMS bounds the
 	// race's wall time. Both are part of the cache key: best-of-N
@@ -177,7 +182,7 @@ func (s *Server) resolve(spec JobSpec) (*resolvedSpec, error) {
 		name:   name,
 		hash:   hash,
 		engine: engine,
-		key:    CacheKey(hash, spec.P, method.String(), spec.Seed, eps, spec.Refine, spec.ExactFM, engine, tries, spec.BudgetMS),
+		key:    CacheKey(hash, spec.P, method.String(), spec.Seed, eps, spec.Refine, spec.ExactFM, spec.ParallelFM, engine, tries, spec.BudgetMS),
 	}, nil
 }
 
@@ -234,21 +239,22 @@ type JobView struct {
 
 // ResultView is the full-result JSON of a done job.
 type ResultView struct {
-	ID      string  `json:"id"`
-	State   string  `json:"state"`
-	Cached  bool    `json:"cached"`
-	Key     string  `json:"key"`
-	Matrix  string  `json:"matrix"`
-	Hash    string  `json:"matrix_hash"`
-	Rows    int     `json:"rows"`
-	Cols    int     `json:"cols"`
-	NNZ     int     `json:"nnz"`
-	P       int     `json:"p"`
-	Method  string  `json:"method"`
-	Seed    int64   `json:"seed"`
-	Eps     float64 `json:"eps"`
-	Refine  bool    `json:"refine"`
-	ExactFM bool    `json:"exact_fm,omitempty"`
+	ID         string  `json:"id"`
+	State      string  `json:"state"`
+	Cached     bool    `json:"cached"`
+	Key        string  `json:"key"`
+	Matrix     string  `json:"matrix"`
+	Hash       string  `json:"matrix_hash"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	NNZ        int     `json:"nnz"`
+	P          int     `json:"p"`
+	Method     string  `json:"method"`
+	Seed       int64   `json:"seed"`
+	Eps        float64 `json:"eps"`
+	Refine     bool    `json:"refine"`
+	ExactFM    bool    `json:"exact_fm,omitempty"`
+	ParallelFM bool    `json:"parallel_fm,omitempty"`
 	// Tries/BudgetMS echo the job's race-to-best search spec (absent for
 	// single-run jobs); WinnerTry is the 1-based winning variant, whose
 	// seed is Seed+WinnerTry-1.
@@ -448,26 +454,27 @@ func (st *jobStore) Result(j *Job) (ResultView, bool) {
 		// This job's own matrix name, not the cached result's: a
 		// corpus-named job can be answered by an entry first populated
 		// by a byte-identical upload (or vice versa).
-		Matrix:    j.resolved.name,
-		Hash:      r.MatrixHash,
-		Rows:      r.Rows,
-		Cols:      r.Cols,
-		NNZ:       r.NNZ,
-		P:         r.P,
-		Method:    r.Method,
-		Seed:      r.Seed,
-		Eps:       r.Eps,
-		Refine:    r.Refine,
-		ExactFM:   r.ExactFM,
-		Tries:     r.Tries,
-		BudgetMS:  r.BudgetMS,
-		WinnerTry: r.WinnerTry,
-		Engine:    r.Engine,
-		Volume:    r.Volume,
-		Imbalance: r.Imbalance,
-		WallMS:    r.WallMS,
-		Predict:   r.Predict,
-		Parts:     r.Parts,
+		Matrix:     j.resolved.name,
+		Hash:       r.MatrixHash,
+		Rows:       r.Rows,
+		Cols:       r.Cols,
+		NNZ:        r.NNZ,
+		P:          r.P,
+		Method:     r.Method,
+		Seed:       r.Seed,
+		Eps:        r.Eps,
+		Refine:     r.Refine,
+		ExactFM:    r.ExactFM,
+		ParallelFM: r.ParallelFM,
+		Tries:      r.Tries,
+		BudgetMS:   r.BudgetMS,
+		WinnerTry:  r.WinnerTry,
+		Engine:     r.Engine,
+		Volume:     r.Volume,
+		Imbalance:  r.Imbalance,
+		WallMS:     r.WallMS,
+		Predict:    r.Predict,
+		Parts:      r.Parts,
 	}, true
 }
 

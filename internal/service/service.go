@@ -24,6 +24,12 @@
 //	                                 // boundary-driven refinement. Per-seed
 //	                                 // results differ between the modes, so the
 //	                                 // choice is part of the cache key
+//	  "parallel_fm": false,          // parallel refinement layers (coarse-level
+//	                                 // try racing + speculative boundary move
+//	                                 // batches) inside each run; requires
+//	                                 // workers != 0. Per-seed results differ
+//	                                 // from the serial-refinement default, so
+//	                                 // the choice is part of the cache key
 //	  "workers":    1,               // 0 = sequential legacy engine; != 0 = parallel
 //	                                 // engine on the server's shared pool
 //	  "tries":      1,               // > 1 races that many deterministic seed
@@ -86,7 +92,7 @@
 // # Determinism and the cache key
 //
 // Results are content-addressed by (matrix hash, p, method, seed, eps,
-// refine, exact_fm, engine, tries, budget_ms), where engine is "seq"
+// refine, exact_fm, parallel_fm, engine, tries, budget_ms), where engine is "seq"
 // for workers == 0 and "par" otherwise: the library guarantees
 // bit-identical results for every Workers >= 1, so all parallel worker
 // counts share one cache slot, while the legacy sequential path — which
@@ -639,6 +645,7 @@ func (s *Server) partition(ctx context.Context, rs *resolvedSpec, a *sparse.Matr
 	opts.Eps = rs.eps
 	opts.Refine = rs.spec.Refine
 	opts.Config.ExactFM = rs.spec.ExactFM
+	opts.Config.ParallelFM = rs.spec.ParallelFM
 	rng := rand.New(rand.NewSource(rs.spec.Seed))
 
 	eng := s.engine
@@ -687,6 +694,7 @@ func (s *Server) partition(ctx context.Context, rs *resolvedSpec, a *sparse.Matr
 		Eps:        rs.eps,
 		Refine:     rs.spec.Refine,
 		ExactFM:    rs.spec.ExactFM,
+		ParallelFM: rs.spec.ParallelFM,
 		Tries:      tries,
 		BudgetMS:   rs.spec.BudgetMS,
 		WinnerTry:  winnerTry,

@@ -62,18 +62,38 @@
 //
 // # FM refinement modes
 //
-// The hypergraph partitioner's FM refinement runs boundary-driven by
-// default: after balance is established, each pass seeds its gain
-// buckets from the pins of cut nets only (grown incrementally as moves
-// cut new nets) and bounds the exhaustive tail with an adaptive early
-// exit, which makes refinement cost track the partition boundary
-// instead of the hypergraph size. PartitionerConfig.ExactFM restores
-// the historical exact all-vertex passes. Per-seed results differ
-// between the two modes — the bench suite gates the quality delta at
-// <= 5% volume per grid point — but each mode is individually
-// deterministic per seed at every worker count. The locked-net pruning
-// and allocation-free pass setup underneath are bit-identical in both
-// modes (see internal/hgpart's package comment).
+// The hypergraph partitioner's FM refinement is a four-layer engine
+// (see internal/hgpart's package comment for the full mechanics):
+//
+//   - Locked-net pruning (always on): per-net locked-pin counts skip
+//     gain-update scans that are provably no-ops. Bit-identical in
+//     every mode.
+//   - Boundary-driven passes (the default): each pass seeds its gain
+//     buckets from the pins of cut nets only, grown incrementally as
+//     moves cut new nets, with an adaptive early exit — refinement
+//     cost tracks the partition boundary instead of the hypergraph
+//     size. PartitionerConfig.ExactFM restores the historical exact
+//     all-vertex passes.
+//   - Coarse-level try racing (PartitionerConfig.ParallelFM, parallel
+//     engine only): small coarse levels race several FM sequences
+//     across the worker pool — the serial continuation plus extra
+//     tries on side substreams — and keep the best by (overload, cut,
+//     try index), so an extra try displaces the serial result only
+//     when strictly better.
+//   - Speculative boundary batches (ParallelFM, parallel engine only):
+//     large fine levels run optimistic prepass rounds — boundary move
+//     gains computed concurrently in fixed-size batches against a
+//     read-only snapshot, then committed serially in deterministic
+//     order under a touched-net conflict set, with conflicted residue
+//     falling back to the serial passes.
+//
+// Determinism contract: ExactFM and ParallelFM are mode switches.
+// Per-seed results differ between modes — the bench suite gates every
+// mode's quality delta at <= 5% volume per grid point — but within
+// each mode results are bit-identical for a given seed at every worker
+// count and pool size. ParallelFM requires the parallel engine and is
+// ignored when Workers == 0; the sequential legacy path always
+// reproduces its exact historical move sequence.
 //
 // # Race-to-best search
 //
