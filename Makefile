@@ -4,7 +4,7 @@ GO       ?= go
 DATE     := $(shell date -u +%F)
 BENCHOUT ?= BENCH_$(DATE).json
 
-.PHONY: build test race bench bench-json bench-scale3 bench-diff profile lint check-deprecated serve load-test smoke-service
+.PHONY: build test race bench bench-json bench-scale3 bench-diff profile lint check-deprecated serve load-test smoke-service smoke-cluster
 
 build:
 	$(GO) build ./...
@@ -69,3 +69,9 @@ load-test:
 # verification, SIGTERM drain. Same script CI runs.
 smoke-service:
 	./scripts/service_smoke.sh
+
+# End-to-end cluster smoke: two shards + a stateless router, routed
+# jobs, peer fetch, multi-target mgload, merged stats, and a lossless
+# shard SIGTERM under live traffic. Same script CI runs.
+smoke-cluster:
+	./scripts/cluster_smoke.sh

@@ -8,13 +8,21 @@
 //
 //	mgload -addr http://127.0.0.1:8080 -clients 32 -requests 10 -verify
 //
+// With -targets, requests round-robin over several base URLs instead of
+// one — a cluster router, direct shards, or a mix — and the report
+// breaks the run down per target (client-side counts plus each target's
+// own /stats snapshot). Verification always goes through the first
+// target.
+//
+//	mgload -targets http://127.0.0.1:8090,http://127.0.0.1:8081 -verify
+//
 // With -verify, every unique spec's served parts vector is compared
 // against the library's own offline result — the determinism guarantee
 // of the service — by rebuilding the server's corpus locally from the
 // scale and seed advertised by GET /corpus. The run's throughput,
 // latency percentiles (split by cache hit/miss), per-spec breakdown,
 // and a final /stats snapshot are written as a JSON report
-// (schema "mediumgrain-load/1") with -out.
+// (schema "mediumgrain-load/2") with -out.
 package main
 
 import (
@@ -54,6 +62,7 @@ func main() {
 
 	var (
 		addr       = flag.String("addr", "http://127.0.0.1:8080", "mgserve base URL")
+		targetsCSV = flag.String("targets", "", "comma-separated mgserve base URLs to drive round-robin (overrides -addr); verification uses the first")
 		clients    = flag.Int("clients", 32, "concurrent closed-loop clients")
 		requests   = flag.Int("requests", 10, "requests per client (ignored when -duration > 0)")
 		duration   = flag.Duration("duration", 0, "run for this long instead of a fixed request count")
@@ -76,30 +85,41 @@ func main() {
 		*clients = 1
 	}
 
+	targets := buildTargets(*targetsCSV, *addr)
+	primary := targets[0]
+
 	specs := buildSpecs(*matrices, *psFlag, *seeds, *method, *workers, *exactFM, *parallelFM)
 	if len(specs) == 0 {
 		log.Fatal("empty spec space")
 	}
 	cdf := zipfCDF(len(specs), *theta)
-	log.Printf("%d clients, %d specs (zipf theta=%g), target %s", *clients, len(specs), *theta, *addr)
+	log.Printf("%d clients, %d specs (zipf theta=%g), %d target(s) starting at %s",
+		*clients, len(specs), *theta, len(targets), primary)
 
-	if err := waitHealthy(*addr, 10*time.Second); err != nil {
-		log.Fatal(err)
+	for _, t := range targets {
+		if err := waitHealthy(t, 10*time.Second); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	loadStart := time.Now()
-	results := runLoad(*addr, specs, cdf, *clients, *requests, *duration, *seed, *poll, *timeout)
+	results := runLoad(targets, specs, cdf, *clients, *requests, *duration, *seed, *poll, *timeout)
 	elapsed := time.Since(loadStart)
 
-	rep := assemble(results, specs, elapsed, *addr, *clients, *seed, *theta)
+	rep := assemble(results, specs, targets, elapsed, *clients, *seed, *theta)
 	// Snapshot /stats before verification: verifyAll re-submits every
 	// unique spec, which would inflate the server-side counters the
 	// report attributes to the load run itself.
-	if raw, err := fetchRaw(*addr + "/stats"); err == nil {
+	if raw, err := fetchRaw(primary + "/stats"); err == nil {
 		rep.ServerStats = raw
 	}
+	for i := range rep.PerTarget {
+		if raw, err := fetchRaw(rep.PerTarget[i].Addr + "/stats"); err == nil {
+			rep.PerTarget[i].Stats = raw
+		}
+	}
 	if *verify {
-		verifyAll(*addr, specs, results, rep, *poll, *timeout)
+		verifyAll(primary, specs, results, rep, *poll, *timeout)
 	}
 
 	printSummary(rep)
@@ -134,6 +154,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// buildTargets resolves the driven base-URL list: -targets when given,
+// else the single -addr. Trailing slashes are stripped so path joins
+// stay uniform.
+func buildTargets(csv, addr string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if p := strings.TrimRight(strings.TrimSpace(part), "/"); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{strings.TrimRight(addr, "/")}
+	}
+	return out
 }
 
 // buildSpecs crosses matrices × part counts × seeds into the spec space.
@@ -197,6 +233,7 @@ func pick(cdf []float64, rng *rand.Rand) int {
 // sample is one completed request.
 type sample struct {
 	spec      int
+	target    int // index into the driven target list
 	latencyMS float64
 	cached    bool
 	ok        bool
@@ -227,8 +264,10 @@ func waitHealthy(addr string, budget time.Duration) error {
 	return fmt.Errorf("server at %s not healthy within %s", addr, budget)
 }
 
-// runLoad drives the closed loop and returns every sample.
-func runLoad(addr string, specs []service.JobSpec, cdf []float64, clients, requests int, duration time.Duration, seed int64, poll, timeout time.Duration) []sample {
+// runLoad drives the closed loop and returns every sample. With several
+// targets each client round-robins across them, so every target sees an
+// interleaved share of every client's spec stream.
+func runLoad(targets []string, specs []service.JobSpec, cdf []float64, clients, requests int, duration time.Duration, seed int64, poll, timeout time.Duration) []sample {
 	var (
 		mu  sync.Mutex
 		out []sample
@@ -253,7 +292,9 @@ func runLoad(addr string, specs []service.JobSpec, cdf []float64, clients, reque
 					break
 				}
 				si := pick(cdf, rng)
-				s := oneRequest(addr, si, specs[si], poll, timeout)
+				ti := (id + i) % len(targets)
+				s := oneRequest(targets[ti], si, specs[si], poll, timeout)
+				s.target = ti
 				local = append(local, s)
 				if !s.ok {
 					time.Sleep(5 * time.Millisecond) // back off after rejection/failure
@@ -318,25 +359,36 @@ func oneRequest(addr string, specIdx int, spec service.JobSpec, poll, timeout ti
 }
 
 // assemble aggregates samples into the load report.
-func assemble(samples []sample, specs []service.JobSpec, elapsed time.Duration, addr string, clients int, seed int64, theta float64) *report.LoadReport {
-	rep := report.NewLoadReport(time.Now().UTC().Format(time.RFC3339), addr, clients, seed, theta)
+func assemble(samples []sample, specs []service.JobSpec, targets []string, elapsed time.Duration, clients int, seed int64, theta float64) *report.LoadReport {
+	rep := report.NewLoadReport(time.Now().UTC().Format(time.RFC3339), targets[0], clients, seed, theta)
+	if len(targets) > 1 {
+		rep.Targets = targets
+	}
 	var all, hit, miss []float64
 	perSpec := make([]report.LoadEntry, len(specs))
 	for i, s := range specs {
 		perSpec[i] = report.LoadEntry{Matrix: s.Corpus, P: s.P, Method: s.Method, Seed: s.Seed}
 	}
+	perTarget := make([]report.LoadTargetEntry, len(targets))
+	for i, t := range targets {
+		perTarget[i] = report.LoadTargetEntry{Addr: t}
+	}
 	specLats := make([][]float64, len(specs))
 	for _, s := range samples {
 		e := &perSpec[s.spec]
+		t := &perTarget[s.target]
 		e.Requests++
+		t.Requests++
 		rep.Requests++
 		if !s.ok {
 			e.Errors++
+			t.Errors++
 			rep.Errors++
 			continue
 		}
 		if s.cached {
 			e.CacheHits++
+			t.CacheHits++
 			rep.CacheHits++
 			hit = append(hit, s.latencyMS)
 		} else {
@@ -344,6 +396,9 @@ func assemble(samples []sample, specs []service.JobSpec, elapsed time.Duration, 
 		}
 		all = append(all, s.latencyMS)
 		specLats[s.spec] = append(specLats[s.spec], s.latencyMS)
+	}
+	if len(targets) > 1 {
+		rep.PerTarget = perTarget
 	}
 	rep.Latency = report.LoadLatency{
 		Overall: report.SummarizeLatencies(all),
@@ -506,6 +561,10 @@ func printSummary(rep *report.LoadReport) {
 	for _, e := range top {
 		fmt.Printf("  %-14s p=%-3d seed=%-2d  %5d req  %4d hits  p50=%.2fms\n",
 			e.Matrix, e.P, e.Seed, e.Requests, e.CacheHits, e.Latency.P50MS)
+	}
+	for _, t := range rep.PerTarget {
+		fmt.Printf("  target %-28s %5d req  %4d err  %4d hits\n",
+			t.Addr, t.Requests, t.Errors, t.CacheHits)
 	}
 	if rep.Verified+rep.VerifyFailures > 0 {
 		fmt.Printf("verified %d unique specs against the offline library, %d failures\n",

@@ -7,10 +7,26 @@
 //
 //	mgserve -addr :8080 -data /var/lib/mgserve
 //
-// SIGINT/SIGTERM begin a graceful drain: new submissions are refused
-// with 503, every accepted job runs to completion (and persists), then
-// the HTTP listener shuts down. See internal/service for the API
-// contract.
+// Beyond single-node operation, mgserve runs in two cluster roles (see
+// internal/cluster):
+//
+//	mgserve -router -shards a:8081,b:8082        # stateless router
+//	mgserve -addr a:8081 -node a:8081 \
+//	        -peers a:8081,b:8082 -data /var/a    # one shard
+//
+// A router owns no jobs and no cache: it hashes each submission to its
+// content-addressed cache key, proxies it to the shard owning that key
+// on the consistent-hash ring, and fails over along the key's replica
+// set when a shard is unreachable or draining. Shards fetch missing
+// cache entries from ring peers before computing and replicate hot
+// entries to the key's other replicas. Routers and shards must agree on
+// the shard list (-shards here, -peers there) and corpus options.
+//
+// SIGINT/SIGTERM begin a graceful drain: readiness drops (so routers
+// stop routing here), new submissions are refused with 503, every
+// accepted job runs to completion (and persists), then — after -linger,
+// which gives clients time for trailing status polls — the HTTP
+// listener shuts down. See internal/service for the API contract.
 package main
 
 import (
@@ -21,9 +37,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"mediumgrain/internal/cluster"
+	"mediumgrain/internal/corpus"
 	"mediumgrain/internal/service"
 )
 
@@ -42,8 +61,37 @@ func main() {
 		corpusSeed  = flag.Int64("corpus-seed", 0, "corpus seed (0 = default)")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "default per-job timeout")
 		salvage     = flag.Bool("salvage", false, "salvage-on-cancel: let timed-out/canceled computations finish in the background and cache their results instead of canceling their context")
+
+		// Cluster roles.
+		router    = flag.Bool("router", false, "run as a stateless cluster router over -shards instead of a compute shard")
+		shards    = flag.String("shards", "", "router mode: comma-separated shard addresses (host:port)")
+		node      = flag.String("node", "", "shard mode: this shard's own address as listed in -peers")
+		peers     = flag.String("peers", "", "shard mode: comma-separated addresses of every shard, this one included")
+		replicas  = flag.Int("replicas", 2, "replica-set size K: the owner plus K-1 ring successors hold each hot key")
+		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the hash ring")
+		replAfter = flag.Int64("replicate-after", cluster.DefaultReplicateAfter, "shard mode: cache hits after which an entry replicates to its other ring replicas")
+		linger    = flag.Duration("linger", 0, "after draining, keep serving reads this long before closing the listener (lets clients finish trailing status polls)")
 	)
 	flag.Parse()
+
+	if *router {
+		runRouter(*addr, *shards, *vnodes, *replicas, *corpusScale, *corpusSeed)
+		return
+	}
+
+	var clu *cluster.ShardConfig
+	if *peers != "" || *node != "" {
+		ring, err := cluster.NewRing(splitList(*peers), *vnodes, *replicas)
+		if err != nil {
+			log.Fatalf("peer ring: %v", err)
+		}
+		if !ring.Contains(*node) {
+			log.Fatalf("-node %q is not in -peers %v", *node, ring.Nodes())
+		}
+		clu = &cluster.ShardConfig{Self: *node, Ring: ring, ReplicateAfter: *replAfter}
+		log.Printf("shard %s of %d-node ring %v (replicas=%d, vnodes=%d)",
+			cluster.NormalizeNode(*node), len(ring.Nodes()), ring.Nodes(), ring.ReplicaCount(), ring.VNodes())
+	}
 
 	srv, warns := service.New(service.Config{
 		Workers:         *workers,
@@ -55,9 +103,10 @@ func main() {
 		CorpusScale:     *corpusScale,
 		CorpusSeed:      *corpusSeed,
 		SalvageOnCancel: *salvage,
+		Cluster:         clu,
 	})
 	for _, w := range warns {
-		log.Printf("rehydration: %v", w)
+		log.Printf("startup: %v", w)
 	}
 	st := srv.Stats()
 	log.Printf("listening on %s (workers=%d runners=%d queue=%d cache=%d/%d rehydrated)",
@@ -82,9 +131,82 @@ func main() {
 	log.Printf("drained: %d completed, %d failed, cache %d entries (%d hits / %d misses)",
 		st.Completed, st.Failed, st.Cache.Entries, st.Cache.Hits, st.Cache.Misses)
 
+	// The listener stays up through the linger window so clients whose
+	// jobs just finished can still poll status and fetch results; only
+	// new submissions are refused (503 → router failover).
+	if *linger > 0 {
+		log.Printf("lingering %s for trailing reads", *linger)
+		time.Sleep(*linger)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
 	}
+}
+
+// runRouter serves the stateless router role: no jobs, no cache, no
+// drain protocol — SIGTERM just closes the listener (in-flight proxied
+// requests finish via Shutdown's grace period).
+func runRouter(addr, shards string, vnodes, replicas, corpusScale int, corpusSeed int64) {
+	nodes := splitList(shards)
+	if len(nodes) == 0 {
+		log.Fatalf("-router needs -shards host:port,host:port,...")
+	}
+	// The router keys named-corpus submissions without materializing
+	// matrices per request: it builds the same corpus the shards run
+	// with, once, and keeps only the name → matrix-hash table.
+	opts := corpus.DefaultOptions()
+	if corpusScale > 0 {
+		opts.Scale = corpusScale
+	}
+	if corpusSeed != 0 {
+		opts.Seed = corpusSeed
+	}
+	hashes := make(map[string]string)
+	for _, in := range corpus.Build(opts) {
+		hashes[in.Name] = cluster.MatrixHash(in.A)
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Shards:       nodes,
+		VNodes:       vnodes,
+		Replicas:     replicas,
+		CorpusHashes: hashes,
+	})
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+	ring := rt.Ring()
+	log.Printf("router on %s over %d shards %v (replicas=%d, vnodes=%d)",
+		addr, len(ring.Nodes()), ring.Nodes(), ring.ReplicaCount(), ring.VNodes())
+
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("listener: %v", err)
+	case sig := <-sigCh:
+		log.Printf("%s: shutting down router", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+}
+
+// splitList parses a comma-separated address list, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"archive/tar"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Cache entries persist as a distio bundle (<key>.{mtx,parts,invec,
+// outvec}) plus <key>.meta.json; shards exchange the whole entry as one
+// tar stream over GET/PUT /cache/{key}. Tar is used purely as a framing
+// format for the five flat files — member names are fixed, nested paths
+// are rejected, and sizes are capped, so an adversarial or truncated
+// stream can at worst fail extraction. The receiver then re-validates
+// the extracted entry exactly like cache rehydration does (schema, key,
+// matrix hash, recomputed volume), so a corrupt transfer never poisons
+// a cache.
+
+// maxEntryFileBytes caps one extracted member; the largest member of a
+// legitimate entry is the .mtx text of a matrix the shard also accepts
+// as an upload, so the cap mirrors the HTTP submission bound.
+const maxEntryFileBytes = 64 << 20
+
+// EntryFiles lists the on-disk files of one persisted cache entry, meta
+// file last (the order Write streams them in).
+func EntryFiles(key string) []string {
+	return []string{
+		key + ".mtx",
+		key + ".parts",
+		key + ".invec",
+		key + ".outvec",
+		key + ".meta.json",
+	}
+}
+
+// WriteEntryTar streams the persisted entry `key` under dir as a tar
+// archive. All five files must exist — a partially persisted entry is
+// not exportable (the meta-last persist ordering guarantees meta-exists
+// implies bundle-complete).
+func WriteEntryTar(w io.Writer, dir, key string) error {
+	tw := tar.NewWriter(w)
+	for _, name := range EntryFiles(key) {
+		path := filepath.Join(dir, name)
+		info, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("cluster: exporting entry %s: %w", key, err)
+		}
+		hdr := &tar.Header{Name: name, Mode: 0o644, Size: info.Size()}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(tw, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// ExtractEntryTar reads a tar stream produced by WriteEntryTar into
+// dir, accepting exactly the five member names of `key` and rejecting
+// anything else (extra members, nested paths, oversize files, missing
+// members). It only writes files; callers validate the extracted entry
+// before adopting it and should extract into a scratch directory.
+func ExtractEntryTar(r io.Reader, dir, key string) error {
+	want := make(map[string]bool, 5)
+	for _, name := range EntryFiles(key) {
+		want[name] = true
+	}
+	got := make(map[string]bool, 5)
+	tr := tar.NewReader(r)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: entry %s tar: %w", key, err)
+		}
+		if !want[hdr.Name] {
+			return fmt.Errorf("cluster: entry %s tar: unexpected member %q", key, hdr.Name)
+		}
+		if got[hdr.Name] {
+			return fmt.Errorf("cluster: entry %s tar: duplicate member %q", key, hdr.Name)
+		}
+		if hdr.Size > maxEntryFileBytes {
+			return fmt.Errorf("cluster: entry %s tar: member %q exceeds %d bytes", key, hdr.Name, maxEntryFileBytes)
+		}
+		f, err := os.Create(filepath.Join(dir, hdr.Name))
+		if err != nil {
+			return err
+		}
+		// LimitReader backstops a lying header; the +1 detects overrun.
+		n, err := io.Copy(f, io.LimitReader(tr, hdr.Size+1))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: entry %s tar: extracting %q: %w", key, hdr.Name, err)
+		}
+		if n != hdr.Size {
+			return fmt.Errorf("cluster: entry %s tar: member %q truncated", key, hdr.Name)
+		}
+		got[hdr.Name] = true
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("cluster: entry %s tar: %d of %d members present", key, len(got), len(want))
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"archive/tar"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFakeEntry materializes the five files of a persisted entry.
+func writeFakeEntry(t *testing.T, dir, key string) map[string]string {
+	t.Helper()
+	content := map[string]string{}
+	for i, name := range EntryFiles(key) {
+		body := strings.Repeat("x", (i+1)*100) + "|" + name
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		content[name] = body
+	}
+	return content
+}
+
+func TestEntryTarRoundTrip(t *testing.T) {
+	const key = "0123abcd"
+	src := t.TempDir()
+	content := writeFakeEntry(t, src, key)
+
+	var buf bytes.Buffer
+	if err := WriteEntryTar(&buf, src, key); err != nil {
+		t.Fatal(err)
+	}
+	dst := t.TempDir()
+	if err := ExtractEntryTar(bytes.NewReader(buf.Bytes()), dst, key); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range content {
+		got, err := os.ReadFile(filepath.Join(dst, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("%s round-tripped to %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestWriteEntryTarRequiresAllFiles(t *testing.T) {
+	const key = "0123abcd"
+	src := t.TempDir()
+	writeFakeEntry(t, src, key)
+	// A partially persisted entry (meta missing) is not exportable.
+	if err := os.Remove(filepath.Join(src, key+".meta.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEntryTar(&bytes.Buffer{}, src, key); err == nil {
+		t.Fatal("exported an entry with a missing member")
+	}
+}
+
+func TestExtractEntryTarRejectsBadStreams(t *testing.T) {
+	const key = "0123abcd"
+	src := t.TempDir()
+	writeFakeEntry(t, src, key)
+	var good bytes.Buffer
+	if err := WriteEntryTar(&good, src, key); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		stream []byte
+	}{
+		{"garbage", []byte("this is not a tar stream at all")},
+		{"truncated", good.Bytes()[:good.Len()/2]},
+		{"empty", nil},
+		{"missing members", func() []byte {
+			var b bytes.Buffer
+			tw := tar.NewWriter(&b)
+			tw.WriteHeader(&tar.Header{Name: key + ".mtx", Mode: 0o644, Size: 1})
+			tw.Write([]byte("x"))
+			tw.Close()
+			return b.Bytes()
+		}()},
+		{"unexpected member", func() []byte {
+			var b bytes.Buffer
+			tw := tar.NewWriter(&b)
+			tw.WriteHeader(&tar.Header{Name: "../escape", Mode: 0o644, Size: 1})
+			tw.Write([]byte("x"))
+			tw.Close()
+			return b.Bytes()
+		}()},
+		{"wrong key's members", func() []byte {
+			var b bytes.Buffer
+			src2 := t.TempDir()
+			writeFakeEntry(t, src2, "feedface")
+			WriteEntryTar(&b, src2, "feedface")
+			return b.Bytes()
+		}()},
+	}
+	for _, tc := range cases {
+		dst := t.TempDir()
+		if err := ExtractEntryTar(bytes.NewReader(tc.stream), dst, key); err == nil {
+			t.Errorf("%s: extraction succeeded", tc.name)
+		}
+	}
+}
+
+func TestExtractEntryTarRejectsDuplicates(t *testing.T) {
+	const key = "0123abcd"
+	var b bytes.Buffer
+	tw := tar.NewWriter(&b)
+	for i := 0; i < 2; i++ {
+		tw.WriteHeader(&tar.Header{Name: key + ".mtx", Mode: 0o644, Size: 1})
+		tw.Write([]byte("x"))
+	}
+	tw.Close()
+	if err := ExtractEntryTar(bytes.NewReader(b.Bytes()), t.TempDir(), key); err == nil {
+		t.Fatal("accepted a duplicate member")
+	}
+}

@@ -1,0 +1,275 @@
+// Package cluster turns single-node mgserve into a multi-node system: a
+// deterministic consistent-hash ring assigns every content-addressed
+// job/cache key to an owning shard plus a replica set, a stateless
+// Router proxies the mgserve HTTP API to the owning shard (failing over
+// along the replica set and merging per-shard /stats into one rolled-up
+// view), and a framed bundle-transfer format lets shards exchange
+// persisted cache entries (peer fetch on a local miss, hot-entry
+// replication to ring successors).
+//
+// The package sits below internal/service: it owns the wire-level job
+// spec (JobSpec), its normalization, and the content-address derivation
+// (MatrixHash, CacheKey, RouteKey), so the router and every shard
+// compute bit-identical keys — the property the whole design rests on.
+// A routed request and a direct-shard request for the same spec land in
+// the same cache slot on the same owner, and a shard that receives a
+// key it does not own knows exactly which peers may hold it.
+//
+// # The ring
+//
+// Ring places VNodes virtual points per shard on a 64-bit circle (the
+// leading 8 bytes of sha256 over a versioned "mgring/1|node|i" label)
+// and assigns a key to the first point clockwise of the key's own hash
+// point. Determinism is total: the ring is a pure function of the shard
+// set — input order, process, and platform do not matter — so a router
+// and N shards configured with the same -peers list agree on ownership
+// without any coordination protocol. Adding one shard to an N-shard
+// ring remaps an expected 1/(N+1) fraction of the key space and nothing
+// else (bounded rebalancing, property-tested), because only arcs newly
+// claimed by the joining shard's points move.
+//
+// Replicas(key) returns the owner followed by the next K-1 distinct
+// shards clockwise: the failover order for the router and the
+// candidate list for peer cache fetches.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per shard when a Ring is
+// built with vnodes <= 0: enough points that per-shard ownership
+// fractions concentrate near 1/N without making ring construction or
+// the /stats/ring view heavy.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over a set of shard nodes.
+// Safe for concurrent use.
+type Ring struct {
+	nodes    []string // sorted, unique
+	vnodes   int
+	replicas int
+	points   []point // sorted by hash around the circle
+}
+
+// point is one virtual node: a position on the 64-bit circle and the
+// index of the shard that owns the arc ending at it.
+type point struct {
+	hash uint64
+	node int32
+}
+
+// NormalizeNode canonicalizes a shard address for use as a ring node
+// identity: schemes and trailing slashes are stripped so
+// "http://a:1/", "a:1/" and "a:1" name the same node on every process.
+func NormalizeNode(addr string) string {
+	s := strings.TrimSpace(addr)
+	s = strings.TrimPrefix(s, "http://")
+	s = strings.TrimPrefix(s, "https://")
+	return strings.TrimRight(s, "/")
+}
+
+// NodeURL returns the base URL a node is dialed at.
+func NodeURL(node string) string { return "http://" + node }
+
+// NewRing builds the ring over the given shard addresses (normalized,
+// deduplicated, sorted). vnodes <= 0 selects DefaultVNodes; replicas is
+// clamped to [1, len(nodes)].
+func NewRing(nodes []string, vnodes, replicas int) (*Ring, error) {
+	seen := make(map[string]bool, len(nodes))
+	var norm []string
+	for _, n := range nodes {
+		nn := NormalizeNode(n)
+		if nn == "" {
+			return nil, fmt.Errorf("cluster: empty node address in %v", nodes)
+		}
+		if !seen[nn] {
+			seen[nn] = true
+			norm = append(norm, nn)
+		}
+	}
+	if len(norm) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(norm)
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(norm) {
+		replicas = len(norm)
+	}
+	r := &Ring{nodes: norm, vnodes: vnodes, replicas: replicas}
+	r.points = make([]point, 0, len(norm)*vnodes)
+	for ni, n := range norm {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: pointHash(n, i), node: int32(ni)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision between two nodes' points is
+		// astronomically unlikely; break it deterministically anyway.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// pointHash positions virtual node i of a shard on the circle. The
+// label is versioned: changing the layout must never silently reshuffle
+// an existing cluster's ownership.
+func pointHash(node string, i int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("mgring/1|%s|%d", node, i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// KeyPoint maps a content-address (cache key) onto the circle. Keys are
+// already uniform hex digests, but hashing again keeps the placement
+// independent of the key encoding.
+func KeyPoint(key string) uint64 {
+	sum := sha256.Sum256([]byte("mgkey/1|" + key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the sorted shard set. Callers must not modify it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// VNodes returns the virtual-node count per shard.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// ReplicaCount returns the configured replica-set size K.
+func (r *Ring) ReplicaCount() int { return r.replicas }
+
+// Contains reports whether addr (normalized) is a ring member.
+func (r *Ring) Contains(addr string) bool {
+	n := NormalizeNode(addr)
+	i := sort.SearchStrings(r.nodes, n)
+	return i < len(r.nodes) && r.nodes[i] == n
+}
+
+// successor returns the index into points of the first point clockwise
+// of h (inclusive), wrapping past the top of the circle.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the shard owning key.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.points[r.successor(KeyPoint(key))].node]
+}
+
+// Replicas returns the key's replica set: the owner followed by the
+// next ReplicaCount-1 distinct shards clockwise. This is the router's
+// failover order and a shard's peer-fetch candidate list.
+func (r *Ring) Replicas(key string) []string {
+	out := make([]string, 0, r.replicas)
+	seen := make(map[int32]bool, r.replicas)
+	start := r.successor(KeyPoint(key))
+	for i := 0; i < len(r.points) && len(out) < r.replicas; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// Fractions returns each shard's exactly computed share of the key
+// circle (arc length / 2^64). Shares sum to 1.
+func (r *Ring) Fractions() map[string]float64 {
+	spans := make([]uint64, len(r.nodes))
+	for i, p := range r.points {
+		var prev uint64
+		if i == 0 {
+			prev = r.points[len(r.points)-1].hash
+		} else {
+			prev = r.points[i-1].hash
+		}
+		// Arc (prev, p.hash] belongs to p's node; the wrap-around arc is
+		// handled by uint64 subtraction overflow.
+		spans[p.node] += p.hash - prev
+	}
+	out := make(map[string]float64, len(r.nodes))
+	for ni, n := range r.nodes {
+		out[n] = float64(spans[ni]) / (1 << 63) / 2
+	}
+	return out
+}
+
+// Range is one ownership arc of the ring: keys hashing into
+// (Start, End] belong to Node (the first arc wraps around the top).
+type Range struct {
+	Start uint64 `json:"-"`
+	End   uint64 `json:"-"`
+	// Hex forms for the JSON view.
+	StartHex string `json:"start"`
+	EndHex   string `json:"end"`
+	Node     string `json:"node"`
+}
+
+// Ranges returns every ownership arc in circle order.
+func (r *Ring) Ranges() []Range {
+	out := make([]Range, len(r.points))
+	for i, p := range r.points {
+		var prev uint64
+		if i == 0 {
+			prev = r.points[len(r.points)-1].hash
+		} else {
+			prev = r.points[i-1].hash
+		}
+		out[i] = Range{
+			Start:    prev,
+			End:      p.hash,
+			StartHex: fmt.Sprintf("%016x", prev),
+			EndHex:   fmt.Sprintf("%016x", p.hash),
+			Node:     r.nodes[p.node],
+		}
+	}
+	return out
+}
+
+// OwnerView is one shard's row in the ring view.
+type OwnerView struct {
+	Node     string  `json:"node"`
+	VNodes   int     `json:"vnodes"`
+	Fraction float64 `json:"fraction"`
+}
+
+// View is the JSON shape of /stats/ring.
+type View struct {
+	Nodes    int         `json:"nodes"`
+	Replicas int         `json:"replicas"`
+	VNodes   int         `json:"vnodes_per_node"`
+	Owners   []OwnerView `json:"owners"`
+	Ranges   []Range     `json:"ranges"`
+}
+
+// View renders the ring for /stats/ring: per-shard ownership fractions
+// plus the full arc list.
+func (r *Ring) View() View {
+	fr := r.Fractions()
+	owners := make([]OwnerView, len(r.nodes))
+	for i, n := range r.nodes {
+		owners[i] = OwnerView{Node: n, VNodes: r.vnodes, Fraction: fr[n]}
+	}
+	return View{
+		Nodes:    len(r.nodes),
+		Replicas: r.replicas,
+		VNodes:   r.vnodes,
+		Owners:   owners,
+		Ranges:   r.Ranges(),
+	}
+}

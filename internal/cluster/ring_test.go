@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// fourNodes is the fixed shard set behind the golden tests.
+var fourNodes = []string{"10.0.0.1:8081", "10.0.0.2:8081", "10.0.0.3:8081", "10.0.0.4:8081"}
+
+// TestRingGoldenOwnership pins the exact ownership of a fixed ring: the
+// hash layout is a wire contract — a router and every shard must agree
+// across processes, platforms, and releases — so any change here is a
+// cluster-breaking change and must come with a version bump of the
+// point-hash labels.
+func TestRingGoldenOwnership(t *testing.T) {
+	ring, err := NewRing(fourNodes, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct {
+		key      string
+		owner    string
+		replicas []string
+	}{
+		{"0123456789abcdef0123456789abcdef", "10.0.0.2:8081", []string{"10.0.0.2:8081", "10.0.0.3:8081"}},
+		{"deadbeefdeadbeefdeadbeefdeadbeef", "10.0.0.1:8081", []string{"10.0.0.1:8081", "10.0.0.4:8081"}},
+		{"cafebabecafebabecafebabecafebabe", "10.0.0.2:8081", []string{"10.0.0.2:8081", "10.0.0.4:8081"}},
+		{"00000000000000000000000000000000", "10.0.0.3:8081", []string{"10.0.0.3:8081", "10.0.0.1:8081"}},
+		{"ffffffffffffffffffffffffffffffff", "10.0.0.2:8081", []string{"10.0.0.2:8081", "10.0.0.4:8081"}},
+		{"a-key-that-is-not-hex", "10.0.0.1:8081", []string{"10.0.0.1:8081", "10.0.0.3:8081"}},
+		{"mgserve/4-style-key-1", "10.0.0.1:8081", []string{"10.0.0.1:8081", "10.0.0.3:8081"}},
+		{"mgserve/4-style-key-2", "10.0.0.3:8081", []string{"10.0.0.3:8081", "10.0.0.1:8081"}},
+	}
+	for _, g := range golden {
+		if got := ring.Owner(g.key); got != g.owner {
+			t.Errorf("Owner(%q) = %s, want %s", g.key, got, g.owner)
+		}
+		if got := ring.Replicas(g.key); !slices.Equal(got, g.replicas) {
+			t.Errorf("Replicas(%q) = %v, want %v", g.key, got, g.replicas)
+		}
+	}
+}
+
+// TestRingInputOrderIrrelevant verifies the ring is a pure function of
+// the shard *set*: shuffled, schemed, and slash-suffixed inputs build
+// identical rings.
+func TestRingInputOrderIrrelevant(t *testing.T) {
+	base, err := NewRing(fourNodes, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := [][]string{
+		{"10.0.0.4:8081", "10.0.0.2:8081", "10.0.0.1:8081", "10.0.0.3:8081"},
+		{"http://10.0.0.1:8081/", "10.0.0.2:8081", "10.0.0.3:8081/", "https://10.0.0.4:8081"},
+		// Duplicates collapse.
+		{"10.0.0.1:8081", "10.0.0.1:8081", "10.0.0.2:8081", "10.0.0.3:8081", "10.0.0.4:8081"},
+	}
+	for vi, nodes := range variants {
+		ring, err := NewRing(nodes, 32, 2)
+		if err != nil {
+			t.Fatalf("variant %d: %v", vi, err)
+		}
+		if !slices.Equal(ring.Nodes(), base.Nodes()) {
+			t.Fatalf("variant %d: nodes %v != %v", vi, ring.Nodes(), base.Nodes())
+		}
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			if ring.Owner(key) != base.Owner(key) {
+				t.Fatalf("variant %d: owner of %q differs", vi, key)
+			}
+		}
+	}
+}
+
+// TestRingReplicasDistinct checks every replica set holds distinct
+// shards, starts with the owner, and has size min(K, N).
+func TestRingReplicasDistinct(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 9} {
+		ring, err := NewRing(fourNodes, 16, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := min(k, len(fourNodes))
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			rs := ring.Replicas(key)
+			if len(rs) != wantLen {
+				t.Fatalf("K=%d: |Replicas(%q)| = %d, want %d", k, key, len(rs), wantLen)
+			}
+			if rs[0] != ring.Owner(key) {
+				t.Fatalf("K=%d: Replicas(%q)[0] = %s != Owner %s", k, key, rs[0], ring.Owner(key))
+			}
+			seen := map[string]bool{}
+			for _, n := range rs {
+				if seen[n] {
+					t.Fatalf("K=%d: duplicate %s in Replicas(%q)", k, n, key)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+// TestRingBoundedMovement is the consistent-hashing property the design
+// rests on: adding one node to an N-node ring remaps only the keys whose
+// arcs the new node claims — an expected 1/(N+1) fraction, far from the
+// (N-1)/N a modulo scheme would remap. The bound allows 2x slack over
+// the expectation for vnode placement variance.
+func TestRingBoundedMovement(t *testing.T) {
+	const n, vnodes, keys = 4, 128, 4000
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("shard-%d:8081", i)
+	}
+	before, err := NewRing(nodes, vnodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(slices.Clone(nodes), "shard-new:8081"), vnodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	remapped, toNew := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d-%d", i, rng.Int63())
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != oa {
+			remapped++
+			if oa == "shard-new:8081" {
+				toNew++
+			}
+		}
+	}
+	// Every remapped key must have moved TO the joining node; any other
+	// movement would mean existing arcs reshuffled among the old nodes.
+	if remapped != toNew {
+		t.Fatalf("%d keys remapped but only %d moved to the new node", remapped, toNew)
+	}
+	bound := int(2.0 / float64(n+1) * keys)
+	if remapped > bound {
+		t.Fatalf("join remapped %d of %d keys, bound %d (expected ~%d)",
+			remapped, keys, bound, keys/(n+1))
+	}
+	if remapped == 0 {
+		t.Fatal("join remapped nothing; the new node owns no keys")
+	}
+}
+
+// TestRingFractionsSum checks the exact arc accounting: per-shard
+// ownership fractions partition the circle.
+func TestRingFractionsSum(t *testing.T) {
+	ring, err := NewRing(fourNodes, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for n, f := range ring.Fractions() {
+		if f <= 0 || f >= 1 {
+			t.Fatalf("fraction of %s = %g out of (0,1)", n, f)
+		}
+		sum += f
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Fatalf("fractions sum to %g, want 1", sum)
+	}
+	view := ring.View()
+	if view.Nodes != 4 || view.Replicas != 2 || len(view.Owners) != 4 {
+		t.Fatalf("unexpected view header: %+v", view)
+	}
+	if len(view.Ranges) != 4*64 {
+		t.Fatalf("view has %d ranges, want %d", len(view.Ranges), 4*64)
+	}
+}
+
+// TestRingRejectsEmpty covers the constructor's error paths.
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 8, 1); err == nil {
+		t.Fatal("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{"  ", "http:///"}, 8, 1); err == nil {
+		t.Fatal("NewRing with only empty addresses succeeded")
+	}
+}

@@ -1,0 +1,510 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Router is the stateless front of a shard cluster: it owns no jobs, no
+// cache, and no queue — only the ring. POST /jobs hashes the
+// canonicalized spec to its cache key, proxies the submission to the
+// owning shard, and fails over along the key's replica set when a shard
+// is unreachable or sheds load (503, which is also what a draining
+// shard answers, making single-shard shutdown lossless for clients).
+// Job ids returned to clients are prefixed with the shard's ring index
+// ("s0-j-00000001"), so every later GET/DELETE routes back to the shard
+// that owns the job without the router keeping any state. /stats merges
+// every shard's stats into one rolled-up view; /stats/ring exposes the
+// ownership arcs; /readyz aggregates shard readiness.
+//
+// Because the ring is a pure function of the shard list, any number of
+// router processes over the same -shards set route identically; routers
+// can be added, restarted, or load-balanced freely.
+type Router struct {
+	ring *Ring
+	// CorpusHashes maps corpus instance names to matrix hashes; built by
+	// the caller from the same corpus options the shards run with.
+	corpusHashes map[string]string
+	client       *http.Client
+
+	forwarded atomic.Int64 // proxied job submissions (first attempt per request)
+	failovers atomic.Int64 // submissions retried on the next replica
+	proxyErrs atomic.Int64 // requests that exhausted every candidate
+	started   time.Time
+}
+
+// RouterConfig assembles a Router.
+type RouterConfig struct {
+	// Shards is the cluster's node list; must equal the -peers list the
+	// shards themselves run with (order-insensitive).
+	Shards []string
+	// VNodes and Replicas size the ring; zero values select defaults
+	// (DefaultVNodes, 2).
+	VNodes   int
+	Replicas int
+	// CorpusHashes maps named corpus instances to their matrix hashes so
+	// the router can key corpus jobs without materializing matrices.
+	CorpusHashes map[string]string
+	// Client is the proxy HTTP client (default: 60s timeout).
+	Client *http.Client
+}
+
+// NewRouter builds the router and its ring.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 2
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VNodes, replicas)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Router{
+		ring:         ring,
+		corpusHashes: cfg.CorpusHashes,
+		client:       client,
+		started:      time.Now(),
+	}, nil
+}
+
+// Ring returns the router's ring (for tests and the serving command).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// maxRouterBody mirrors the shard's submission bound.
+const maxRouterBody = 64 << 20
+
+// Handler returns the router's HTTP API: the shard API surface proxied
+// by ownership, plus the router's own health, readiness, and merged
+// stats endpoints.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", rt.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", rt.handleJobProxy)
+	mux.HandleFunc("DELETE /jobs/{id}", rt.handleJobProxy)
+	mux.HandleFunc("GET /jobs/{id}/result", rt.handleResultProxy)
+	mux.HandleFunc("GET /corpus", rt.handleCorpus)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /stats", rt.handleStats)
+	mux.HandleFunc("GET /stats/ring", rt.handleRing)
+	return mux
+}
+
+type routerError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// shardIndex returns a node's position in the sorted ring node list;
+// the stable identity encoded into job-id prefixes.
+func (rt *Router) shardIndex(node string) int {
+	for i, n := range rt.ring.Nodes() {
+		if n == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// prefixID namespaces a shard-local job id with the shard's ring index.
+func prefixID(shardIdx int, id string) string {
+	return fmt.Sprintf("s%d-%s", shardIdx, id)
+}
+
+// splitID parses a router job id back into (shard index, shard-local id).
+func splitID(id string) (int, string, bool) {
+	rest, ok := strings.CutPrefix(id, "s")
+	if !ok {
+		return 0, "", false
+	}
+	idx, local, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(idx)
+	if err != nil || n < 0 {
+		return 0, "", false
+	}
+	return n, local, true
+}
+
+// rewriteID re-encodes a shard job-view response with the id field
+// prefixed, so clients always talk to the router in router ids.
+func rewriteID(body []byte, shardIdx int) []byte {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return body
+	}
+	id, ok := m["id"].(string)
+	if !ok {
+		return body
+	}
+	m["id"] = prefixID(shardIdx, id)
+	out, err := json.Marshal(m)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+// retriable reports whether a shard response justifies failing over to
+// the next replica: unreachable, or shedding/draining (503). Anything
+// else — including a 400 — is the authoritative answer for the spec.
+func retriable(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode == http.StatusBadGateway
+}
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouterBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, routerError{Error: err.Error()})
+		return
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, routerError{Error: "decoding job spec: " + err.Error()})
+		return
+	}
+	key, err := RouteKey(spec, func(name string) (string, bool) {
+		h, ok := rt.corpusHashes[name]
+		return h, ok
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, routerError{Error: "service: bad job spec: " + err.Error()})
+		return
+	}
+	rt.forwarded.Add(1)
+	var lastErr string
+	for i, node := range rt.ring.Replicas(key) {
+		if i > 0 {
+			rt.failovers.Add(1)
+		}
+		resp, err := rt.client.Post(NodeURL(node)+"/jobs", "application/json", bytes.NewReader(body))
+		if retriable(resp, err) {
+			if err != nil {
+				lastErr = err.Error()
+			} else {
+				lastErr = fmt.Sprintf("shard %s answered %d", node, resp.StatusCode)
+				resp.Body.Close()
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		respBody, err := io.ReadAll(resp.Body)
+		if err != nil {
+			rt.proxyErrs.Add(1)
+			writeJSON(w, http.StatusBadGateway, routerError{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(rewriteID(respBody, rt.shardIndex(node)))
+		return
+	}
+	rt.proxyErrs.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable,
+		routerError{Error: "no replica of the owning shard set reachable: " + lastErr})
+}
+
+// proxyToShard forwards a job-id request to the shard encoded in the id
+// and returns (shard index, shard-local path suffix); ok is false after
+// it has already written an error response.
+func (rt *Router) shardForID(w http.ResponseWriter, id string) (int, string, string, bool) {
+	idx, local, ok := splitID(id)
+	nodes := rt.ring.Nodes()
+	if !ok || idx >= len(nodes) {
+		writeJSON(w, http.StatusNotFound, routerError{Error: "unknown job id (router ids look like s0-j-00000001)"})
+		return 0, "", "", false
+	}
+	return idx, nodes[idx], local, true
+}
+
+func (rt *Router) handleJobProxy(w http.ResponseWriter, r *http.Request) {
+	idx, node, local, ok := rt.shardForID(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	req, _ := http.NewRequestWithContext(r.Context(), r.Method, NodeURL(node)+"/jobs/"+local, nil)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.proxyErrs.Add(1)
+		writeJSON(w, http.StatusBadGateway, routerError{Error: fmt.Sprintf("shard %s unreachable: %v", node, err)})
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		rt.proxyErrs.Add(1)
+		writeJSON(w, http.StatusBadGateway, routerError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	w.Write(rewriteID(body, idx))
+}
+
+func (rt *Router) handleResultProxy(w http.ResponseWriter, r *http.Request) {
+	_, node, local, ok := rt.shardForID(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	resp, err := rt.client.Get(NodeURL(node) + "/jobs/" + local + "/result")
+	if err != nil {
+		rt.proxyErrs.Add(1)
+		writeJSON(w, http.StatusBadGateway, routerError{Error: fmt.Sprintf("shard %s unreachable: %v", node, err)})
+		return
+	}
+	defer resp.Body.Close()
+	// Streamed through untouched: the result body carries the whole
+	// per-nonzero parts vector, and no follow-up request is addressed by
+	// the id inside it.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (rt *Router) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	for _, node := range rt.ring.Nodes() {
+		resp, err := rt.client.Get(NodeURL(node) + "/corpus")
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		return
+	}
+	rt.proxyErrs.Add(1)
+	writeJSON(w, http.StatusBadGateway, routerError{Error: "no shard reachable for /corpus"})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// The router itself is stateless: alive means healthy. Shard health
+	// is /readyz's business.
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// shardReady is one shard's row in the router's readiness view.
+type shardReady struct {
+	Node  string `json:"node"`
+	Ready bool   `json:"ready"`
+	Error string `json:"error,omitempty"`
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	nodes := rt.ring.Nodes()
+	rows := make([]shardReady, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows[i] = shardReady{Node: node}
+			resp, err := rt.client.Get(NodeURL(node) + "/readyz")
+			if err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			resp.Body.Close()
+			rows[i].Ready = resp.StatusCode == http.StatusOK
+			if !rows[i].Ready {
+				rows[i].Error = fmt.Sprintf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	all := true
+	for _, r := range rows {
+		all = all && r.Ready
+	}
+	status := http.StatusOK
+	if !all {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": all, "shards": rows})
+}
+
+// shardStatsLite decodes the subset of a shard's /stats the router
+// totals up; the full raw JSON still rides in the merged view.
+type shardStatsLite struct {
+	QueueDepth int   `json:"queue_depth"`
+	Running    int64 `json:"running"`
+	Accepted   int64 `json:"accepted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Rejected   int64 `json:"rejected"`
+	Canceled   int64 `json:"canceled"`
+	Dedup      int64 `json:"deduplicated"`
+	Cache      struct {
+		Entries int   `json:"entries"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+	} `json:"cache"`
+	Cluster struct {
+		PeerFetchOK     int64 `json:"peer_fetch_ok"`
+		PeerFetchFailed int64 `json:"peer_fetch_failed"`
+		PeerServed      int64 `json:"peer_served"`
+		ReplicatedIn    int64 `json:"replicated_in"`
+		ReplicatedOut   int64 `json:"replicated_out"`
+	} `json:"cluster"`
+}
+
+// MergedTotals is the rolled-up cross-shard section of the router's
+// /stats: each field is the sum over every reachable shard.
+type MergedTotals struct {
+	Shards          int     `json:"shards"`
+	ShardsReachable int     `json:"shards_reachable"`
+	QueueDepth      int     `json:"queue_depth"`
+	Running         int64   `json:"running"`
+	Accepted        int64   `json:"accepted"`
+	Completed       int64   `json:"completed"`
+	Failed          int64   `json:"failed"`
+	Rejected        int64   `json:"rejected"`
+	Canceled        int64   `json:"canceled"`
+	Deduplicated    int64   `json:"deduplicated"`
+	CacheEntries    int     `json:"cache_entries"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	HitRate         float64 `json:"hit_rate"`
+	PeerFetchOK     int64   `json:"peer_fetch_ok"`
+	PeerFetchFailed int64   `json:"peer_fetch_failed"`
+	PeerServed      int64   `json:"peer_served"`
+	ReplicatedIn    int64   `json:"replicated_in"`
+	ReplicatedOut   int64   `json:"replicated_out"`
+}
+
+// shardStatsRow pairs a shard with its raw /stats snapshot.
+type shardStatsRow struct {
+	Node  string          `json:"node"`
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Stats json.RawMessage `json:"stats,omitempty"`
+}
+
+// RouterStats is the router's own counter section.
+type RouterStats struct {
+	UptimeMS    float64 `json:"uptime_ms"`
+	Forwarded   int64   `json:"forwarded"`
+	Failovers   int64   `json:"failovers"`
+	ProxyErrors int64   `json:"proxy_errors"`
+}
+
+// MergedStats is the /stats JSON of the router: per-shard raw stats,
+// cross-shard totals, and the router's own counters.
+type MergedStats struct {
+	Status string          `json:"status"`
+	Shards []shardStatsRow `json:"shards"`
+	Totals MergedTotals    `json:"totals"`
+	Router RouterStats     `json:"router"`
+}
+
+// Stats fetches every shard's /stats concurrently and merges them.
+func (rt *Router) Stats() MergedStats {
+	nodes := rt.ring.Nodes()
+	rows := make([]shardStatsRow, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows[i] = shardStatsRow{Node: node}
+			resp, err := rt.client.Get(NodeURL(node) + "/stats")
+			if err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				rows[i].Error = fmt.Sprintf("status %d", resp.StatusCode)
+				return
+			}
+			rows[i].OK = true
+			rows[i].Stats = body
+		}()
+	}
+	wg.Wait()
+
+	totals := MergedTotals{Shards: len(nodes)}
+	for _, row := range rows {
+		if !row.OK {
+			continue
+		}
+		var s shardStatsLite
+		if err := json.Unmarshal(row.Stats, &s); err != nil {
+			continue
+		}
+		totals.ShardsReachable++
+		totals.QueueDepth += s.QueueDepth
+		totals.Running += s.Running
+		totals.Accepted += s.Accepted
+		totals.Completed += s.Completed
+		totals.Failed += s.Failed
+		totals.Rejected += s.Rejected
+		totals.Canceled += s.Canceled
+		totals.Deduplicated += s.Dedup
+		totals.CacheEntries += s.Cache.Entries
+		totals.CacheHits += s.Cache.Hits
+		totals.CacheMisses += s.Cache.Misses
+		totals.PeerFetchOK += s.Cluster.PeerFetchOK
+		totals.PeerFetchFailed += s.Cluster.PeerFetchFailed
+		totals.PeerServed += s.Cluster.PeerServed
+		totals.ReplicatedIn += s.Cluster.ReplicatedIn
+		totals.ReplicatedOut += s.Cluster.ReplicatedOut
+	}
+	if n := totals.CacheHits + totals.CacheMisses; n > 0 {
+		totals.HitRate = float64(totals.CacheHits) / float64(n)
+	}
+	status := "ok"
+	if totals.ShardsReachable < totals.Shards {
+		status = "degraded"
+	}
+	return MergedStats{
+		Status: status,
+		Shards: rows,
+		Totals: totals,
+		Router: RouterStats{
+			UptimeMS:    float64(time.Since(rt.started).Microseconds()) / 1000,
+			Forwarded:   rt.forwarded.Load(),
+			Failovers:   rt.failovers.Load(),
+			ProxyErrors: rt.proxyErrs.Load(),
+		},
+	}
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats())
+}
+
+func (rt *Router) handleRing(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, rt.ring.View())
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// DefaultReplicateAfter is the cache-hit count at which a shard pushes a
+// hot entry to the key's other ring replicas when the configuration
+// leaves the threshold unset. Three repeat hits separate genuinely hot
+// keys from one-off resubmissions without waiting long enough that the
+// owner shard absorbs a traffic spike alone.
+const DefaultReplicateAfter = 3
+
+// ShardConfig is one mgserve shard's cluster-mode configuration: its own
+// identity, the ring over the full peer set, and the knobs of the peer
+// cache-entry exchange (miss-time peer fetch, hot-entry replication).
+type ShardConfig struct {
+	// Self is this shard's own address exactly as it appears in the peer
+	// list (normalized on WithDefaults); it must be a ring member.
+	Self string
+	// Ring is the consistent-hash ring over the full peer list, Self
+	// included — the same list every other shard and every router runs
+	// with, so all processes agree on ownership.
+	Ring *Ring
+	// ReplicateAfter is the cache-hit count at which a hot entry is
+	// pushed to the key's other replicas (<= 0 selects
+	// DefaultReplicateAfter).
+	ReplicateAfter int64
+	// Client is the peer-transfer HTTP client (nil selects a 30s
+	// timeout).
+	Client *http.Client
+}
+
+// WithDefaults normalizes Self and fills zero-valued fields.
+func (c ShardConfig) WithDefaults() ShardConfig {
+	c.Self = NormalizeNode(c.Self)
+	if c.ReplicateAfter <= 0 {
+		c.ReplicateAfter = DefaultReplicateAfter
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}

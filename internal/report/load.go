@@ -11,8 +11,10 @@ import (
 )
 
 // LoadSchema versions the load-test report JSON emitted by cmd/mgload;
-// bump it when a field changes meaning.
-const LoadSchema = "mediumgrain-load/1"
+// bump it when a field changes meaning. /2 added multi-target runs:
+// the targets list and the per_target breakdown (addr no longer names
+// the only server driven, just the first).
+const LoadSchema = "mediumgrain-load/2"
 
 // LatencySummary condenses a latency sample into the percentiles a
 // closed-loop load test reports. All values are milliseconds.
@@ -89,9 +91,19 @@ type LoadReport struct {
 	// every successful request.
 	Latency LoadLatency `json:"latency"`
 
+	// Targets lists every base URL the run drove when more than one was
+	// given (a cluster router plus direct shards, or several shards);
+	// requests round-robin across them. Addr is Targets[0].
+	Targets []string `json:"targets,omitempty"`
+
 	// PerSpec breaks the run down by job spec, sorted by request count
 	// descending (the Zipf head first).
 	PerSpec []LoadEntry `json:"per_spec"`
+
+	// PerTarget breaks a multi-target run down by server: client-side
+	// counters plus that target's own /stats snapshot (which, against a
+	// cluster shard, includes its peer-fetch and replication counters).
+	PerTarget []LoadTargetEntry `json:"per_target,omitempty"`
 
 	// Verified / VerifyFailures count the unique specs whose served
 	// parts vector was compared against an offline library run.
@@ -101,6 +113,16 @@ type LoadReport struct {
 	// ServerStats snapshots the daemon's /stats JSON at the end of the
 	// run (queue depth, cache hit rate, per-method latencies).
 	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+}
+
+// LoadTargetEntry aggregates one target's share of a multi-target run.
+type LoadTargetEntry struct {
+	Addr      string `json:"addr"`
+	Requests  int64  `json:"requests"`
+	Errors    int64  `json:"errors"`
+	CacheHits int64  `json:"cache_hits"`
+	// Stats is the target's raw /stats JSON at the end of the run.
+	Stats json.RawMessage `json:"stats,omitempty"`
 }
 
 // LoadLatency holds the overall client-side latency view.

@@ -29,10 +29,15 @@ type CachedResult struct {
 	// computed under (0/absent = single run); WinnerTry is the 1-based
 	// index of the winning seed variant. All three ride into the
 	// persisted meta file (schema-additive: old meta decodes them as 0).
-	Tries     int              `json:"tries,omitempty"`
-	BudgetMS  int              `json:"budget_ms,omitempty"`
-	WinnerTry int              `json:"winner_try,omitempty"`
-	Engine    string           `json:"engine"`
+	Tries     int    `json:"tries,omitempty"`
+	BudgetMS  int    `json:"budget_ms,omitempty"`
+	WinnerTry int    `json:"winner_try,omitempty"`
+	Engine    string `json:"engine"`
+	// Origin is empty for results this node computed itself and
+	// "peer:<addr>" for entries adopted from a cluster peer (fetch or
+	// replication); it rides into the persisted meta so provenance
+	// survives a restart (schema-additive: old meta decodes it empty).
+	Origin    string           `json:"origin,omitempty"`
 	Volume    int64            `json:"volume"`
 	Imbalance float64          `json:"imbalance"`
 	WallMS    float64          `json:"wall_ms"`
@@ -53,6 +58,12 @@ type Cache struct {
 type cacheEntry struct {
 	key string
 	res *CachedResult
+	// hits counts Touch lookups of this entry — the hotness signal
+	// behind cluster hot-entry replication; replicated latches once the
+	// entry has been pushed to (or received from) peers so each node
+	// replicates a key at most once per cache lifetime.
+	hits       int64
+	replicated bool
 }
 
 func newCache(capacity int) *Cache {
@@ -72,6 +83,39 @@ func (c *Cache) Get(key string) (*CachedResult, bool) {
 	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
+}
+
+// Touch is Get for the submission hot path: it additionally counts the
+// hit and returns the entry's observed hit total, the signal hot-entry
+// replication triggers on.
+func (c *Cache) Touch(key string) (res *CachedResult, hits int64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.m[key]
+	if !found {
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	e.hits++
+	return e.res, e.hits, true
+}
+
+// MarkReplicated latches the entry's replicated flag; true exactly on
+// the first call (the caller that wins owns the one replication push).
+func (c *Cache) MarkReplicated(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.replicated {
+		return false
+	}
+	e.replicated = true
+	return true
 }
 
 // Put inserts (or refreshes) a result, evicting the least recently used

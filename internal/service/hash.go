@@ -1,53 +1,20 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
-	"fmt"
-
+	"mediumgrain/internal/cluster"
 	"mediumgrain/internal/sparse"
 )
 
-// MatrixHash returns the content address of a matrix pattern: a 128-bit
-// hex digest over (rows, cols, nnz, coordinates). Values are ignored —
-// partitioning is purely structural — so a pattern upload and a valued
-// upload of the same structure share cache entries. Canonicalized
-// matrices with equal patterns always hash equally regardless of how
-// they were constructed.
-func MatrixHash(a *sparse.Matrix) string {
-	h := sha256.New()
-	var buf [8]byte
-	put := func(x int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(x))
-		h.Write(buf[:])
-	}
-	put(a.Rows)
-	put(a.Cols)
-	put(a.NNZ())
-	for k := range a.RowIdx {
-		put(a.RowIdx[k])
-		put(a.ColIdx[k])
-	}
-	return hex.EncodeToString(h.Sum(nil)[:16])
-}
+// MatrixHash returns the content address of a matrix pattern; the
+// derivation lives in internal/cluster so the cluster router computes
+// the same addresses without importing the service. See
+// cluster.MatrixHash.
+func MatrixHash(a *sparse.Matrix) string { return cluster.MatrixHash(a) }
 
 // CacheKey derives the content address of a result from the matrix hash
-// and the partitioning configuration. The engine class ("seq"/"par")
-// stands in for the worker count: every Workers >= 1 run is
-// bit-identical, so they share one slot. The FM modes — boundary-driven
-// default vs exact all-vertex passes (exactFM), serial refinement vs the
-// parallel racing/speculative layers (parallelFM) — change per-seed
-// results, so both are part of the key, and so is the full race-to-best
-// search spec (tries, budgetMS): a best-of-N result must never answer a
-// single-run request or a different N, and a budgeted race is not even
-// deterministic. The version tag ("mgserve/4") is bumped with every
-// key-shape change so results computed under older semantics can never
-// answer a current request. Callers pass tries normalized (>= 1) and
-// budgetMS >= 0.
+// and the partitioning configuration; see cluster.CacheKey for the full
+// semantics (engine classes, FM modes, search spec, version tag). The
+// same key is the cluster routing key.
 func CacheKey(matrixHash string, p int, method string, seed int64, eps float64, refine, exactFM, parallelFM bool, engine string, tries, budgetMS int) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "mgserve/4|%s|p=%d|m=%s|seed=%d|eps=%g|refine=%t|exactfm=%t|parallelfm=%t|engine=%s|tries=%d|budget=%dms",
-		matrixHash, p, method, seed, eps, refine, exactFM, parallelFM, engine, tries, budgetMS)
-	return hex.EncodeToString(h.Sum(nil)[:16])
+	return cluster.CacheKey(matrixHash, p, method, seed, eps, refine, exactFM, parallelFM, engine, tries, budgetMS)
 }

@@ -20,8 +20,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /corpus", s.handleCorpus)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	if s.clu != nil {
+		// Shard-to-shard cache-entry exchange and the shard's own view of
+		// the ring; absent in single-node mode, where no peer may push
+		// entries into this cache.
+		mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
+		mux.HandleFunc("PUT /cache/{key}", s.handleCachePut)
+		mux.HandleFunc("GET /stats/ring", s.handleRing)
+	}
 	return mux
+}
+
+func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.clu.Ring.View())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"mediumgrain/internal/cluster"
 	"mediumgrain/internal/core"
 	"mediumgrain/internal/sparse"
 	"mediumgrain/internal/spmv"
@@ -30,47 +31,21 @@ func badSpec(format string, args ...any) error {
 }
 
 // JobSpec is the wire form of a partition job; see the package comment
-// for field semantics and defaults.
-type JobSpec struct {
-	Corpus   string `json:"corpus,omitempty"`
-	MatrixMM string `json:"matrix_mtx,omitempty"`
-	P        int    `json:"p"`
-	Method   string `json:"method,omitempty"`
-	Seed     int64  `json:"seed"`
-	// Eps is a pointer so an explicit 0 — a strict balance request — is
-	// distinguishable from an omitted field (the 0.03 default).
-	Eps    *float64 `json:"eps,omitempty"`
-	Refine bool     `json:"refine,omitempty"`
-	// ExactFM selects the historical exact all-vertex FM passes instead
-	// of the boundary-driven default; per-seed results differ between
-	// the modes, so the choice is part of the cache key.
-	ExactFM bool `json:"exact_fm,omitempty"`
-	// ParallelFM enables the parallel refinement layers (coarse-level try
-	// racing, speculative boundary batches) inside each partition run;
-	// per-seed results differ from the serial-refinement default, so the
-	// choice is part of the cache key. Requires workers != 0.
-	ParallelFM bool `json:"parallel_fm,omitempty"`
-	Workers    int  `json:"workers,omitempty"`
-	// Tries > 1 races that many deterministic seed variants (seed..
-	// seed+N-1) and keeps the lowest-volume result; BudgetMS bounds the
-	// race's wall time. Both are part of the cache key: best-of-N
-	// volumes must never answer single-run requests or a different N.
-	Tries     int `json:"tries,omitempty"`
-	BudgetMS  int `json:"budget_ms,omitempty"`
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-}
+// for field semantics and defaults. The type lives in internal/cluster
+// so the cluster router decodes, normalizes, and content-addresses
+// submissions identically to every shard.
+type JobSpec = cluster.JobSpec
 
 // Engine classes of the cache key: all Workers >= 1 runs share "par"
 // (bit-identical results), Workers == 0 is the legacy "seq" path.
 const (
-	engineSeq = "seq"
-	enginePar = "par"
+	engineSeq = cluster.EngineSeq
+	enginePar = cluster.EnginePar
 )
 
-// maxTries bounds a job's race-to-best search width: each try is a full
-// partitioning, so an unbounded N would let one request multiply its
-// compute cost arbitrarily past the admission controls.
-const maxTries = 64
+// maxTries re-exports the race-to-best width bound (see
+// cluster.MaxTries) under its historical in-package name.
+const maxTries = cluster.MaxTries
 
 // resolvedSpec is a validated spec bound to its matrix and content
 // address.
@@ -87,43 +62,15 @@ type resolvedSpec struct {
 }
 
 // resolve validates a spec, materializes its matrix, and computes the
-// content-addressed cache key. All failures are *BadSpecError.
+// content-addressed cache key. All failures are *BadSpecError. Scalar
+// normalization is shared with the cluster router (cluster.Normalize),
+// so a routed spec keys identically here and there.
 func (s *Server) resolve(spec JobSpec) (*resolvedSpec, error) {
-	if spec.P < 1 {
-		return nil, badSpec("p must be >= 1, got %d", spec.P)
-	}
-	if spec.Method == "" {
-		spec.Method = "MG"
-	}
-	method, err := core.ParseMethod(spec.Method)
+	norm, err := spec.Normalize()
 	if err != nil {
 		return nil, badSpec("%v", err)
 	}
-	eps := core.DefaultOptions().Eps
-	if spec.Eps != nil {
-		eps = *spec.Eps
-	}
-	if eps < 0 {
-		return nil, badSpec("eps must be >= 0, got %g", eps)
-	}
-	if spec.Tries < 0 {
-		return nil, badSpec("tries must be >= 0, got %d", spec.Tries)
-	}
-	if spec.Tries > maxTries {
-		return nil, badSpec("tries must be <= %d, got %d", maxTries, spec.Tries)
-	}
-	if spec.BudgetMS < 0 {
-		return nil, badSpec("budget_ms must be >= 0, got %d", spec.BudgetMS)
-	}
-	if spec.BudgetMS > 0 && spec.Tries <= 1 {
-		return nil, badSpec("budget_ms needs tries > 1")
-	}
-	// 0 and 1 both mean the single classic run; normalize so they share
-	// one cache slot.
-	tries := spec.Tries
-	if tries < 1 {
-		tries = 1
-	}
+	method, eps, tries := norm.Method, norm.Eps, norm.Tries
 
 	var a *sparse.Matrix
 	name := "upload"
@@ -163,10 +110,7 @@ func (s *Server) resolve(spec JobSpec) (*resolvedSpec, error) {
 		return nil, badSpec("p = %d exceeds the matrix's %d nonzeros", spec.P, a.NNZ())
 	}
 
-	engine := enginePar
-	if spec.Workers == 0 {
-		engine = engineSeq
-	}
+	engine := norm.Engine
 	// Named instances carry a precomputed hash; only uploads pay the
 	// O(nnz) rehash on the submission path.
 	hash, ok := s.hashes[name]
@@ -258,10 +202,13 @@ type ResultView struct {
 	// Tries/BudgetMS echo the job's race-to-best search spec (absent for
 	// single-run jobs); WinnerTry is the 1-based winning variant, whose
 	// seed is Seed+WinnerTry-1.
-	Tries     int              `json:"tries,omitempty"`
-	BudgetMS  int              `json:"budget_ms,omitempty"`
-	WinnerTry int              `json:"winner_try,omitempty"`
-	Engine    string           `json:"engine"`
+	Tries     int    `json:"tries,omitempty"`
+	BudgetMS  int    `json:"budget_ms,omitempty"`
+	WinnerTry int    `json:"winner_try,omitempty"`
+	Engine    string `json:"engine"`
+	// Origin is empty for locally computed results; "peer:<addr>" when
+	// the entry arrived over the cluster peer-fetch or replication path.
+	Origin    string           `json:"origin,omitempty"`
 	Volume    int64            `json:"volume"`
 	Imbalance float64          `json:"imbalance"`
 	WallMS    float64          `json:"wall_ms"`
@@ -470,6 +417,7 @@ func (st *jobStore) Result(j *Job) (ResultView, bool) {
 		BudgetMS:   r.BudgetMS,
 		WinnerTry:  r.WinnerTry,
 		Engine:     r.Engine,
+		Origin:     r.Origin,
 		Volume:     r.Volume,
 		Imbalance:  r.Imbalance,
 		WallMS:     r.WallMS,

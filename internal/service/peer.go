@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"mediumgrain/internal/cluster"
+	"mediumgrain/internal/sparse"
+)
+
+// Peer cache-entry exchange: the shard-to-shard half of cluster mode.
+// On a local miss a shard asks the key's other ring replicas for their
+// persisted entry (GET /cache/{key}, a tar-framed distio bundle + meta)
+// before computing; entries that cross the configured hit threshold are
+// pushed to the key's other replicas (PUT /cache/{key}) so hot keys are
+// answerable by every replica. Every adopted entry — fetched or pushed —
+// passes the same validation as cache rehydration plus a re-derivation
+// of the cache key from the entry's own fields, so a corrupt, truncated,
+// or mislabeled transfer can never poison a cache: it is rejected and
+// the shard falls back to computing.
+
+// peerHeader carries the sending shard's ring identity on a replication
+// PUT, recorded as the adopted entry's Origin.
+const peerHeader = "X-Mediumgrain-Peer"
+
+// Ready reports whether the shard has finished startup (cache
+// rehydration, ring membership checks) and is not draining — the
+// /readyz answer. Liveness (/healthz) stays true while draining so
+// process supervisors don't kill a shard that is finishing its queue.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// handleReadyz is the readiness probe: 200 once startup completed, 503
+// before that and again as soon as a drain begins (so routers and load
+// balancers stop sending new work while in-flight jobs finish).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		return
+	}
+	status := "starting"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "status": status})
+}
+
+// handleCacheGet exports one persisted entry as a tar stream. Only
+// entries whose meta file exists are served — the meta-last persist
+// ordering makes that the "bundle is complete" signal. The tar is
+// buffered under persistMu so eviction GC cannot delete files
+// mid-export.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.cfg.DataDir == "" {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "shard runs without persistence"})
+		return
+	}
+	var buf bytes.Buffer
+	s.persistMu.Lock()
+	_, statErr := os.Stat(filepath.Join(s.cfg.DataDir, key+".meta.json"))
+	var tarErr error
+	if statErr == nil {
+		tarErr = cluster.WriteEntryTar(&buf, s.cfg.DataDir, key)
+	}
+	s.persistMu.Unlock()
+	if statErr != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no persisted entry for key"})
+		return
+	}
+	if tarErr != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: tarErr.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-tar")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, &buf)
+}
+
+// handleCachePut adopts a replication push. Idempotent: a key already in
+// the cache is acknowledged without re-reading the body's content (both
+// sides of a pair may replicate to each other at once).
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if _, ok := s.cache.Get(key); ok {
+		_, _ = io.Copy(io.Discard, r.Body)
+		writeJSON(w, http.StatusOK, map[string]string{"status": "already cached"})
+		return
+	}
+	from := r.Header.Get(peerHeader)
+	if from == "" {
+		from = r.RemoteAddr
+	}
+	res, matrix, err := s.adoptEntryTar(http.MaxBytesReader(w, r.Body, maxBodyBytes), key, from)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.keepResult(res, matrix)
+	// Adopted entries never replicate onward: replication fans out from
+	// the shard that observed the hits, one hop, no ping-pong.
+	s.cache.MarkReplicated(key)
+	s.stats.replicatedIn()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "adopted"})
+}
+
+// adoptEntryTar extracts a peer's tar-framed entry into a scratch
+// directory and validates it like cache rehydration, plus one check disk
+// entries don't need: the cache key re-derived from the entry's own
+// fields must equal the key it was transferred under, so a peer cannot
+// (even accidentally) bind a valid entry to the wrong address.
+func (s *Server) adoptEntryTar(r io.Reader, key, from string) (*CachedResult, *sparse.Matrix, error) {
+	scratch, err := os.MkdirTemp("", "mgserve-peer-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(scratch)
+	if err := cluster.ExtractEntryTar(r, scratch, key); err != nil {
+		return nil, nil, err
+	}
+	res, matrix, err := loadCacheEntryMatrix(scratch, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	tries := res.Tries
+	if tries < 1 {
+		tries = 1 // stored as 0 for single runs; the key uses >= 1
+	}
+	derived := cluster.CacheKey(res.MatrixHash, res.P, res.Method, res.Seed, res.Eps,
+		res.Refine, res.ExactFM, res.ParallelFM, res.Engine, tries, res.BudgetMS)
+	if derived != key {
+		return nil, nil, fmt.Errorf("service: peer entry %s: fields derive key %s", key, derived)
+	}
+	res.Origin = "peer:" + from
+	return res, matrix, nil
+}
+
+// tryPeerFetch asks the key's other ring replicas for a persisted entry
+// before computing. First validated answer wins; every failed attempt
+// (unreachable peer, 404, corrupt transfer) counts peer_fetch_failed and
+// falls through — worst case the shard computes locally, exactly as if
+// it had no peers.
+func (s *Server) tryPeerFetch(ctx context.Context, rs *resolvedSpec) (*CachedResult, *sparse.Matrix, bool) {
+	for _, node := range s.clu.Ring.Replicas(rs.key) {
+		if node == s.clu.Self {
+			continue
+		}
+		res, matrix, err := s.fetchFrom(ctx, node, rs.key)
+		if err != nil {
+			s.stats.peerFetchFailed()
+			continue
+		}
+		s.stats.peerFetchOK()
+		return res, matrix, true
+	}
+	return nil, nil, false
+}
+
+// fetchFrom retrieves and validates one peer's entry for key.
+func (s *Server) fetchFrom(ctx context.Context, node, key string) (*CachedResult, *sparse.Matrix, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cluster.NodeURL(node)+"/cache/"+key, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := s.clu.Client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("service: peer %s has no entry %s (status %d)", node, key, resp.StatusCode)
+	}
+	return s.adoptEntryTar(resp.Body, key, node)
+}
+
+// maybeReplicate pushes a hot entry to the key's other replicas, once:
+// the first Touch that crosses the threshold wins the MarkReplicated
+// latch and replicates in the background; later hits are no-ops.
+func (s *Server) maybeReplicate(res *CachedResult, hits int64) {
+	if s.clu == nil || s.cfg.DataDir == "" || hits < s.clu.ReplicateAfter {
+		return
+	}
+	if !s.cache.MarkReplicated(res.Key) {
+		return
+	}
+	go s.replicateOut(res.Key)
+}
+
+// replicateOut exports the persisted entry once and PUTs it to every
+// other member of the key's replica set. Push failures are counted but
+// not retried: replication is an optimization, and the next hot period
+// on a restarted cache retriggers it.
+func (s *Server) replicateOut(key string) {
+	var buf bytes.Buffer
+	s.persistMu.Lock()
+	_, statErr := os.Stat(filepath.Join(s.cfg.DataDir, key+".meta.json"))
+	var tarErr error
+	if statErr == nil {
+		tarErr = cluster.WriteEntryTar(&buf, s.cfg.DataDir, key)
+	}
+	s.persistMu.Unlock()
+	if statErr != nil || tarErr != nil {
+		s.stats.persistErr()
+		return
+	}
+	for _, node := range s.clu.Ring.Replicas(key) {
+		if node == s.clu.Self {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPut, cluster.NodeURL(node)+"/cache/"+key, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/x-tar")
+		req.Header.Set(peerHeader, s.clu.Self)
+		resp, err := s.clu.Client.Do(req)
+		if err != nil {
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			s.stats.replicatedOut()
+		}
+	}
+}

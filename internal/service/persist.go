@@ -163,35 +163,46 @@ func loadCacheDir(dir string, max int) ([]*CachedResult, []error) {
 
 // loadCacheEntry reads and cross-validates one persisted entry.
 func loadCacheEntry(dir, key string) (*CachedResult, error) {
+	res, _, err := loadCacheEntryMatrix(dir, key)
+	return res, err
+}
+
+// loadCacheEntryMatrix is loadCacheEntry returning the bundle's matrix
+// too: the peer-transfer path adopts a fetched entry into the normal
+// keepResult flow, which needs the matrix to re-persist the bundle
+// locally. The same validation gates both paths — schema, key, bundle/
+// meta agreement, matrix hash, recomputed volume — so a corrupt peer
+// transfer is rejected exactly like a corrupt on-disk entry.
+func loadCacheEntryMatrix(dir, key string) (*CachedResult, *sparse.Matrix, error) {
 	data, err := os.ReadFile(filepath.Join(dir, key+".meta.json"))
 	if err != nil {
-		return nil, fmt.Errorf("service: cache entry %s: %w", key, err)
+		return nil, nil, fmt.Errorf("service: cache entry %s: %w", key, err)
 	}
 	var meta cacheMeta
 	if err := json.Unmarshal(data, &meta); err != nil {
-		return nil, fmt.Errorf("service: cache entry %s: %w", key, err)
+		return nil, nil, fmt.Errorf("service: cache entry %s: %w", key, err)
 	}
 	if meta.Schema != cacheMetaSchema {
-		return nil, fmt.Errorf("service: cache entry %s: schema %q (want %q)", key, meta.Schema, cacheMetaSchema)
+		return nil, nil, fmt.Errorf("service: cache entry %s: schema %q (want %q)", key, meta.Schema, cacheMetaSchema)
 	}
 	if meta.Key != key {
-		return nil, fmt.Errorf("service: cache entry %s: meta claims key %q", key, meta.Key)
+		return nil, nil, fmt.Errorf("service: cache entry %s: meta claims key %q", key, meta.Key)
 	}
 	b, err := distio.Read(dir, key)
 	if err != nil {
-		return nil, fmt.Errorf("service: cache entry %s: %w", key, err)
+		return nil, nil, fmt.Errorf("service: cache entry %s: %w", key, err)
 	}
 	if b.P != meta.P || b.A.NNZ() != meta.NNZ {
-		return nil, fmt.Errorf("service: cache entry %s: bundle (p=%d, nnz=%d) disagrees with meta (p=%d, nnz=%d)",
+		return nil, nil, fmt.Errorf("service: cache entry %s: bundle (p=%d, nnz=%d) disagrees with meta (p=%d, nnz=%d)",
 			key, b.P, b.A.NNZ(), meta.P, meta.NNZ)
 	}
 	if h := MatrixHash(b.A); h != meta.MatrixHash {
-		return nil, fmt.Errorf("service: cache entry %s: matrix hash %s != recorded %s", key, h, meta.MatrixHash)
+		return nil, nil, fmt.Errorf("service: cache entry %s: matrix hash %s != recorded %s", key, h, meta.MatrixHash)
 	}
 	if v := b.Volume(); v != meta.Volume {
-		return nil, fmt.Errorf("service: cache entry %s: volume %d != recorded %d", key, v, meta.Volume)
+		return nil, nil, fmt.Errorf("service: cache entry %s: volume %d != recorded %d", key, v, meta.Volume)
 	}
 	res := meta.CachedResult
 	res.Parts = b.Parts
-	return &res, nil
+	return &res, b.A, nil
 }

@@ -81,7 +81,14 @@
 // building the same corpus locally gets bit-identical matrices, which
 // is how cmd/mgload verifies served results offline.
 //
-// GET /healthz — {"status": "ok"} (or "draining") with 200.
+// GET /healthz — liveness: {"status": "ok"} (or "draining") with 200.
+// A draining server is still alive — it is finishing accepted work — so
+// liveness never goes red during graceful shutdown.
+//
+// GET /readyz — readiness: 200 {"ready": true} once startup (cache
+// rehydration, cluster membership checks) has completed; 503 before
+// that and again from the moment a drain begins, so routers and load
+// balancers stop sending new work while in-flight jobs finish.
 //
 // GET /stats — operational counters: queue depth, running jobs,
 // accepted/completed/failed/rejected/canceled/deduplicated totals,
@@ -148,6 +155,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mediumgrain/internal/cluster"
 	"mediumgrain/internal/core"
 	"mediumgrain/internal/corpus"
 	"mediumgrain/internal/metrics"
@@ -198,6 +206,14 @@ type Config struct {
 	// Machine is the BSP machine used for runtime predictions (default:
 	// 1 Gflop/s, g = 10, l = 1000).
 	Machine spmv.Machine
+	// Cluster, when set, runs the server as one shard of a consistent-
+	// hash cluster: on a local cache miss the shard fetches persisted
+	// entries from the key's ring peers before computing, and hot
+	// entries replicate to the key's other replicas. Nil (the default)
+	// is plain single-node operation — nothing about keys, caching, or
+	// the HTTP contract changes either way; cluster mode only adds the
+	// /cache/{key} peer endpoints and the /stats cluster section.
+	Cluster *cluster.ShardConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -292,6 +308,14 @@ type Server struct {
 	persistMu sync.Mutex
 	started   time.Time
 	draining  atomic.Bool
+	// ready gates /readyz: set once startup (rehydration, cluster
+	// membership checks) completes, cleared the moment a drain begins so
+	// routers stop sending new work before admission starts 503ing.
+	ready atomic.Bool
+	// clu is the validated cluster configuration; nil in single-node
+	// mode, which disables peer fetch, replication, and the /cache
+	// endpoints.
+	clu *cluster.ShardConfig
 }
 
 // New builds a server, rehydrating the cache from cfg.DataDir when set.
@@ -324,6 +348,19 @@ func New(cfg Config) (*Server, []error) {
 			s.cache.Put(res.Key, res)
 		}
 	}
+	if cfg.Cluster != nil {
+		clu := cfg.Cluster.WithDefaults()
+		switch {
+		case clu.Ring == nil:
+			warns = append(warns, errors.New("service: cluster config has no ring; running single-node"))
+		case !clu.Ring.Contains(clu.Self):
+			warns = append(warns, fmt.Errorf("service: shard %q is not in the peer ring %v; running single-node",
+				clu.Self, clu.Ring.Nodes()))
+		default:
+			s.clu = &clu
+		}
+	}
+	s.ready.Store(true)
 	return s, warns
 }
 
@@ -351,9 +388,13 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	job := s.jobs.create(rs)
-	if res, ok := s.cache.Get(rs.key); ok {
+	if res, hits, ok := s.cache.Touch(rs.key); ok {
 		s.stats.cacheHit()
+		if res.Origin != "" {
+			s.stats.peerServed()
+		}
 		s.jobs.completeCached(job, res)
+		s.maybeReplicate(res, hits)
 		return job, nil
 	}
 	// Single-flight: attach to an identical in-flight computation
@@ -560,6 +601,18 @@ func (s *Server) execute(job *Job) {
 	for _, j := range members {
 		s.jobs.markRunning(j)
 	}
+	// Cluster mode: before computing, ask the key's ring peers for a
+	// persisted entry — another shard may have computed this key already
+	// (direct submission, or ownership moved). The adopted result enters
+	// the cache and disk through the normal finish path; it is marked
+	// replicated so this shard never pushes it back where it came from.
+	if s.clu != nil {
+		if res, m, ok := s.tryPeerFetch(ctx, rs); ok {
+			s.finishFlight(f, outcome{res, nil}, m)
+			s.cache.MarkReplicated(rs.key)
+			return
+		}
+	}
 	res, err := s.partition(ctx, rs, matrix)
 	if err != nil && errors.Is(err, context.DeadlineExceeded) {
 		err = fmt.Errorf("timeout after %s (computation canceled)", timeout)
@@ -723,8 +776,12 @@ func (s *Server) Corpus() (scale int, seed int64, names []string) {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain stops admission and blocks until every accepted job (queued or
-// running) has finished. Safe to call more than once.
+// running) has finished. Safe to call more than once. Readiness drops
+// first: a router probing /readyz (or failing over on the 503s new
+// submissions now get) stops sending work here, which is what makes
+// taking one shard down lossless for clients.
 func (s *Server) Drain() {
+	s.ready.Store(false)
 	s.draining.Store(true)
 	s.sched.drain()
 }

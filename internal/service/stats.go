@@ -27,6 +27,13 @@ type statsRecorder struct {
 	searchJobsN atomic.Int64
 	searchTryN  atomic.Int64
 
+	// Cluster counters; only move in cluster mode.
+	peerFetchOKN   atomic.Int64
+	peerFetchFailN atomic.Int64
+	peerServedN    atomic.Int64
+	replicatedInN  atomic.Int64
+	replicatedOutN atomic.Int64
+
 	mu        sync.Mutex
 	latencies map[string]*latencyRing
 }
@@ -59,6 +66,12 @@ func (st *statsRecorder) cacheMiss()  { st.cacheMissN.Add(1) }
 func (st *statsRecorder) persistErr() { st.persistErrN.Add(1) }
 func (st *statsRecorder) salvaged()   { st.salvagedN.Add(1) }
 
+func (st *statsRecorder) peerFetchOK()     { st.peerFetchOKN.Add(1) }
+func (st *statsRecorder) peerFetchFailed() { st.peerFetchFailN.Add(1) }
+func (st *statsRecorder) peerServed()      { st.peerServedN.Add(1) }
+func (st *statsRecorder) replicatedIn()    { st.replicatedInN.Add(1) }
+func (st *statsRecorder) replicatedOut()   { st.replicatedOutN.Add(1) }
+
 // search counts one race-to-best computation of the given width.
 func (st *statsRecorder) search(tries int) {
 	st.searchJobsN.Add(1)
@@ -85,6 +98,23 @@ func (st *statsRecorder) methodSummaries() map[string]report.LatencySummary {
 		out[m] = report.SummarizeLatencies(r.buf)
 	}
 	return out
+}
+
+// ClusterStats is the cluster section of /stats, present only when the
+// server runs as a shard. PeerFetchOK/Failed count miss-time entry
+// fetches from ring peers (failed includes unreachable peers, 404s, and
+// rejected transfers); PeerServed counts cache hits answered from an
+// entry this shard adopted from a peer; ReplicatedIn/Out count adopted
+// and pushed hot-entry replications. The json tags are a wire contract
+// with the cluster router's merged /stats.
+type ClusterStats struct {
+	Self            string   `json:"self"`
+	Nodes           []string `json:"nodes"`
+	PeerFetchOK     int64    `json:"peer_fetch_ok"`
+	PeerFetchFailed int64    `json:"peer_fetch_failed"`
+	PeerServed      int64    `json:"peer_served"`
+	ReplicatedIn    int64    `json:"replicated_in"`
+	ReplicatedOut   int64    `json:"replicated_out"`
 }
 
 // CacheStats is the cache section of /stats.
@@ -125,6 +155,7 @@ type StatsView struct {
 	SearchTries int64                            `json:"search_tries"`
 	PersistErrs int64                            `json:"persist_errors"`
 	Cache       CacheStats                       `json:"cache"`
+	Cluster     *ClusterStats                    `json:"cluster,omitempty"`
 	Methods     map[string]report.LatencySummary `json:"method_latency"`
 }
 
@@ -139,6 +170,18 @@ func (s *Server) Stats() StatsView {
 	var rate float64
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
+	}
+	var clusterStats *ClusterStats
+	if s.clu != nil {
+		clusterStats = &ClusterStats{
+			Self:            s.clu.Self,
+			Nodes:           s.clu.Ring.Nodes(),
+			PeerFetchOK:     s.stats.peerFetchOKN.Load(),
+			PeerFetchFailed: s.stats.peerFetchFailN.Load(),
+			PeerServed:      s.stats.peerServedN.Load(),
+			ReplicatedIn:    s.stats.replicatedInN.Load(),
+			ReplicatedOut:   s.stats.replicatedOutN.Load(),
+		}
 	}
 	return StatsView{
 		Status:       status,
@@ -165,6 +208,7 @@ func (s *Server) Stats() StatsView {
 			Misses:   misses,
 			HitRate:  rate,
 		},
+		Cluster: clusterStats,
 		Methods: s.stats.methodSummaries(),
 	}
 }

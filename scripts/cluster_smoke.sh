@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of mgserve's cluster mode, runnable locally
+# (`make smoke-cluster`) and in CI: boot two shards and a stateless
+# router, route jobs through the router and require consistent-hash
+# forwarding, exercise the shard-to-shard peer-fetch path directly,
+# drive a multi-target mgload burst with offline verification, check the
+# router's merged /stats add up, then SIGTERM one shard under live
+# router traffic and require zero client-visible errors (lossless
+# drain + failover).
+set -euo pipefail
+
+S1="${MGCLUSTER_SHARD1:-127.0.0.1:8911}"
+S2="${MGCLUSTER_SHARD2:-127.0.0.1:8912}"
+RT="${MGCLUSTER_ROUTER:-127.0.0.1:8910}"
+B1="http://$S1"; B2="http://$S2"; BR="http://$RT"
+WORKDIR="$(mktemp -d)"
+PIDS=() # filled as processes boot; the trap runs under set -u
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+# num <file> <field>: pull one integer JSON field with sed (the smoke
+# scripts run without jq).
+num() { sed -n 's/.*"'"$2"'": \([0-9][0-9]*\).*/\1/p' "$1" | head -n1; }
+
+echo "==> building"
+go build -o "$WORKDIR/mgserve" ./cmd/mgserve
+go build -o "$WORKDIR/mgload" ./cmd/mgload
+
+echo "==> booting shards $S1 $S2 and router $RT"
+# -replicate-after 1: the first repeat hit already pushes the entry to
+# its other replica, so hot replication is observable in a short run.
+# -linger on shard 2 keeps its listener answering trailing polls after
+# the SIGTERM drain below.
+"$WORKDIR/mgserve" -addr "$S1" -node "$S1" -peers "$S1,$S2" \
+  -data "$WORKDIR/data1" -replicate-after 1 \
+  >"$WORKDIR/shard1.log" 2>&1 &
+PIDS+=($!)
+"$WORKDIR/mgserve" -addr "$S2" -node "$S2" -peers "$S1,$S2" \
+  -data "$WORKDIR/data2" -replicate-after 1 -linger 3s \
+  >"$WORKDIR/shard2.log" 2>&1 &
+PIDS+=($!)
+SHARD2_PID=$!
+"$WORKDIR/mgserve" -router -addr "$RT" -shards "$S1,$S2" \
+  >"$WORKDIR/router.log" 2>&1 &
+PIDS+=($!)
+
+for base in "$B1" "$B2" "$BR"; do
+  for _ in $(seq 1 50); do
+    if curl -sf "$base/readyz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+  done
+  curl -sf "$base/readyz" | grep -q '"ready": true' || { echo "$base never became ready"; exit 1; }
+done
+
+echo "==> routed job through the router"
+SPEC='{"corpus":"lap2d-24","p":4,"method":"MG","seed":42,"workers":2}'
+SUBMIT=$(curl -sf -X POST "$BR/jobs" -d "$SPEC")
+echo "$SUBMIT"
+JOB_ID=$(echo "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+test -n "$JOB_ID"
+# Router job ids are namespaced by owning shard: s<idx>-<id>.
+echo "$JOB_ID" | grep -Eq '^s[0-9]+-' || { echo "unprefixed router id: $JOB_ID"; exit 1; }
+for _ in $(seq 1 150); do
+  STATE=$(curl -sf "$BR/jobs/$JOB_ID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' || true)
+  [ "$STATE" = "done" ] && break
+  [ "$STATE" = "failed" ] && { echo "routed job failed"; exit 1; }
+  sleep 0.2
+done
+test "$STATE" = "done"
+curl -sf "$BR/jobs/$JOB_ID/result" -o "$WORKDIR/result.json"
+grep -q '"parts"' "$WORKDIR/result.json"
+
+echo "==> resubmit through the router: same shard, cache hit"
+RESUBMIT=$(curl -sf -X POST "$BR/jobs" -d "$SPEC")
+# Proxied job responses are re-encoded compact (no space after colons).
+echo "$RESUBMIT" | grep -Eq '"cached": ?true' || { echo "no cache hit via router"; exit 1; }
+curl -sf "$BR/stats" -o "$WORKDIR/rstats.json"
+FWD=$(num "$WORKDIR/rstats.json" forwarded)
+test "${FWD:-0}" -ge 2 || { echo "router forwarded $FWD jobs, want >= 2"; exit 1; }
+# Fetch to a file: `curl | grep -q` would kill the pipe at the first
+# match under pipefail (curl exit 23).
+curl -sf "$BR/stats/ring" -o "$WORKDIR/ring.json"
+grep -q '"nodes": 2' "$WORKDIR/ring.json" || { echo "ring view wrong"; exit 1; }
+
+echo "==> peer fetch: shard 2 adopts shard 1's entry instead of recomputing"
+PSPEC='{"corpus":"tridiag","p":2,"method":"MG","seed":7,"workers":1}'
+P1=$(curl -sf -X POST "$B1/jobs" -d "$PSPEC")
+P1_ID=$(echo "$P1" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+for _ in $(seq 1 150); do
+  STATE=$(curl -sf "$B1/jobs/$P1_ID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' || true)
+  [ "$STATE" = "done" ] && break
+  sleep 0.2
+done
+test "$STATE" = "done"
+P2=$(curl -sf -X POST "$B2/jobs" -d "$PSPEC")
+P2_ID=$(echo "$P2" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+for _ in $(seq 1 150); do
+  STATE=$(curl -sf "$B2/jobs/$P2_ID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' || true)
+  [ "$STATE" = "done" ] && break
+  sleep 0.2
+done
+test "$STATE" = "done"
+curl -sf "$B2/jobs/$P2_ID/result" -o "$WORKDIR/peer.json"
+# The result endpoint streams compact JSON (no space after the colon).
+grep -Eq '"origin": ?"peer:'"$S1"'"' "$WORKDIR/peer.json" \
+  || { echo "shard 2 recomputed instead of peer-fetching"; cat "$WORKDIR/peer.json"; exit 1; }
+curl -sf "$B2/stats" -o "$WORKDIR/s2stats.json"
+OKS=$(num "$WORKDIR/s2stats.json" peer_fetch_ok)
+test "${OKS:-0}" -ge 1 || { echo "peer_fetch_ok = $OKS on shard 2, want >= 1"; exit 1; }
+
+echo "==> multi-target mgload with offline verification"
+"$WORKDIR/mgload" -targets "$B1,$B2" -clients 8 -requests 3 -seeds 1 \
+  -matrices "lap2d-24,tridiag" -ps "2,4" -verify -out "$WORKDIR/load.json"
+grep -q '"verify_failures": 0' "$WORKDIR/load.json"
+grep -q '"per_target"' "$WORKDIR/load.json" || { echo "load report lost per-target rows"; exit 1; }
+grep -q "\"addr\": \"$B2\"" "$WORKDIR/load.json" || { echo "no per-target row for shard 2"; exit 1; }
+
+echo "==> merged router stats add up"
+curl -sf "$BR/stats" -o "$WORKDIR/merged.json"
+curl -sf "$B1/stats" -o "$WORKDIR/s1.json"
+curl -sf "$B2/stats" -o "$WORKDIR/s2.json"
+TOT=$(num "$WORKDIR/merged.json" accepted)
+A1=$(num "$WORKDIR/s1.json" accepted)
+A2=$(num "$WORKDIR/s2.json" accepted)
+# The shard stats were read after the merged snapshot, so they can only
+# have grown past it — never shrunk below it.
+test "$TOT" -ge 2 || { echo "merged accepted = $TOT, want >= 2"; exit 1; }
+test $((A1 + A2)) -ge "$TOT" || { echo "merged accepted $TOT > shard sum $((A1 + A2))"; exit 1; }
+grep -q '"shards_reachable": 2' "$WORKDIR/merged.json" || { echo "router lost a shard"; exit 1; }
+
+echo "==> lossless drain: SIGTERM shard 2 under live router traffic"
+"$WORKDIR/mgload" -addr "$BR" -clients 4 -duration 4s -seeds 2 \
+  -matrices "lap2d-24,tridiag" -ps "2,4" -out "$WORKDIR/drain.json" &
+LOAD_PID=$!
+sleep 1.5
+kill -TERM "$SHARD2_PID"
+wait "$LOAD_PID" || { echo "mgload under failover exited nonzero"; exit 1; }
+grep -q '"errors": 0' "$WORKDIR/drain.json" \
+  || { echo "failover lost requests:"; grep '"errors"' "$WORKDIR/drain.json"; exit 1; }
+grep -q "drained:" "$WORKDIR/shard2.log"
+# The router must have noticed and kept serving.
+curl -sf "$BR/healthz" >/dev/null || { echo "router died during failover"; exit 1; }
+
+echo "==> cluster smoke OK"
