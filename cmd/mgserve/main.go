@@ -70,6 +70,7 @@ func main() {
 		replicas  = flag.Int("replicas", 2, "replica-set size K: the owner plus K-1 ring successors hold each hot key")
 		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the hash ring")
 		replAfter = flag.Int64("replicate-after", cluster.DefaultReplicateAfter, "shard mode: cache hits after which an entry replicates to its other ring replicas")
+		secret    = flag.String("cluster-secret", os.Getenv("MGSERVE_CLUSTER_SECRET"), "shard mode: shared secret authenticating the peer /cache endpoints; must match on every shard (default $MGSERVE_CLUSTER_SECRET; empty leaves them open — trusted networks only)")
 		linger    = flag.Duration("linger", 0, "after draining, keep serving reads this long before closing the listener (lets clients finish trailing status polls)")
 	)
 	flag.Parse()
@@ -88,7 +89,10 @@ func main() {
 		if !ring.Contains(*node) {
 			log.Fatalf("-node %q is not in -peers %v", *node, ring.Nodes())
 		}
-		clu = &cluster.ShardConfig{Self: *node, Ring: ring, ReplicateAfter: *replAfter}
+		clu = &cluster.ShardConfig{Self: *node, Ring: ring, ReplicateAfter: *replAfter, Secret: *secret}
+		if *secret == "" {
+			log.Printf("warning: no -cluster-secret; peer /cache endpoints accept pushes from anyone who can reach them")
+		}
 		log.Printf("shard %s of %d-node ring %v (replicas=%d, vnodes=%d)",
 			cluster.NormalizeNode(*node), len(ring.Nodes()), ring.Nodes(), ring.ReplicaCount(), ring.VNodes())
 	}

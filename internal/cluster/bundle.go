@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // Cache entries persist as a distio bundle (<key>.{mtx,parts,invec,
@@ -35,11 +36,25 @@ func EntryFiles(key string) []string {
 	}
 }
 
+// checkKeySafe rejects keys that would make EntryFiles escape the base
+// directory (separators, "..", absolute paths). HTTP handlers already
+// require the stricter ValidKey shape; this backstop keeps Write/
+// ExtractEntryTar safe for any other caller too.
+func checkKeySafe(key string) error {
+	if strings.ContainsAny(key, `/\`) || !filepath.IsLocal(key+".mtx") {
+		return fmt.Errorf("cluster: unsafe entry key %q", key)
+	}
+	return nil
+}
+
 // WriteEntryTar streams the persisted entry `key` under dir as a tar
 // archive. All five files must exist — a partially persisted entry is
 // not exportable (the meta-last persist ordering guarantees meta-exists
 // implies bundle-complete).
 func WriteEntryTar(w io.Writer, dir, key string) error {
+	if err := checkKeySafe(key); err != nil {
+		return err
+	}
 	tw := tar.NewWriter(w)
 	for _, name := range EntryFiles(key) {
 		path := filepath.Join(dir, name)
@@ -70,6 +85,9 @@ func WriteEntryTar(w io.Writer, dir, key string) error {
 // members). It only writes files; callers validate the extracted entry
 // before adopting it and should extract into a scratch directory.
 func ExtractEntryTar(r io.Reader, dir, key string) error {
+	if err := checkKeySafe(key); err != nil {
+		return err
+	}
 	want := make(map[string]bool, 5)
 	for _, name := range EntryFiles(key) {
 		want[name] = true

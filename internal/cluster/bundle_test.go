@@ -108,6 +108,21 @@ func TestExtractEntryTarRejectsBadStreams(t *testing.T) {
 	}
 }
 
+// TestEntryTarRejectsUnsafeKeys: keys carrying path separators or
+// parent references must never reach a filepath.Join — both directions
+// refuse them outright (the HTTP handlers already require the stricter
+// 32-hex shape; this is the package-level backstop).
+func TestEntryTarRejectsUnsafeKeys(t *testing.T) {
+	for _, key := range []string{"../../etc/pwn", "..", "a/b", `a\b`, "/abs"} {
+		if err := ExtractEntryTar(bytes.NewReader(nil), t.TempDir(), key); err == nil {
+			t.Errorf("ExtractEntryTar accepted unsafe key %q", key)
+		}
+		if err := WriteEntryTar(&bytes.Buffer{}, t.TempDir(), key); err == nil {
+			t.Errorf("WriteEntryTar accepted unsafe key %q", key)
+		}
+	}
+}
+
 func TestExtractEntryTarRejectsDuplicates(t *testing.T) {
 	const key = "0123abcd"
 	var b bytes.Buffer

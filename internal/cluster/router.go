@@ -2,11 +2,12 @@ package cluster
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,9 +20,14 @@ import (
 // owning shard, and fails over along the key's replica set when a shard
 // is unreachable or sheds load (503, which is also what a draining
 // shard answers, making single-shard shutdown lossless for clients).
-// Job ids returned to clients are prefixed with the shard's ring index
-// ("s0-j-00000001"), so every later GET/DELETE routes back to the shard
-// that owns the job without the router keeping any state. /stats merges
+// Job ids returned to clients are prefixed with a stable 8-hex-digit
+// hash of the owning shard's address ("s1f3a9c2e-j-00000001"), so every
+// later GET/DELETE routes back to the shard that owns the job without
+// the router keeping any state — and, because the prefix names the
+// shard rather than its position in the sorted -shards list, an id
+// minted before a membership change either still resolves to the same
+// shard or fails with 404, never silently routing to a different one.
+// /stats merges
 // every shard's stats into one rolled-up view; /stats/ring exposes the
 // ownership arcs; /readyz aggregates shard readiness.
 //
@@ -34,6 +40,10 @@ type Router struct {
 	// the caller from the same corpus options the shards run with.
 	corpusHashes map[string]string
 	client       *http.Client
+	// nodeByID/idByNode map between ring members and the stable shard
+	// ids carried in job-id prefixes.
+	nodeByID map[string]string
+	idByNode map[string]string
 
 	forwarded atomic.Int64 // proxied job submissions (first attempt per request)
 	failovers atomic.Int64 // submissions retried on the next replica
@@ -71,10 +81,22 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 60 * time.Second}
 	}
+	nodeByID := make(map[string]string, len(ring.Nodes()))
+	idByNode := make(map[string]string, len(ring.Nodes()))
+	for _, n := range ring.Nodes() {
+		id := ShardID(n)
+		if other, dup := nodeByID[id]; dup {
+			return nil, fmt.Errorf("cluster: shard id %s collides between %s and %s", id, other, n)
+		}
+		nodeByID[id] = n
+		idByNode[n] = id
+	}
 	return &Router{
 		ring:         ring,
 		corpusHashes: cfg.CorpusHashes,
 		client:       client,
+		nodeByID:     nodeByID,
+		idByNode:     idByNode,
 		started:      time.Now(),
 	}, nil
 }
@@ -114,42 +136,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// shardIndex returns a node's position in the sorted ring node list;
-// the stable identity encoded into job-id prefixes.
-func (rt *Router) shardIndex(node string) int {
-	for i, n := range rt.ring.Nodes() {
-		if n == node {
-			return i
-		}
-	}
-	return -1
+// shardIDLen is the hex length of a shard id in job-id prefixes.
+const shardIDLen = 8
+
+// ShardID is the stable identity a shard carries in router job-id
+// prefixes: the leading 8 hex digits of a versioned hash of the
+// normalized node address. Unlike a position in the sorted -shards
+// list, it does not shift when the shard set changes across a router
+// restart — an old id either resolves to the same shard or to no
+// current member at all, which the router rejects detectably.
+func ShardID(node string) string {
+	sum := sha256.Sum256([]byte("mgshardid/1|" + NormalizeNode(node)))
+	return hex.EncodeToString(sum[:shardIDLen/2])
 }
 
-// prefixID namespaces a shard-local job id with the shard's ring index.
-func prefixID(shardIdx int, id string) string {
-	return fmt.Sprintf("s%d-%s", shardIdx, id)
+// prefixID namespaces a shard-local job id with the shard's stable id.
+func prefixID(shardID, id string) string {
+	return "s" + shardID + "-" + id
 }
 
-// splitID parses a router job id back into (shard index, shard-local id).
-func splitID(id string) (int, string, bool) {
+// splitID parses a router job id back into (shard id, shard-local id).
+func splitID(id string) (string, string, bool) {
 	rest, ok := strings.CutPrefix(id, "s")
 	if !ok {
-		return 0, "", false
+		return "", "", false
 	}
-	idx, local, ok := strings.Cut(rest, "-")
-	if !ok {
-		return 0, "", false
+	sid, local, ok := strings.Cut(rest, "-")
+	if !ok || len(sid) != shardIDLen || local == "" {
+		return "", "", false
 	}
-	n, err := strconv.Atoi(idx)
-	if err != nil || n < 0 {
-		return 0, "", false
+	for i := 0; i < len(sid); i++ {
+		c := sid[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", "", false
+		}
 	}
-	return n, local, true
+	return sid, local, true
 }
 
 // rewriteID re-encodes a shard job-view response with the id field
 // prefixed, so clients always talk to the router in router ids.
-func rewriteID(body []byte, shardIdx int) []byte {
+func rewriteID(body []byte, shardID string) []byte {
 	var m map[string]any
 	if err := json.Unmarshal(body, &m); err != nil {
 		return body
@@ -158,7 +185,7 @@ func rewriteID(body []byte, shardIdx int) []byte {
 	if !ok {
 		return body
 	}
-	m["id"] = prefixID(shardIdx, id)
+	m["id"] = prefixID(shardID, id)
 	out, err := json.Marshal(m)
 	if err != nil {
 		return body
@@ -221,7 +248,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(resp.StatusCode)
-		w.Write(rewriteID(respBody, rt.shardIndex(node)))
+		w.Write(rewriteID(respBody, rt.idByNode[node]))
 		return
 	}
 	rt.proxyErrs.Add(1)
@@ -230,21 +257,26 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		routerError{Error: "no replica of the owning shard set reachable: " + lastErr})
 }
 
-// proxyToShard forwards a job-id request to the shard encoded in the id
-// and returns (shard index, shard-local path suffix); ok is false after
-// it has already written an error response.
-func (rt *Router) shardForID(w http.ResponseWriter, id string) (int, string, string, bool) {
-	idx, local, ok := splitID(id)
-	nodes := rt.ring.Nodes()
-	if !ok || idx >= len(nodes) {
-		writeJSON(w, http.StatusNotFound, routerError{Error: "unknown job id (router ids look like s0-j-00000001)"})
-		return 0, "", "", false
+// shardForID resolves the shard id encoded in a router job id against
+// the current ring membership and returns (shard id, node, shard-local
+// id); ok is false after it has already written an error response —
+// for malformed ids and for ids whose shard is no longer a -shards
+// member (after a membership change old ids fail here instead of
+// silently routing to whichever shard inherited the old position).
+func (rt *Router) shardForID(w http.ResponseWriter, id string) (string, string, string, bool) {
+	sid, local, ok := splitID(id)
+	node, member := rt.nodeByID[sid]
+	if !ok || !member {
+		writeJSON(w, http.StatusNotFound, routerError{
+			Error: "unknown job id (router ids look like s1f3a9c2e-j-00000001; the id's shard must be a current ring member)",
+		})
+		return "", "", "", false
 	}
-	return idx, nodes[idx], local, true
+	return sid, node, local, true
 }
 
 func (rt *Router) handleJobProxy(w http.ResponseWriter, r *http.Request) {
-	idx, node, local, ok := rt.shardForID(w, r.PathValue("id"))
+	sid, node, local, ok := rt.shardForID(w, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -264,7 +296,7 @@ func (rt *Router) handleJobProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(resp.StatusCode)
-	w.Write(rewriteID(body, idx))
+	w.Write(rewriteID(body, sid))
 }
 
 func (rt *Router) handleResultProxy(w http.ResponseWriter, r *http.Request) {

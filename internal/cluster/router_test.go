@@ -131,8 +131,9 @@ func TestRouterEndToEnd(t *testing.T) {
 		t.Fatalf("submit status %d: %v", status, v)
 	}
 	id, _ := v["id"].(string)
-	if !strings.HasPrefix(id, "s0-") && !strings.HasPrefix(id, "s1-") {
-		t.Fatalf("router id %q lacks a shard prefix", id)
+	p1, p2 := "s"+cluster.ShardID(addr1)+"-", "s"+cluster.ShardID(addr2)+"-"
+	if !strings.HasPrefix(id, p1) && !strings.HasPrefix(id, p2) {
+		t.Fatalf("router id %q lacks a stable shard prefix (%s or %s)", id, p1, p2)
 	}
 	final := pollDone(t, front.URL, id)
 	if final["state"] != "done" {
@@ -163,7 +164,7 @@ func TestRouterEndToEnd(t *testing.T) {
 	if status2 != http.StatusOK || v2["cached"] != true {
 		t.Fatalf("resubmit: status %d cached %v", status2, v2["cached"])
 	}
-	if id2, _ := v2["id"].(string); id2[:3] != id[:3] {
+	if id2, _ := v2["id"].(string); strings.Split(id2, "-")[0] != strings.Split(id, "-")[0] {
 		t.Fatalf("resubmit routed to %q, first went to %q", id2, id)
 	}
 
@@ -290,14 +291,38 @@ func TestRouterRejectsBadSpecWithoutProxy(t *testing.T) {
 		}
 	}
 
-	// Unknown job-id shapes 404 without a proxy hop.
-	resp, err := http.Get(front.URL + "/jobs/not-a-router-id")
-	if err != nil {
-		t.Fatal(err)
+	// Unknown job-id shapes 404 without a proxy hop, and so does a
+	// well-formed id whose shard is not a current ring member — an id
+	// minted before a membership change must fail detectably instead of
+	// routing to whichever shard inherited the old list position.
+	for _, bad := range []string{
+		"not-a-router-id",
+		"s" + cluster.ShardID("10.9.9.9:1") + "-j-00000001", // shard left the ring
+		"sdead-j-00000001", // shard id too short
+	} {
+		resp, err := http.Get(front.URL + "/jobs/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("bad id %q: status %d, want 404", bad, resp.StatusCode)
+		}
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("bad id: status %d, want 404", resp.StatusCode)
+}
+
+// TestShardIDStability pins the property the job-id prefix rests on:
+// a shard's id depends only on its own normalized address, never on
+// the rest of the shard list.
+func TestShardIDStability(t *testing.T) {
+	if cluster.ShardID("10.0.0.1:8081") != cluster.ShardID("http://10.0.0.1:8081/") {
+		t.Fatal("ShardID is not normalization-invariant")
+	}
+	if len(cluster.ShardID("a:1")) != 8 {
+		t.Fatalf("ShardID length = %d, want 8", len(cluster.ShardID("a:1")))
+	}
+	if cluster.ShardID("a:1") == cluster.ShardID("a:2") {
+		t.Fatal("distinct nodes share a shard id")
 	}
 }
 

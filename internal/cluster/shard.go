@@ -27,6 +27,15 @@ type ShardConfig struct {
 	// pushed to the key's other replicas (<= 0 selects
 	// DefaultReplicateAfter).
 	ReplicateAfter int64
+	// Secret, when non-empty, authenticates the peer cache-entry
+	// endpoints: every GET/PUT /cache/{key} must carry it in the
+	// X-Mediumgrain-Secret header, and this shard sends it on its own
+	// peer fetches and replication pushes. Every shard of a cluster must
+	// share one value. Empty leaves the endpoints open — acceptable only
+	// when shards are reachable solely from trusted peers (the PUT side
+	// otherwise lets anyone with network reach push self-consistent but
+	// adversarial entries into the cache).
+	Secret string
 	// Client is the peer-transfer HTTP client (nil selects a 30s
 	// timeout).
 	Client *http.Client

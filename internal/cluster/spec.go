@@ -168,6 +168,24 @@ func CacheKey(matrixHash string, p int, method string, seed int64, eps float64, 
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// ValidKey reports whether key has the exact shape CacheKey produces:
+// 32 lowercase hex digits. Anything arriving over the wire that claims
+// to be a cache key — the /cache/{key} path segment above all, which
+// ServeMux hands over percent-decoded and therefore able to smuggle
+// "../" — must pass this before it touches a filesystem path.
+func ValidKey(key string) bool {
+	if len(key) != 32 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // RouteKey computes a spec's cache key without access to a shard's
 // corpus: named instances resolve through the supplied hash lookup
 // (precomputed by whoever built the same corpus), uploads are parsed,

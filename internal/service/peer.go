@@ -1,10 +1,12 @@
 package service
 
 import (
-	"bytes"
 	"context"
+	"crypto/subtle"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -22,11 +24,45 @@ import (
 // passes the same validation as cache rehydration plus a re-derivation
 // of the cache key from the entry's own fields, so a corrupt, truncated,
 // or mislabeled transfer can never poison a cache: it is rejected and
-// the shard falls back to computing.
+// the shard falls back to computing. When the cluster is configured
+// with a shared secret, both endpoints additionally require it in the
+// X-Mediumgrain-Secret header — validation alone cannot tell a peer's
+// entry from an outsider's self-consistent fabrication.
 
 // peerHeader carries the sending shard's ring identity on a replication
 // PUT, recorded as the adopted entry's Origin.
 const peerHeader = "X-Mediumgrain-Peer"
+
+// secretHeader carries the cluster's shared secret on every peer
+// cache-exchange request when ShardConfig.Secret is set.
+const secretHeader = "X-Mediumgrain-Secret"
+
+// peerAuthorized checks the shared-secret header against the configured
+// cluster secret (constant-time). With no secret configured the
+// endpoints are open and the operator is trusting the network.
+func (s *Server) peerAuthorized(r *http.Request) bool {
+	if s.clu.Secret == "" {
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(r.Header.Get(secretHeader)), []byte(s.clu.Secret)) == 1
+}
+
+// checkCacheKey gates every /cache/{key} handler: ServeMux delivers the
+// path segment percent-decoded, so without this an escaped "../" in the
+// URL becomes a real path traversal the moment the key is joined onto a
+// directory. Only the exact CacheKey shape (32 hex digits) passes; the
+// helper writes the 400/401 itself and reports whether to proceed.
+func (s *Server) checkCacheKey(w http.ResponseWriter, r *http.Request, key string) bool {
+	if !cluster.ValidKey(key) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed cache key (want 32 hex digits)"})
+		return false
+	}
+	if !s.peerAuthorized(r) {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "missing or wrong " + secretHeader + " header"})
+		return false
+	}
+	return true
+}
 
 // Ready reports whether the shard has finished startup (cache
 // rehydration, ring membership checks) and is not draining — the
@@ -52,34 +88,81 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // handleCacheGet exports one persisted entry as a tar stream. Only
 // entries whose meta file exists are served — the meta-last persist
-// ordering makes that the "bundle is complete" signal. The tar is
-// buffered under persistMu so eviction GC cannot delete files
-// mid-export.
+// ordering makes that the "bundle is complete" signal. persistMu is
+// held only long enough to hard-link the files into a private snapshot
+// dir; the tar (up to the 64MB matrix text) then streams lock-free, so
+// a slow or concurrent peer fetch neither buffers the entry in memory
+// nor stalls persists and eviction on this shard.
 func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	if !s.checkCacheKey(w, r, key) {
+		return
+	}
 	if s.cfg.DataDir == "" {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "shard runs without persistence"})
 		return
 	}
-	var buf bytes.Buffer
-	s.persistMu.Lock()
-	_, statErr := os.Stat(filepath.Join(s.cfg.DataDir, key+".meta.json"))
-	var tarErr error
-	if statErr == nil {
-		tarErr = cluster.WriteEntryTar(&buf, s.cfg.DataDir, key)
-	}
-	s.persistMu.Unlock()
-	if statErr != nil {
+	snap, err := s.exportSnapshot(key)
+	if errors.Is(err, fs.ErrNotExist) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no persisted entry for key"})
 		return
 	}
-	if tarErr != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: tarErr.Error()})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
+	defer os.RemoveAll(snap)
 	w.Header().Set("Content-Type", "application/x-tar")
 	w.WriteHeader(http.StatusOK)
-	_, _ = io.Copy(w, &buf)
+	// Past this point an error can no longer change the status; the
+	// receiver's validation treats a truncated tar as a failed fetch.
+	_ = cluster.WriteEntryTar(w, snap, key)
+}
+
+// exportSnapshot pins a persisted entry for export: under persistMu it
+// hard-links (falling back to copying) the entry's five files into a
+// fresh .export-* dir inside DataDir, which eviction GC never touches.
+// Callers stream from the snapshot without holding any lock and remove
+// the dir when done; links make the common case five metadata ops, not
+// a data copy. Returns fs.ErrNotExist when the entry is not persisted.
+func (s *Server) exportSnapshot(key string) (string, error) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if _, err := os.Stat(filepath.Join(s.cfg.DataDir, key+".meta.json")); err != nil {
+		return "", err
+	}
+	dir, err := os.MkdirTemp(s.cfg.DataDir, ".export-*")
+	if err != nil {
+		return "", err
+	}
+	for _, name := range cluster.EntryFiles(key) {
+		src := filepath.Join(s.cfg.DataDir, name)
+		dst := filepath.Join(dir, name)
+		if err := os.Link(src, dst); err != nil {
+			if err = copyFile(src, dst); err != nil {
+				os.RemoveAll(dir)
+				return "", err
+			}
+		}
+	}
+	return dir, nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(out, in)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // handleCachePut adopts a replication push. Idempotent: a key already in
@@ -87,6 +170,9 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 // sides of a pair may replicate to each other at once).
 func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	if !s.checkCacheKey(w, r, key) {
+		return
+	}
 	if _, ok := s.cache.Get(key); ok {
 		_, _ = io.Copy(io.Discard, r.Body)
 		writeJSON(w, http.StatusOK, map[string]string{"status": "already cached"})
@@ -167,6 +253,9 @@ func (s *Server) fetchFrom(ctx context.Context, node, key string) (*CachedResult
 	if err != nil {
 		return nil, nil, err
 	}
+	if s.clu.Secret != "" {
+		req.Header.Set(secretHeader, s.clu.Secret)
+	}
 	resp, err := s.clu.Client.Do(req)
 	if err != nil {
 		return nil, nil, err
@@ -191,33 +280,34 @@ func (s *Server) maybeReplicate(res *CachedResult, hits int64) {
 	go s.replicateOut(res.Key)
 }
 
-// replicateOut exports the persisted entry once and PUTs it to every
-// other member of the key's replica set. Push failures are counted but
-// not retried: replication is an optimization, and the next hot period
-// on a restarted cache retriggers it.
+// replicateOut snapshots the persisted entry once and PUTs it to every
+// other member of the key's replica set, streaming the tar through a
+// pipe so even a 64MB entry never sits in memory. Push failures are
+// counted but not retried: replication is an optimization, and the
+// next hot period on a restarted cache retriggers it.
 func (s *Server) replicateOut(key string) {
-	var buf bytes.Buffer
-	s.persistMu.Lock()
-	_, statErr := os.Stat(filepath.Join(s.cfg.DataDir, key+".meta.json"))
-	var tarErr error
-	if statErr == nil {
-		tarErr = cluster.WriteEntryTar(&buf, s.cfg.DataDir, key)
-	}
-	s.persistMu.Unlock()
-	if statErr != nil || tarErr != nil {
+	snap, err := s.exportSnapshot(key)
+	if err != nil {
 		s.stats.persistErr()
 		return
 	}
+	defer os.RemoveAll(snap)
 	for _, node := range s.clu.Ring.Replicas(key) {
 		if node == s.clu.Self {
 			continue
 		}
-		req, err := http.NewRequest(http.MethodPut, cluster.NodeURL(node)+"/cache/"+key, bytes.NewReader(buf.Bytes()))
+		pr, pw := io.Pipe()
+		go func() { pw.CloseWithError(cluster.WriteEntryTar(pw, snap, key)) }()
+		req, err := http.NewRequest(http.MethodPut, cluster.NodeURL(node)+"/cache/"+key, pr)
 		if err != nil {
+			pr.Close()
 			continue
 		}
 		req.Header.Set("Content-Type", "application/x-tar")
 		req.Header.Set(peerHeader, s.clu.Self)
+		if s.clu.Secret != "" {
+			req.Header.Set(secretHeader, s.clu.Secret)
+		}
 		resp, err := s.clu.Client.Do(req)
 		if err != nil {
 			continue

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"slices"
+	"strings"
 	"testing"
 	"time"
 
@@ -351,6 +353,143 @@ func TestHotEntryReplication(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 	if st := srvA.Stats(); st.Cluster.ReplicatedOut != 1 {
 		t.Fatalf("replication re-fired: replicated_out = %d", st.Cluster.ReplicatedOut)
+	}
+}
+
+// TestCacheEndpointsRejectMalformedKeys: the /cache/{key} segment is
+// attacker-reachable and ServeMux hands it over percent-decoded, so an
+// escaped "../" would otherwise walk out of the data directory. Both
+// handlers must 400 anything that is not the exact 32-hex CacheKey
+// shape before touching the filesystem.
+func TestCacheEndpointsRejectMalformedKeys(t *testing.T) {
+	ln, addr := clusterListen(t)
+	ring, err := cluster.NewRing([]string{addr, "10.9.9.9:1"}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startClusterShard(t, ring, ln, addr, 100)
+	base := cluster.NodeURL(addr)
+
+	for _, tc := range []struct {
+		name, rawKey string
+	}{
+		{"escaped traversal", "..%2F..%2Fescape"},
+		{"doubly escaped traversal", "..%252F..%252Fescape"},
+		{"non-hex", "zz23456789abcdef0123456789abcdef"},
+		{"uppercase hex", "0123456789ABCDEF0123456789ABCDEF"},
+		{"too short", "0123abcd"},
+	} {
+		for _, method := range []string{http.MethodGet, http.MethodPut} {
+			req, err := http.NewRequest(method, base+"/cache/"+tc.rawKey, strings.NewReader("junk"))
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d, want 400", method, tc.name, resp.StatusCode)
+			}
+		}
+	}
+
+	// A well-formed but absent key is a plain 404: validation must not
+	// over-reject real keys.
+	resp, err := http.Get(base + "/cache/" + strings.Repeat("0f", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("valid absent key: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCacheEndpointsRequireSecret: with a cluster secret configured,
+// unauthenticated or wrongly authenticated /cache requests are refused
+// (nothing enters or leaves the cache), while shards sharing the secret
+// still peer-fetch from each other transparently.
+func TestCacheEndpointsRequireSecret(t *testing.T) {
+	const secret = "smoke-test-secret"
+	lnA, addrA := clusterListen(t)
+	lnB, addrB := clusterListen(t)
+	ring, err := cluster.NewRing([]string{addrA, addrB}, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newShard := func(ln net.Listener, self string) *Server {
+		s, warns := New(Config{
+			Workers: 2, Runners: 2, QueueDepth: 16, CacheEntries: 32,
+			DataDir: t.TempDir(),
+			Cluster: &cluster.ShardConfig{Self: self, Ring: ring, ReplicateAfter: 100, Secret: secret},
+		})
+		for _, w := range warns {
+			t.Fatalf("shard %s: %v", self, w)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		t.Cleanup(func() { hs.Close() })
+		return s
+	}
+	newShard(lnA, addrA)
+	srvB := newShard(lnB, addrB)
+	baseA, baseB := cluster.NodeURL(addrA), cluster.NodeURL(addrB)
+
+	spec := JobSpec{Corpus: "tridiag", P: 2, Method: "MG", Seed: 21, Workers: 1}
+	v, _ := shardPost(t, baseA, spec)
+	done := shardWaitDone(t, baseA, v.ID)
+	if done.State != StateDone {
+		t.Fatalf("job: %+v", done)
+	}
+
+	// GET: no header and a wrong header are both 401; the right secret
+	// serves the entry.
+	for _, tc := range []struct {
+		header string
+		want   int
+	}{
+		{"", http.StatusUnauthorized},
+		{"wrong-secret", http.StatusUnauthorized},
+		{secret, http.StatusOK},
+	} {
+		req, _ := http.NewRequest(http.MethodGet, baseA+"/cache/"+done.Key, nil)
+		if tc.header != "" {
+			req.Header.Set("X-Mediumgrain-Secret", tc.header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("GET with header %q: status %d, want %d", tc.header, resp.StatusCode, tc.want)
+		}
+	}
+
+	// PUT without the secret is refused before the body is even parsed.
+	req, _ := http.NewRequest(http.MethodPut, baseB+"/cache/"+done.Key, strings.NewReader("whatever"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated PUT: status %d, want 401", resp.StatusCode)
+	}
+	if _, ok := srvB.cache.Get(done.Key); ok {
+		t.Fatal("unauthenticated PUT entered the cache")
+	}
+
+	// Shards sharing the secret still peer-fetch from each other.
+	vB, _ := shardPost(t, baseB, spec)
+	if doneB := shardWaitDone(t, baseB, vB.ID); doneB.State != StateDone {
+		t.Fatalf("B job: %+v", doneB)
+	}
+	if res := shardResult(t, baseB, vB.ID); res.Origin != "peer:"+addrA {
+		t.Fatalf("B's result origin %q, want peer:%s", res.Origin, addrA)
 	}
 }
 

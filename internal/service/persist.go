@@ -120,6 +120,11 @@ func loadCacheDir(dir string, max int) ([]*CachedResult, []error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() {
+			// Sweep export snapshots orphaned by a crash mid-transfer; a
+			// live server removes its own as each peer export finishes.
+			if strings.HasPrefix(name, ".export-") {
+				_ = os.RemoveAll(filepath.Join(dir, name))
+			}
 			continue
 		}
 		// Sweep temp files orphaned by a crash mid-persist; nothing

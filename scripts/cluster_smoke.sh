@@ -30,12 +30,13 @@ echo "==> booting shards $S1 $S2 and router $RT"
 # its other replica, so hot replication is observable in a short run.
 # -linger on shard 2 keeps its listener answering trailing polls after
 # the SIGTERM drain below.
+SECRET="cluster-smoke-secret"
 "$WORKDIR/mgserve" -addr "$S1" -node "$S1" -peers "$S1,$S2" \
-  -data "$WORKDIR/data1" -replicate-after 1 \
+  -data "$WORKDIR/data1" -replicate-after 1 -cluster-secret "$SECRET" \
   >"$WORKDIR/shard1.log" 2>&1 &
 PIDS+=($!)
 "$WORKDIR/mgserve" -addr "$S2" -node "$S2" -peers "$S1,$S2" \
-  -data "$WORKDIR/data2" -replicate-after 1 -linger 3s \
+  -data "$WORKDIR/data2" -replicate-after 1 -linger 3s -cluster-secret "$SECRET" \
   >"$WORKDIR/shard2.log" 2>&1 &
 PIDS+=($!)
 SHARD2_PID=$!
@@ -57,8 +58,8 @@ SUBMIT=$(curl -sf -X POST "$BR/jobs" -d "$SPEC")
 echo "$SUBMIT"
 JOB_ID=$(echo "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
 test -n "$JOB_ID"
-# Router job ids are namespaced by owning shard: s<idx>-<id>.
-echo "$JOB_ID" | grep -Eq '^s[0-9]+-' || { echo "unprefixed router id: $JOB_ID"; exit 1; }
+# Router job ids are namespaced by owning shard: s<8-hex shard hash>-<id>.
+echo "$JOB_ID" | grep -Eq '^s[0-9a-f]{8}-' || { echo "unprefixed router id: $JOB_ID"; exit 1; }
 for _ in $(seq 1 150); do
   STATE=$(curl -sf "$BR/jobs/$JOB_ID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' || true)
   [ "$STATE" = "done" ] && break
@@ -106,6 +107,19 @@ grep -Eq '"origin": ?"peer:'"$S1"'"' "$WORKDIR/peer.json" \
 curl -sf "$B2/stats" -o "$WORKDIR/s2stats.json"
 OKS=$(num "$WORKDIR/s2stats.json" peer_fetch_ok)
 test "${OKS:-0}" -ge 1 || { echo "peer_fetch_ok = $OKS on shard 2, want >= 1"; exit 1; }
+
+echo "==> peer endpoints refuse unauthenticated and malformed requests"
+PKEY=$(sed -n 's/.*"key": *"\([^"]*\)".*/\1/p' "$WORKDIR/peer.json" | head -n1)
+test -n "$PKEY"
+# No secret header: 401 even for a real key.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$B1/cache/$PKEY")
+test "$CODE" = "401" || { echo "unauthenticated /cache GET answered $CODE, want 401"; exit 1; }
+# With the secret: served.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "X-Mediumgrain-Secret: $SECRET" "$B1/cache/$PKEY")
+test "$CODE" = "200" || { echo "authenticated /cache GET answered $CODE, want 200"; exit 1; }
+# Path-traversal-shaped key: 400 before any filesystem access.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "X-Mediumgrain-Secret: $SECRET" "$B1/cache/..%2F..%2Fescape")
+test "$CODE" = "400" || { echo "traversal key answered $CODE, want 400"; exit 1; }
 
 echo "==> multi-target mgload with offline verification"
 "$WORKDIR/mgload" -targets "$B1,$B2" -clients 8 -requests 3 -seeds 1 \
