@@ -4,7 +4,7 @@ GO       ?= go
 DATE     := $(shell date -u +%F)
 BENCHOUT ?= BENCH_$(DATE).json
 
-.PHONY: build test race bench bench-json bench-scale3 bench-diff profile lint check-deprecated serve load-test smoke-service smoke-cluster
+.PHONY: build test race bench bench-json bench-scale3 bench-diff profile lint check-deprecated serve load-test smoke-service smoke-cluster smoke-membership
 
 build:
 	$(GO) build ./...
@@ -75,3 +75,10 @@ smoke-service:
 # shard SIGTERM under live traffic. Same script CI runs.
 smoke-cluster:
 	./scripts/cluster_smoke.sh
+
+# End-to-end live-membership smoke: join a 4th shard into a running
+# 3-shard cluster under live mgload (bounded rehydration), then SIGTERM
+# it into a planned leave (announce, drain, handoff) — zero client
+# errors across both epoch changes. Same script CI runs.
+smoke-membership:
+	./scripts/membership_smoke.sh

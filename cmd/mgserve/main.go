@@ -22,6 +22,16 @@
 // entries to the key's other replicas. Routers and shards must agree on
 // the shard list (-shards here, -peers there) and corpus options.
 //
+// Membership is live (see internal/cluster/membership): a new shard
+// joins a running cluster with -join <seed> — it fetches the seed's
+// member list, announces itself at the next ring epoch, and
+// bulk-rehydrates exactly the cache keys that remapped to it — and a
+// shard started with -leave-on-term turns SIGTERM into a planned leave:
+// announce departure, drain, hand every owned cache entry to its new
+// owner, linger, exit. Routers follow membership by polling
+// (-membership-poll) and by the epoch handshake on every routed
+// submission.
+//
 // SIGINT/SIGTERM begin a graceful drain: readiness drops (so routers
 // stop routing here), new submissions are refused with 503, every
 // accepted job runs to completion (and persists), then — after -linger,
@@ -33,6 +43,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -42,6 +53,7 @@ import (
 	"time"
 
 	"mediumgrain/internal/cluster"
+	"mediumgrain/internal/cluster/membership"
 	"mediumgrain/internal/corpus"
 	"mediumgrain/internal/service"
 )
@@ -70,31 +82,44 @@ func main() {
 		replicas  = flag.Int("replicas", 2, "replica-set size K: the owner plus K-1 ring successors hold each hot key")
 		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the hash ring")
 		replAfter = flag.Int64("replicate-after", cluster.DefaultReplicateAfter, "shard mode: cache hits after which an entry replicates to its other ring replicas")
-		secret    = flag.String("cluster-secret", os.Getenv("MGSERVE_CLUSTER_SECRET"), "shard mode: shared secret authenticating the peer /cache endpoints; must match on every shard (default $MGSERVE_CLUSTER_SECRET; empty leaves them open — trusted networks only)")
+		secret    = flag.String("cluster-secret", os.Getenv("MGSERVE_CLUSTER_SECRET"), "shared secret authenticating the peer /cache and /cluster endpoints; must match on every shard and router (default $MGSERVE_CLUSTER_SECRET; empty leaves them open — trusted networks only)")
 		linger    = flag.Duration("linger", 0, "after draining, keep serving reads this long before closing the listener (lets clients finish trailing status polls)")
+
+		// Live membership.
+		join           = flag.String("join", "", "shard mode: join a running cluster by fetching membership from this seed shard (host:port) instead of listing every peer in -peers")
+		leaveOnTerm    = flag.Bool("leave-on-term", false, "shard mode: turn SIGTERM into a planned leave — announce departure, drain, hand every owned cache entry to its new owner, then exit")
+		rehydratePause = flag.Duration("rehydrate-pause", 25*time.Millisecond, "shard mode: pause between bulk-rehydration entry pulls after a join (rate-limits the load on donors)")
+		membershipPoll = flag.Duration("membership-poll", 15*time.Second, "router mode: interval for polling shards for membership changes (0 = rely on the per-request epoch handshake only)")
 	)
 	flag.Parse()
 
 	if *router {
-		runRouter(*addr, *shards, *vnodes, *replicas, *corpusScale, *corpusSeed)
+		runRouter(*addr, *shards, *vnodes, *replicas, *corpusScale, *corpusSeed, *secret, *membershipPoll)
 		return
 	}
 
-	var clu *cluster.ShardConfig
-	if *peers != "" || *node != "" {
-		ring, err := cluster.NewRing(splitList(*peers), *vnodes, *replicas)
+	var (
+		clu        *cluster.ShardConfig
+		members    *membership.Set
+		beforeRing *cluster.Ring // pre-join ring: rehydration sources
+		announce   bool          // broadcast our join once the listener is up
+	)
+	if *peers != "" || *node != "" || *join != "" {
+		var err error
+		members, beforeRing, announce, err = buildMembership(*join, *node, *peers, *vnodes, *replicas, *secret)
 		if err != nil {
-			log.Fatalf("peer ring: %v", err)
+			log.Fatalf("%v", err)
 		}
+		ring := members.Ring()
 		if !ring.Contains(*node) {
-			log.Fatalf("-node %q is not in -peers %v", *node, ring.Nodes())
+			log.Fatalf("-node %q is not in the member set %v", *node, ring.Nodes())
 		}
 		clu = &cluster.ShardConfig{Self: *node, Ring: ring, ReplicateAfter: *replAfter, Secret: *secret}
 		if *secret == "" {
-			log.Printf("warning: no -cluster-secret; peer /cache endpoints accept pushes from anyone who can reach them")
+			log.Printf("warning: no -cluster-secret; peer /cache and /cluster endpoints accept pushes from anyone who can reach them")
 		}
-		log.Printf("shard %s of %d-node ring %v (replicas=%d, vnodes=%d)",
-			cluster.NormalizeNode(*node), len(ring.Nodes()), ring.Nodes(), ring.ReplicaCount(), ring.VNodes())
+		log.Printf("shard %s of %d-node ring %v (epoch=%s, replicas=%d, vnodes=%d)",
+			cluster.NormalizeNode(*node), len(ring.Nodes()), ring.Nodes(), ring.Epoch(), ring.ReplicaCount(), ring.VNodes())
 	}
 
 	srv, warns := service.New(service.Config{
@@ -108,6 +133,7 @@ func main() {
 		CorpusSeed:      *corpusSeed,
 		SalvageOnCancel: *salvage,
 		Cluster:         clu,
+		Members:         members,
 	})
 	for _, w := range warns {
 		log.Printf("startup: %v", w)
@@ -120,6 +146,31 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
+	// Joining a live cluster: announce ourselves (peers adopt the new
+	// epoch; routers learn it by poll or by the first 409) and then
+	// bulk-rehydrate the keys that remapped to us, in the background so
+	// serving starts immediately. A rejoin (announce=false) skips the
+	// broadcast but still rehydrates whatever it missed while away.
+	bgCtx, bgCancel := context.WithCancel(context.Background())
+	defer bgCancel()
+	if beforeRing != nil {
+		go func() {
+			if announce {
+				actx, cancel := context.WithTimeout(bgCtx, 30*time.Second)
+				jst, err := membership.Broadcast(actx, &http.Client{Timeout: 30 * time.Second}, members, *secret, "join", *node, *node)
+				cancel()
+				if err != nil {
+					log.Printf("join: broadcast failed (peers converge via 409): %v", err)
+				} else {
+					log.Printf("join: announced; cluster at epoch %s with %d members", jst.Epoch, len(jst.Members))
+				}
+			}
+			rep := srv.Rehydrate(bgCtx, beforeRing, *rehydratePause)
+			log.Printf("rehydrate: scanned %d peer keys, wanted %d, pulled %d, failed %d",
+				rep.Scanned, rep.Wanted, rep.Pulled, rep.Failed)
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
@@ -129,11 +180,34 @@ func main() {
 	case sig := <-sigCh:
 		log.Printf("%s: draining (refusing new jobs, finishing accepted work)", sig)
 	}
+	bgCancel() // stop any in-flight rehydration before draining
+
+	// A planned leave announces first — while we are still ready — so
+	// routers remap the key space before the drain refuses anything.
+	if *leaveOnTerm && clu != nil {
+		lctx, lcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		lst, err := srv.AnnounceLeave(lctx)
+		lcancel()
+		if err != nil {
+			log.Printf("leave: announcement failed (draining and exiting anyway): %v", err)
+		} else {
+			log.Printf("leave: announced; cluster now at epoch %s with %d members", lst.Epoch, len(lst.Members))
+		}
+	}
 
 	srv.Drain()
 	st = srv.Stats()
 	log.Printf("drained: %d completed, %d failed, cache %d entries (%d hits / %d misses)",
 		st.Completed, st.Failed, st.Cache.Entries, st.Cache.Hits, st.Cache.Misses)
+
+	// With the persisted set final (nothing runs past Drain), hand every
+	// owned entry to its new owner so the cluster keeps its warm cache.
+	if *leaveOnTerm && clu != nil {
+		hctx, hcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		done, failed := srv.Handoff(hctx)
+		hcancel()
+		log.Printf("handoff: pushed %d entries to their new owners, %d failed", done, failed)
+	}
 
 	// The listener stays up through the linger window so clients whose
 	// jobs just finished can still poll status and fetch results; only
@@ -150,10 +224,65 @@ func main() {
 	}
 }
 
+// buildMembership constructs the shard's member set. With a -join seed
+// it bootstraps from the live cluster: fetch the seed's membership, add
+// ourselves at the next counter, and remember the pre-join ring so
+// rehydration knows which nodes hold the keys that just remapped to us.
+// A rejoin (the cluster still lists us, e.g. a crash before any leave)
+// adopts the seed's view unchanged and skips the announcement — the
+// epoch must not move when ownership doesn't. Without -join the set
+// starts from the static -peers list at counter 1, exactly the
+// pre-membership boot, but mutable from here on.
+func buildMembership(join, node, peers string, vnodes, replicas int, secret string) (set *membership.Set, beforeRing *cluster.Ring, announce bool, err error) {
+	if join == "" {
+		set, err = membership.New(splitList(peers), vnodes, replicas)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("peer ring: %w", err)
+		}
+		return set, nil, false, nil
+	}
+	if node == "" {
+		return nil, nil, false, fmt.Errorf("-join requires -node (this shard's own address)")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	seed, err := cluster.FetchMembers(ctx, &http.Client{Timeout: 30 * time.Second}, join, secret)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("join: fetching membership from seed %s: %w", join, err)
+	}
+	joined, err := membership.Mutate(seed.Members, "join", node)
+	if err != nil {
+		// Rejoin: adopt the cluster's view as-is. Rehydration sources are
+		// the other members — we may have missed entries while away.
+		log.Printf("join: %v; rejoining at epoch %s", err, seed.Epoch)
+		set, err = membership.NewAt(seed.Members, vnodes, replicas, seed.Counter)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("join: %w", err)
+		}
+		if old, merr := membership.Mutate(seed.Members, "leave", node); merr == nil {
+			beforeRing, _ = cluster.NewRingAt(old, vnodes, replicas, seed.Counter)
+		}
+		return set, beforeRing, false, nil
+	}
+	set, err = membership.NewAt(joined, vnodes, replicas, seed.Counter+1)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("join: %w", err)
+	}
+	beforeRing, err = cluster.NewRingAt(seed.Members, vnodes, replicas, seed.Counter)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("join: seed ring: %w", err)
+	}
+	return set, beforeRing, true, nil
+}
+
 // runRouter serves the stateless router role: no jobs, no cache, no
 // drain protocol — SIGTERM just closes the listener (in-flight proxied
-// requests finish via Shutdown's grace period).
-func runRouter(addr, shards string, vnodes, replicas, corpusScale int, corpusSeed int64) {
+// requests finish via Shutdown's grace period). The router follows
+// cluster membership two ways: a poll loop every -membership-poll, and
+// the epoch handshake on every routed submission (a disagreeing shard
+// answers a structured 409 the router resolves by refreshing and
+// retrying).
+func runRouter(addr, shards string, vnodes, replicas, corpusScale int, corpusSeed int64, secret string, poll time.Duration) {
 	nodes := splitList(shards)
 	if len(nodes) == 0 {
 		log.Fatalf("-router needs -shards host:port,host:port,...")
@@ -172,18 +301,37 @@ func runRouter(addr, shards string, vnodes, replicas, corpusScale int, corpusSee
 	for _, in := range corpus.Build(opts) {
 		hashes[in.Name] = cluster.MatrixHash(in.A)
 	}
+	set, err := membership.New(nodes, vnodes, replicas)
+	if err != nil {
+		log.Fatalf("router ring: %v", err)
+	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
-		Shards:       nodes,
+		Members:      set,
 		VNodes:       vnodes,
 		Replicas:     replicas,
 		CorpusHashes: hashes,
+		Secret:       secret,
 	})
 	if err != nil {
 		log.Fatalf("router: %v", err)
 	}
 	ring := rt.Ring()
-	log.Printf("router on %s over %d shards %v (replicas=%d, vnodes=%d)",
-		addr, len(ring.Nodes()), ring.Nodes(), ring.ReplicaCount(), ring.VNodes())
+	log.Printf("router on %s over %d shards %v (epoch=%s, replicas=%d, vnodes=%d)",
+		addr, len(ring.Nodes()), ring.Nodes(), ring.Epoch(), ring.ReplicaCount(), ring.VNodes())
+
+	if poll > 0 {
+		go func() {
+			t := time.NewTicker(poll)
+			defer t.Stop()
+			for range t.C {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				if err := rt.RefreshMembership(ctx); err != nil {
+					log.Printf("membership poll: %v", err)
+				}
+				cancel()
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
 	errCh := make(chan error, 1)

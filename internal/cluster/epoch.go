@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Wire-level membership: the epoch identity of a member set and the
+// JSON shapes routers and shards exchange to converge on it. The state
+// machine that owns a mutable member set lives in
+// internal/cluster/membership; this file defines only what crosses the
+// wire, so the Router (this package) and the shard daemon
+// (internal/service) speak the same protocol without importing the
+// subsystem that drives it.
+//
+// An epoch is "<counter>:<members-hash>". The hash half is what two
+// processes must agree on to route consistently — it is a pure function
+// of the member set. The counter half is a monotonic proposal order:
+// every membership change (join, leave) is announced with the previous
+// counter + 1, and a receiver adopts a proposal exactly when its
+// counter exceeds the receiver's own. A mid-change window therefore
+// resolves deterministically: whoever holds the higher counter wins,
+// and the loser learns the winner's member list from the structured 409
+// its stale request (or announcement) gets back.
+
+// EpochHeader carries the sender's ring epoch on every routed request.
+// A shard that disagrees (different members hash) answers a structured
+// 409 (EpochMismatch) instead of serving under a ring the router no
+// longer routes by, and the router resolves by refreshing membership
+// and retrying — one extra hop, never a silently mis-routed submission.
+const EpochHeader = "X-Mediumgrain-Ring-Epoch"
+
+// SecretHeader carries the cluster's shared secret on every peer and
+// membership request. Membership endpoints are gated by it for the same
+// reason the cache-transfer endpoints are: an unauthenticated
+// /cluster/join would let anyone on the network insert a member and
+// siphon off (or black-hole) a share of the key space.
+const SecretHeader = "X-Mediumgrain-Secret"
+
+// MembersHash is the pure-function half of a ring epoch: an 8-hex
+// digest of the normalized, deduplicated, sorted member list. The label
+// is versioned like every other hash in this package: a layout change
+// must never make two releases silently disagree about "same members".
+func MembersHash(nodes []string) string {
+	seen := make(map[string]bool, len(nodes))
+	norm := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		nn := NormalizeNode(n)
+		if nn != "" && !seen[nn] {
+			seen[nn] = true
+			norm = append(norm, nn)
+		}
+	}
+	sort.Strings(norm)
+	sum := sha256.Sum256([]byte("mgepoch/1|" + strings.Join(norm, ",")))
+	return hex.EncodeToString(sum[:4])
+}
+
+// ParseEpoch splits an epoch string back into (counter, members hash);
+// ok is false for anything not shaped "<decimal>:<hash>".
+func ParseEpoch(epoch string) (counter uint64, hash string, ok bool) {
+	c, h, found := strings.Cut(epoch, ":")
+	if !found || c == "" || h == "" {
+		return 0, "", false
+	}
+	n, err := strconv.ParseUint(c, 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return n, h, true
+}
+
+// MemberState is one process's current view of cluster membership: the
+// member list, the epoch counter it was adopted at, and the derived
+// epoch string. It is the body of GET /cluster/members, the payload of
+// a 409 conflict, and the state half of every announcement.
+type MemberState struct {
+	Members []string `json:"members"`
+	Counter uint64   `json:"counter"`
+	Epoch   string   `json:"epoch"`
+}
+
+// Announcement is the body of POST /cluster/join and /cluster/leave: a
+// proposed member list at a counter one past the proposer's previous
+// view, plus the node joining or leaving (informational for logs;
+// adoption is purely counter-ordered, which is also what lets a router
+// relay a membership it learned elsewhere — a "sync" announcement with
+// no node).
+type Announcement struct {
+	// Action is "join", "leave", or "sync" (a relay of already-adopted
+	// membership, e.g. a router updating a stale shard).
+	Action string `json:"action"`
+	// Node is the joining/leaving shard address; empty for sync.
+	Node string `json:"node,omitempty"`
+	// Members is the full proposed member list; Counter its epoch.
+	Members []string `json:"members"`
+	Counter uint64   `json:"counter"`
+}
+
+// EpochMismatch is the structured 409 body a shard answers when a
+// routed request's epoch header (or a membership announcement) carries
+// a member set the shard disagrees with. RingEpochMismatch
+// distinguishes it from the API's other 409s (e.g. canceling a finished
+// job); the embedded MemberState is the shard's own view, which the
+// router adopts when its counter is higher — and pushes back as a sync
+// announcement when its own is.
+type EpochMismatch struct {
+	Error             string `json:"error"`
+	RingEpochMismatch bool   `json:"ring_epoch_mismatch"`
+	MemberState
+}
+
+// NewEpochMismatch builds the 409 body for a ring at its current state.
+func NewEpochMismatch(r *Ring, gotEpoch string) EpochMismatch {
+	return EpochMismatch{
+		Error:             fmt.Sprintf("ring epoch mismatch: request carries %q, shard is at %q", gotEpoch, r.Epoch()),
+		RingEpochMismatch: true,
+		MemberState:       StateOf(r),
+	}
+}
+
+// StateOf snapshots a ring as a MemberState.
+func StateOf(r *Ring) MemberState {
+	return MemberState{Members: r.Nodes(), Counter: r.Counter(), Epoch: r.Epoch()}
+}
+
+// MemberSet is the dynamic membership a Router routes over: a current
+// ring plus the adoption rule for membership proposals. The live
+// implementation is internal/cluster/membership.Set; a Router built
+// from a plain -shards list runs over a static set that never changes.
+type MemberSet interface {
+	// Ring returns the current ring; callers snapshot it once per
+	// request so routing, epoch header, and failover agree.
+	Ring() *Ring
+	// State snapshots the current membership.
+	State() MemberState
+	// Propose offers a member list at a counter; it is adopted (ring
+	// rebuilt) exactly when counter exceeds the current one. adopted
+	// reports a change; err is non-nil when the proposal is stale or
+	// conflicting (equal counter, different members) — the caller should
+	// answer with its own State.
+	Propose(members []string, counter uint64) (adopted bool, err error)
+}
+
+// staticSet is the MemberSet of a fixed shard list: the pre-membership
+// behavior, used when a Router is configured with Shards only.
+type staticSet struct{ ring *Ring }
+
+func (s staticSet) Ring() *Ring        { return s.ring }
+func (s staticSet) State() MemberState { return StateOf(s.ring) }
+func (s staticSet) Propose(members []string, counter uint64) (bool, error) {
+	if counter <= s.ring.Counter() && MembersHash(members) != MembersHash(s.ring.Nodes()) {
+		return false, fmt.Errorf("cluster: static member set rejects proposal at counter %d", counter)
+	}
+	return false, nil // static: agree-or-ignore, never rebuild
+}

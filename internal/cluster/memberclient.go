@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client side of the membership wire protocol: fetching a node's
+// current member view and announcing a membership change to it. These
+// live in package cluster (not membership) because the Router needs
+// them too — to poll for membership and to push its own view to a shard
+// that answered a stale 409 — and membership already imports cluster.
+
+// FetchMembers asks a node for its current membership view
+// (GET /cluster/members, secret-gated).
+func FetchMembers(ctx context.Context, client *http.Client, node, secret string) (MemberState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, NodeURL(node)+"/cluster/members", nil)
+	if err != nil {
+		return MemberState{}, err
+	}
+	if secret != "" {
+		req.Header.Set(SecretHeader, secret)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return MemberState{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return MemberState{}, fmt.Errorf("cluster: %s /cluster/members: %s", node, resp.Status)
+	}
+	var st MemberState
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return MemberState{}, fmt.Errorf("cluster: %s /cluster/members: %w", node, err)
+	}
+	if len(st.Members) == 0 {
+		return MemberState{}, fmt.Errorf("cluster: %s reported an empty member list", node)
+	}
+	return st, nil
+}
+
+// AnnounceMembership posts a membership proposal to one node
+// (POST /cluster/{join,leave}; a "sync" action posts to /cluster/join —
+// adoption is purely counter-ordered, the path only names the intent).
+// On 200 the node's resulting state is returned with conflict=false; on
+// a structured 409 the node's own (winning or conflicting) state is
+// returned with conflict=true and a nil error, so the announcer can
+// rebase and retry. Any other answer is an error.
+func AnnounceMembership(ctx context.Context, client *http.Client, node, secret string, ann Announcement) (st MemberState, conflict bool, err error) {
+	path := "/cluster/join"
+	if ann.Action == "leave" {
+		path = "/cluster/leave"
+	}
+	body, err := json.Marshal(ann)
+	if err != nil {
+		return MemberState{}, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, NodeURL(node)+path, bytes.NewReader(body))
+	if err != nil {
+		return MemberState{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if secret != "" {
+		req.Header.Set(SecretHeader, secret)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return MemberState{}, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+			return MemberState{}, false, fmt.Errorf("cluster: %s %s: %w", node, path, err)
+		}
+		return st, false, nil
+	case http.StatusConflict:
+		var em EpochMismatch
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&em); err != nil || len(em.Members) == 0 {
+			return MemberState{}, false, fmt.Errorf("cluster: %s %s: unparseable 409", node, path)
+		}
+		return em.MemberState, true, nil
+	default:
+		return MemberState{}, false, fmt.Errorf("cluster: %s %s: %s", node, path, resp.Status)
+	}
+}

@@ -1,0 +1,85 @@
+package membership
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+
+	"mediumgrain/internal/cluster"
+)
+
+// maxBroadcastRounds bounds the rebase-and-retry loop when concurrent
+// membership changes race. Each round either succeeds or adopts a
+// strictly higher counter, so a handful of rounds outlasts any
+// realistic burst of simultaneous joins/leaves.
+const maxBroadcastRounds = 4
+
+// Broadcast announces the Set's current state — which must already
+// reflect action(node), i.e. Apply was called — to every member except
+// self. Unreachable peers are skipped with a log line (they converge
+// later via a 409 on the first request that reaches them, or a router
+// sync); a peer that answers a structured 409 with a higher-counter
+// view makes the announcer rebase: adopt the responder's members,
+// re-apply its own change at the responder's counter + 1, and start the
+// round over. Returns the state everyone converged on.
+func Broadcast(ctx context.Context, client *http.Client, set *Set, secret, action, node, self string) (cluster.MemberState, error) {
+	selfN := cluster.NormalizeNode(self)
+	for round := 0; round < maxBroadcastRounds; round++ {
+		st := set.State()
+		ann := cluster.Announcement{Action: action, Node: node, Members: st.Members, Counter: st.Counter}
+		rebased := false
+		for _, m := range st.Members {
+			if m == selfN {
+				continue
+			}
+			peerSt, conflict, err := cluster.AnnounceMembership(ctx, client, m, secret, ann)
+			if err != nil {
+				log.Printf("membership: %s announcement to %s failed (will converge via 409): %v", action, m, err)
+				continue
+			}
+			if conflict && peerSt.Counter >= st.Counter {
+				if err := rebase(set, peerSt, action, node); err != nil {
+					return cluster.MemberState{}, err
+				}
+				rebased = true
+				break
+			}
+			// conflict with a lower counter cannot happen (the peer would
+			// have adopted); treat it like agreement and move on.
+			_ = peerSt
+		}
+		if !rebased {
+			return st, nil
+		}
+	}
+	return cluster.MemberState{}, fmt.Errorf("membership: %s of %s did not converge after %d rounds", action, node, maxBroadcastRounds)
+}
+
+// rebase resolves an announcement conflict: adopt the responder's view,
+// then re-apply our own change on top of it at counter + 1. If the
+// responder's view already reflects the change (e.g. our earlier round
+// reached it via another peer), adopting it alone is enough.
+func rebase(set *Set, peer cluster.MemberState, action, node string) error {
+	members, err := Mutate(peer.Members, action, node)
+	if err != nil {
+		// Already reflected: a join of a node the view contains, or a
+		// leave of one it doesn't. Adopt the view as-is.
+		_, err = set.Propose(peer.Members, peer.Counter)
+	} else {
+		_, err = set.Propose(members, peer.Counter+1)
+	}
+	if err != nil && reflected(set.Ring(), action, node) {
+		// A concurrent adoption raced the rebase but already carries our
+		// change; whatever counter won, the desired end state holds.
+		return nil
+	}
+	return err
+}
+
+// reflected reports whether a ring already reflects action(node): the
+// node is a member after a join, absent after a leave.
+func reflected(r *cluster.Ring, action, node string) bool {
+	in := r.Contains(node)
+	return (action == "join" && in) || (action == "leave" && !in)
+}

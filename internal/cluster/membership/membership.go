@@ -1,0 +1,195 @@
+// Package membership gives an mgserve cluster a live member set: an
+// epoch-versioned, mutation-capable view of which shards are in the
+// ring, converged upon by announcement (POST /cluster/join, /cluster/
+// leave) rather than by restarting every process with a new -peers
+// list.
+//
+// The design splits cleanly along the wire boundary defined in package
+// cluster: cluster owns the epoch algebra (MembersHash, ParseEpoch, the
+// Announcement/MemberState/EpochMismatch JSON shapes) so routers and
+// shards can speak the protocol without importing this package; this
+// package owns the mutable state machine (Set) and the HTTP client side
+// (Fetch, Announce, Broadcast, JoinVia) that drives it.
+//
+// # Convergence
+//
+// Every membership change is a proposal: a full member list at a
+// counter one past the proposer's previous view. A process adopts a
+// proposal exactly when its counter exceeds the process's own — there
+// is no merge of member lists on the receiving side, which keeps the
+// rule trivially convergent: after any finite burst of proposals, all
+// reachable processes hold the proposal with the highest counter
+// (ties on counter with identical members are agreement; ties with
+// different members are a conflict the announcer resolves by adopting
+// the responder's state, re-adding its own change at counter+1, and
+// re-announcing — see Broadcast).
+//
+// The epoch a process holds is stamped on every routed request
+// (cluster.EpochHeader), so disagreement is detected at the first
+// request that crosses it and resolved by one refresh + retry instead
+// of a wrong-shard answer.
+package membership
+
+import (
+	"fmt"
+	"sync"
+
+	"mediumgrain/internal/cluster"
+)
+
+// Set is a mutable, epoch-versioned cluster member set: the live
+// implementation of cluster.MemberSet. It holds the current ring and
+// rebuilds it — at the configured vnode and replica counts, not the
+// clamped ones — whenever a proposal with a higher counter is adopted.
+// Safe for concurrent use.
+type Set struct {
+	vnodes   int // as configured; NewRingAt applies defaults/clamps
+	replicas int
+
+	mu   sync.RWMutex
+	ring *cluster.Ring
+	// onChange, if set, runs synchronously after every adoption with the
+	// rings swapped out and in. Registered once at wiring time, before
+	// any proposal can arrive.
+	onChange func(old, cur *cluster.Ring)
+}
+
+// New builds a Set over the initial member list at epoch counter 1.
+// vnodes and replicas are remembered as configured so later rebuilds
+// over more members can use the full replica count even if the initial
+// list clamped it.
+func New(members []string, vnodes, replicas int) (*Set, error) {
+	return NewAt(members, vnodes, replicas, 1)
+}
+
+// NewAt is New at an explicit starting counter (a process rejoining a
+// cluster whose epoch it knows).
+func NewAt(members []string, vnodes, replicas int, counter uint64) (*Set, error) {
+	r, err := cluster.NewRingAt(members, vnodes, replicas, counter)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{vnodes: vnodes, replicas: replicas, ring: r}, nil
+}
+
+// Static wraps an already-built ring in a Set, inheriting its vnode and
+// replica configuration. Used to lift a pre-membership fixed ring into
+// the dynamic interface.
+func Static(r *cluster.Ring) *Set {
+	return &Set{vnodes: r.VNodes(), replicas: r.ReplicaCount(), ring: r}
+}
+
+// OnChange registers a callback invoked after every adopted proposal.
+// Must be called before the Set is shared; only one callback is kept.
+func (s *Set) OnChange(fn func(old, cur *cluster.Ring)) {
+	s.mu.Lock()
+	s.onChange = fn
+	s.mu.Unlock()
+}
+
+// Ring returns the current ring. Callers snapshot it once per operation
+// so routing, the epoch header, and failover order agree even if a
+// proposal lands mid-request.
+func (s *Set) Ring() *cluster.Ring {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring
+}
+
+// State snapshots the current membership.
+func (s *Set) State() cluster.MemberState {
+	return cluster.StateOf(s.Ring())
+}
+
+// Propose offers a member list at a counter, adopting it (ring rebuilt)
+// exactly when counter exceeds the current one. Returns adopted=false
+// with a nil error when the proposal agrees with the current state
+// (same members hash at the same or a lower counter), and an error when
+// it conflicts: a different member set at an equal or lower counter,
+// which the caller should answer with its own State so the proposer can
+// rebase.
+func (s *Set) Propose(members []string, counter uint64) (bool, error) {
+	s.mu.Lock()
+	cur := s.ring
+	switch {
+	case counter > cur.Counter():
+		next, err := cluster.NewRingAt(members, s.vnodes, s.replicas, counter)
+		if err != nil {
+			s.mu.Unlock()
+			return false, fmt.Errorf("membership: rejecting proposal at counter %d: %w", counter, err)
+		}
+		s.ring = next
+		fn := s.onChange
+		s.mu.Unlock()
+		if fn != nil {
+			fn(cur, next)
+		}
+		return true, nil
+	case cluster.MembersHash(members) == cluster.MembersHash(cur.Nodes()):
+		// Same members at an older or equal counter: agreement, not a
+		// change. (An older counter just means the proposer is behind.)
+		s.mu.Unlock()
+		return false, nil
+	default:
+		s.mu.Unlock()
+		return false, fmt.Errorf("membership: conflicting member set at counter %d (current epoch %s)", counter, cur.Epoch())
+	}
+}
+
+// Apply runs a local membership mutation — members ∪ {node} for a join,
+// members \ {node} for a leave — at the current counter + 1, adopting
+// it and returning the resulting state (ready to broadcast). It is the
+// local half of announcing one's own join or leave.
+func (s *Set) Apply(action, node string) (cluster.MemberState, error) {
+	s.mu.RLock()
+	cur := s.ring
+	s.mu.RUnlock()
+	members, err := Mutate(cur.Nodes(), action, node)
+	if err != nil {
+		return cluster.MemberState{}, err
+	}
+	if _, err := s.Propose(members, cur.Counter()+1); err != nil {
+		return cluster.MemberState{}, err
+	}
+	return s.State(), nil
+}
+
+// Mutate applies a join/leave action to a member list, returning the
+// new list. A join of an existing member and a leave of a non-member
+// are errors (the announcement would bump the epoch without changing
+// ownership, churning every router for nothing). A leave that would
+// empty the cluster is refused.
+func Mutate(members []string, action, node string) ([]string, error) {
+	n := cluster.NormalizeNode(node)
+	if n == "" {
+		return nil, fmt.Errorf("membership: empty node in %s", action)
+	}
+	out := make([]string, 0, len(members)+1)
+	present := false
+	for _, m := range members {
+		if m == n {
+			present = true
+			if action == "leave" {
+				continue
+			}
+		}
+		out = append(out, m)
+	}
+	switch action {
+	case "join":
+		if present {
+			return nil, fmt.Errorf("membership: %s is already a member", n)
+		}
+		out = append(out, n)
+	case "leave":
+		if !present {
+			return nil, fmt.Errorf("membership: %s is not a member", n)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("membership: refusing to remove the last member %s", n)
+		}
+	default:
+		return nil, fmt.Errorf("membership: unknown action %q", action)
+	}
+	return out, nil
+}

@@ -1,0 +1,301 @@
+package membership
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mediumgrain/internal/cluster"
+)
+
+func TestProposeOrdering(t *testing.T) {
+	set, err := New([]string{"a:1", "b:1"}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.State().Counter; got != 1 {
+		t.Fatalf("initial counter = %d, want 1", got)
+	}
+
+	// Higher counter: adopted, even with the same members.
+	adopted, err := set.Propose([]string{"a:1", "b:1"}, 2)
+	if err != nil || !adopted {
+		t.Fatalf("same members at counter 2: adopted=%v err=%v, want adoption", adopted, err)
+	}
+
+	// Same members at an equal or lower counter: agreement, no change.
+	for _, c := range []uint64{1, 2} {
+		adopted, err = set.Propose([]string{"b:1", "a:1"}, c)
+		if err != nil || adopted {
+			t.Fatalf("agreeing proposal at counter %d: adopted=%v err=%v, want (false, nil)", c, adopted, err)
+		}
+	}
+
+	// Different members at an equal or lower counter: conflict.
+	if _, err = set.Propose([]string{"a:1", "c:1"}, 2); err == nil {
+		t.Fatal("conflicting members at equal counter: want error")
+	}
+	if set.State().Counter != 2 {
+		t.Fatalf("conflict mutated the set: counter = %d", set.State().Counter)
+	}
+
+	// Higher counter with different members: adopted.
+	adopted, err = set.Propose([]string{"a:1", "c:1"}, 7)
+	if err != nil || !adopted {
+		t.Fatalf("new members at counter 7: adopted=%v err=%v", adopted, err)
+	}
+	st := set.State()
+	if st.Counter != 7 || !set.Ring().Contains("c:1") || set.Ring().Contains("b:1") {
+		t.Fatalf("post-adoption state wrong: %+v", st)
+	}
+}
+
+func TestMutate(t *testing.T) {
+	base := []string{"a:1", "b:1"}
+	if got, err := Mutate(base, "join", "http://c:1/"); err != nil || strings.Join(got, ",") != "a:1,b:1,c:1" {
+		t.Fatalf("join: %v %v", got, err)
+	}
+	if got, err := Mutate(base, "leave", "a:1"); err != nil || strings.Join(got, ",") != "b:1" {
+		t.Fatalf("leave: %v %v", got, err)
+	}
+	for _, tc := range []struct{ action, node string }{
+		{"join", "a:1"},   // already a member
+		{"leave", "c:1"},  // not a member
+		{"leave", ""},     // empty node
+		{"retire", "a:1"}, // unknown action
+	} {
+		if _, err := Mutate(base, tc.action, tc.node); err == nil {
+			t.Errorf("Mutate(%q, %q): want error", tc.action, tc.node)
+		}
+	}
+	if _, err := Mutate([]string{"a:1"}, "leave", "a:1"); err == nil {
+		t.Fatal("leaving the last member: want error")
+	}
+}
+
+// TestApplyJoinEpochAndBoundedMovement is the acceptance-criteria
+// assertion: applying a join bumps Ring.Epoch() (counter + members
+// hash), and the rebuilt ring moves only keys that land on the joiner —
+// a fraction near 1/(N+1) of the key space, nothing shuffled between
+// survivors.
+func TestApplyJoinEpochAndBoundedMovement(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	set, err := New(members, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := set.Ring()
+	beforeEpoch := before.Epoch()
+
+	st, err := set.Apply("join", "d:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := set.Ring()
+	if after.Epoch() == beforeEpoch {
+		t.Fatalf("join did not change the epoch: %s", beforeEpoch)
+	}
+	if c, h, ok := cluster.ParseEpoch(st.Epoch); !ok || c != 2 || h != cluster.MembersHash(after.Nodes()) {
+		t.Fatalf("post-join epoch %q: counter/hash wrong", st.Epoch)
+	}
+
+	const keys = 4000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("%064x", i)
+		o1, o2 := before.Owner(key), after.Owner(key)
+		if o1 != o2 {
+			moved++
+			if o2 != "d:1" {
+				t.Fatalf("key %d moved between survivors: %s -> %s", i, o1, o2)
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("join moved %.1f%% of keys, want near 1/4", 100*frac)
+	}
+
+	// The symmetric leave restores the old ownership map exactly (the
+	// counter keeps climbing, so the epoch still differs).
+	if _, err := set.Apply("leave", "d:1"); err != nil {
+		t.Fatal(err)
+	}
+	restored := set.Ring()
+	if restored.Epoch() == beforeEpoch {
+		t.Fatal("leave restored the original epoch; counter must keep climbing")
+	}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("%064x", i)
+		if before.Owner(key) != restored.Owner(key) {
+			t.Fatalf("key %d owned differently after join+leave round trip", i)
+		}
+	}
+}
+
+func TestApplyUsesConfiguredReplicas(t *testing.T) {
+	// A single-member set configured with replicas=2 clamps to 1; the
+	// rebuild after a join must un-clamp to the configured value.
+	set, err := New([]string{"a:1"}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Ring().ReplicaCount(); got != 1 {
+		t.Fatalf("single-member replica count = %d, want clamped 1", got)
+	}
+	if _, err := set.Apply("join", "b:1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Ring().ReplicaCount(); got != 2 {
+		t.Fatalf("post-join replica count = %d, want configured 2", got)
+	}
+}
+
+// announceServer is the shard side of the announcement protocol in
+// miniature: adopt-or-agree answers 200 with the local state, a
+// conflict answers a structured 409.
+func announceServer(t *testing.T, set *Set, secret string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	handle := func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(cluster.SecretHeader) != secret {
+			w.WriteHeader(http.StatusUnauthorized)
+			return
+		}
+		var ann cluster.Announcement
+		if err := json.NewDecoder(r.Body).Decode(&ann); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if _, err := set.Propose(ann.Members, ann.Counter); err != nil {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(cluster.EpochMismatch{
+				Error: err.Error(), RingEpochMismatch: true, MemberState: set.State(),
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(set.State())
+	}
+	mux.HandleFunc("POST /cluster/join", handle)
+	mux.HandleFunc("POST /cluster/leave", handle)
+	mux.HandleFunc("GET /cluster/members", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(cluster.SecretHeader) != secret {
+			w.WriteHeader(http.StatusUnauthorized)
+			return
+		}
+		json.NewEncoder(w).Encode(set.State())
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestBroadcastJoinConverges(t *testing.T) {
+	const secret = "s3"
+	ctx := context.Background()
+
+	// Two live shards that don't know the joiner yet. Their member lists
+	// must contain their own listen addresses, so boot the servers on
+	// placeholder sets and propose the real membership once the
+	// addresses are known.
+	setA, _ := New([]string{"placeholder:1"}, 8, 2)
+	setB, _ := New([]string{"placeholder:1"}, 8, 2)
+	sA := announceServer(t, setA, secret)
+	sB := announceServer(t, setB, secret)
+	a, b := cluster.NormalizeNode(sA.URL), cluster.NormalizeNode(sB.URL)
+	members := []string{a, b}
+	for _, s := range []*Set{setA, setB} {
+		if _, err := s.Propose(members, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The joiner fetches a seed view, applies itself, broadcasts.
+	self := "198.51.100.9:9999"
+	seed, err := cluster.FetchMembers(ctx, http.DefaultClient, a, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := Mutate(seed.Members, "join", self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner, err := NewAt(joined, 8, 2, seed.Counter+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Broadcast(ctx, http.DefaultClient, joiner, secret, "join", self, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Counter != 3 {
+		t.Fatalf("converged counter = %d, want 3", st.Counter)
+	}
+	for name, s := range map[string]*Set{"A": setA, "B": setB} {
+		got := s.State()
+		if got.Epoch != st.Epoch || !s.Ring().Contains(self) {
+			t.Fatalf("shard %s did not adopt the join: %+v vs %+v", name, got, st)
+		}
+	}
+}
+
+func TestBroadcastRebasesOnConflict(t *testing.T) {
+	const secret = "s3"
+	ctx := context.Background()
+
+	setA, _ := New([]string{"placeholder:1"}, 8, 2)
+	sA := announceServer(t, setA, secret)
+	a := cluster.NormalizeNode(sA.URL)
+
+	// Shard A is at counter 3 over {a, x}; the joiner announces at
+	// counter 3 over {a, self} — an equal-counter conflict. The joiner
+	// must adopt A's view and re-apply itself at counter 4.
+	if _, err := setA.Propose([]string{a, "x:1"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	self := "198.51.100.9:9999"
+	joiner, err := NewAt([]string{a, self}, 8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Broadcast(ctx, http.DefaultClient, joiner, secret, "join", self, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Counter != 4 {
+		t.Fatalf("rebased counter = %d, want 4", st.Counter)
+	}
+	want := []string{a, self, "x:1"}
+	for _, m := range want {
+		if !joiner.Ring().Contains(m) || !setA.Ring().Contains(m) {
+			t.Fatalf("member %s missing after rebase: joiner=%v A=%v", m, joiner.State().Members, setA.State().Members)
+		}
+	}
+	if setA.State().Epoch != st.Epoch {
+		t.Fatalf("shard A epoch %s != converged %s", setA.State().Epoch, st.Epoch)
+	}
+}
+
+func TestOnChangeFires(t *testing.T) {
+	set, err := New([]string{"a:1"}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	set.OnChange(func(old, cur *cluster.Ring) {
+		fired++
+		if old.Counter() >= cur.Counter() {
+			t.Errorf("OnChange old counter %d >= new %d", old.Counter(), cur.Counter())
+		}
+	})
+	if _, err := set.Apply("join", "b:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Propose([]string{"a:1", "b:1"}, 1); err != nil || fired != 1 {
+		t.Fatalf("agreement fired OnChange: fired=%d err=%v", fired, err)
+	}
+}

@@ -53,6 +53,7 @@ type Ring struct {
 	nodes    []string // sorted, unique
 	vnodes   int
 	replicas int
+	counter  uint64  // membership epoch counter the ring was built at
 	points   []point // sorted by hash around the circle
 }
 
@@ -77,9 +78,19 @@ func NormalizeNode(addr string) string {
 func NodeURL(node string) string { return "http://" + node }
 
 // NewRing builds the ring over the given shard addresses (normalized,
-// deduplicated, sorted). vnodes <= 0 selects DefaultVNodes; replicas is
-// clamped to [1, len(nodes)].
+// deduplicated, sorted) at epoch counter 1. vnodes <= 0 selects
+// DefaultVNodes; replicas is clamped to [1, len(nodes)].
 func NewRing(nodes []string, vnodes, replicas int) (*Ring, error) {
+	return NewRingAt(nodes, vnodes, replicas, 1)
+}
+
+// NewRingAt is NewRing at an explicit membership epoch counter: the
+// monotonic half of the ring's epoch, advanced by every membership
+// change (join, leave) and carried unchanged across processes so two
+// rings over the same member set built at different times are
+// distinguishable. counter <= 0 selects 1. The counter does not affect
+// point placement or ownership — only the Epoch() identity.
+func NewRingAt(nodes []string, vnodes, replicas int, counter uint64) (*Ring, error) {
 	seen := make(map[string]bool, len(nodes))
 	var norm []string
 	for _, n := range nodes {
@@ -105,7 +116,10 @@ func NewRing(nodes []string, vnodes, replicas int) (*Ring, error) {
 	if replicas > len(norm) {
 		replicas = len(norm)
 	}
-	r := &Ring{nodes: norm, vnodes: vnodes, replicas: replicas}
+	if counter < 1 {
+		counter = 1
+	}
+	r := &Ring{nodes: norm, vnodes: vnodes, replicas: replicas, counter: counter}
 	r.points = make([]point, 0, len(norm)*vnodes)
 	for ni, n := range norm {
 		for i := 0; i < vnodes; i++ {
@@ -147,6 +161,19 @@ func (r *Ring) VNodes() int { return r.vnodes }
 
 // ReplicaCount returns the configured replica-set size K.
 func (r *Ring) ReplicaCount() int { return r.replicas }
+
+// Counter returns the membership epoch counter the ring was built at.
+func (r *Ring) Counter() uint64 { return r.counter }
+
+// Epoch returns the ring's membership epoch: the monotonic counter
+// joined with the hash of the sorted member list
+// ("<counter>:<members-hash>"). Two processes agree on membership
+// exactly when the hash halves agree; the counter half orders
+// proposals, so a receiver of two conflicting views adopts the one with
+// the higher counter. See ParseEpoch.
+func (r *Ring) Epoch() string {
+	return fmt.Sprintf("%d:%s", r.counter, MembersHash(r.nodes))
+}
 
 // Contains reports whether addr (normalized) is a ring member.
 func (r *Ring) Contains(addr string) bool {
@@ -248,17 +275,23 @@ type OwnerView struct {
 	Fraction float64 `json:"fraction"`
 }
 
-// View is the JSON shape of /stats/ring.
+// View is the JSON shape of /stats/ring, served by the router and by
+// every shard so a converging cluster is observable from any process:
+// the reporting node's current member list, ring epoch, and per-shard
+// ownership fractions.
 type View struct {
 	Nodes    int         `json:"nodes"`
 	Replicas int         `json:"replicas"`
 	VNodes   int         `json:"vnodes_per_node"`
+	Epoch    string      `json:"epoch"`
+	Counter  uint64      `json:"counter"`
+	Members  []string    `json:"members"`
 	Owners   []OwnerView `json:"owners"`
 	Ranges   []Range     `json:"ranges"`
 }
 
-// View renders the ring for /stats/ring: per-shard ownership fractions
-// plus the full arc list.
+// View renders the ring for /stats/ring: the epoch, the member list,
+// per-shard ownership fractions, and the full arc list.
 func (r *Ring) View() View {
 	fr := r.Fractions()
 	owners := make([]OwnerView, len(r.nodes))
@@ -269,6 +302,9 @@ func (r *Ring) View() View {
 		Nodes:    len(r.nodes),
 		Replicas: r.replicas,
 		VNodes:   r.vnodes,
+		Epoch:    r.Epoch(),
+		Counter:  r.counter,
+		Members:  r.nodes,
 		Owners:   owners,
 		Ranges:   r.Ranges(),
 	}

@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -31,31 +33,54 @@ import (
 // every shard's stats into one rolled-up view; /stats/ring exposes the
 // ownership arcs; /readyz aggregates shard readiness.
 //
-// Because the ring is a pure function of the shard list, any number of
-// router processes over the same -shards set route identically; routers
-// can be added, restarted, or load-balanced freely.
+// Because the ring is a pure function of the member list, any number of
+// router processes over the same member set route identically; routers
+// can be added, restarted, or load-balanced freely. With live
+// membership (a MemberSet backed by internal/cluster/membership), the
+// member list itself can change under a running router: every routed
+// submission carries the router's ring epoch (EpochHeader), a shard
+// that disagrees answers a structured 409, and the router resolves it
+// by adopting the newer view (or pushing its own to the stale shard)
+// and retrying — the mid-change window costs one extra hop, never a
+// wrong-shard answer.
 type Router struct {
-	ring *Ring
+	members MemberSet
 	// CorpusHashes maps corpus instance names to matrix hashes; built by
 	// the caller from the same corpus options the shards run with.
 	corpusHashes map[string]string
 	client       *http.Client
-	// nodeByID/idByNode map between ring members and the stable shard
-	// ids carried in job-id prefixes.
+	secret       string
+
+	// nodeByID/idByNode map between members and the stable shard ids
+	// carried in job-id prefixes. Departed members are retained (grace):
+	// a client's trailing poll for a job minted on a shard that just
+	// planned-left still routes to that shard's lingering listener
+	// instead of 404ing. Membership churn is operator-rate, so the
+	// retained set stays tiny over any router's lifetime.
+	idmu     sync.RWMutex
+	idEpoch  string // ring epoch the maps were last synced at
 	nodeByID map[string]string
 	idByNode map[string]string
 
-	forwarded atomic.Int64 // proxied job submissions (first attempt per request)
-	failovers atomic.Int64 // submissions retried on the next replica
-	proxyErrs atomic.Int64 // requests that exhausted every candidate
-	started   time.Time
+	forwarded    atomic.Int64 // proxied job submissions (first attempt per request)
+	failovers    atomic.Int64 // submissions retried on the next replica
+	proxyErrs    atomic.Int64 // requests that exhausted every candidate
+	epochRetries atomic.Int64 // submissions re-run after an epoch 409
+	refreshes    atomic.Int64 // membership views adopted (poll or 409)
+	started      time.Time
 }
 
 // RouterConfig assembles a Router.
 type RouterConfig struct {
-	// Shards is the cluster's node list; must equal the -peers list the
-	// shards themselves run with (order-insensitive).
+	// Shards is the cluster's initial node list; must agree with the
+	// -peers list the shards themselves run with (order-insensitive).
+	// Ignored when Members is set.
 	Shards []string
+	// Members, when set, is the dynamic member set the router routes
+	// over (an internal/cluster/membership.Set wired by the serving
+	// command); when nil the router runs over a static ring built from
+	// Shards, the pre-membership behavior.
+	Members MemberSet
 	// VNodes and Replicas size the ring; zero values select defaults
 	// (DefaultVNodes, 2).
 	VNodes   int
@@ -65,44 +90,122 @@ type RouterConfig struct {
 	CorpusHashes map[string]string
 	// Client is the proxy HTTP client (default: 60s timeout).
 	Client *http.Client
+	// Secret authenticates the router's membership fetches and sync
+	// announcements to shards (the same -cluster-secret the shards run
+	// with). Routed job traffic itself never needs it.
+	Secret string
 }
 
 // NewRouter builds the router and its ring.
 func NewRouter(cfg RouterConfig) (*Router, error) {
-	replicas := cfg.Replicas
-	if replicas <= 0 {
-		replicas = 2
-	}
-	ring, err := NewRing(cfg.Shards, cfg.VNodes, replicas)
-	if err != nil {
-		return nil, err
+	members := cfg.Members
+	if members == nil {
+		replicas := cfg.Replicas
+		if replicas <= 0 {
+			replicas = 2
+		}
+		ring, err := NewRing(cfg.Shards, cfg.VNodes, replicas)
+		if err != nil {
+			return nil, err
+		}
+		members = staticSet{ring: ring}
 	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 60 * time.Second}
 	}
-	nodeByID := make(map[string]string, len(ring.Nodes()))
-	idByNode := make(map[string]string, len(ring.Nodes()))
-	for _, n := range ring.Nodes() {
-		id := ShardID(n)
-		if other, dup := nodeByID[id]; dup {
-			return nil, fmt.Errorf("cluster: shard id %s collides between %s and %s", id, other, n)
-		}
-		nodeByID[id] = n
-		idByNode[n] = id
-	}
-	return &Router{
-		ring:         ring,
+	rt := &Router{
+		members:      members,
 		corpusHashes: cfg.CorpusHashes,
 		client:       client,
-		nodeByID:     nodeByID,
-		idByNode:     idByNode,
+		secret:       cfg.Secret,
+		nodeByID:     make(map[string]string),
+		idByNode:     make(map[string]string),
 		started:      time.Now(),
-	}, nil
+	}
+	rt.snapshot()
+	return rt, nil
 }
 
-// Ring returns the router's ring (for tests and the serving command).
-func (rt *Router) Ring() *Ring { return rt.ring }
+// Ring returns the router's current ring (for tests and the serving
+// command).
+func (rt *Router) Ring() *Ring { return rt.members.Ring() }
+
+// snapshot returns the current ring and lazily syncs the shard-id maps
+// to it. Current members are (re)added and departed ones retained, so
+// ids minted before a membership change keep resolving to the shard
+// that owns them.
+func (rt *Router) snapshot() *Ring {
+	ring := rt.members.Ring()
+	epoch := ring.Epoch()
+	rt.idmu.RLock()
+	synced := rt.idEpoch == epoch
+	rt.idmu.RUnlock()
+	if synced {
+		return ring
+	}
+	rt.idmu.Lock()
+	if rt.idEpoch != epoch {
+		for _, n := range ring.Nodes() {
+			id := ShardID(n)
+			rt.nodeByID[id] = n
+			rt.idByNode[n] = id
+		}
+		rt.idEpoch = epoch
+	}
+	rt.idmu.Unlock()
+	return ring
+}
+
+// RefreshMembership pulls the membership view from the first reachable
+// member and adopts it if newer. The serving command calls it on a poll
+// interval; the 409 path (resolveEpoch) handles the same convergence
+// reactively, so polling is a freshness floor, not a correctness
+// requirement.
+func (rt *Router) RefreshMembership(ctx context.Context) error {
+	ring := rt.members.Ring()
+	var lastErr error
+	for _, node := range ring.Nodes() {
+		st, err := FetchMembers(ctx, rt.client, node, rt.secret)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		adopted, err := rt.members.Propose(st.Members, st.Counter)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if adopted {
+			rt.refreshes.Add(1)
+			log.Printf("router: adopted membership %s from %s (%d members)", st.Epoch, node, len(st.Members))
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// resolveEpoch reconciles an epoch 409 from a shard: adopt the shard's
+// view when it is ahead, or push our own view back when the shard is
+// the stale side (a "sync" announcement — adoption on the shard is
+// counter-ordered, so this is safe to send unconditionally).
+func (rt *Router) resolveEpoch(ctx context.Context, node string, em EpochMismatch) {
+	cur := rt.members.Ring()
+	if em.Counter > cur.Counter() {
+		if adopted, err := rt.members.Propose(em.Members, em.Counter); err == nil {
+			if adopted {
+				rt.refreshes.Add(1)
+				log.Printf("router: adopted membership %s from %s via 409 (%d members)", em.Epoch, node, len(em.Members))
+			}
+			return
+		}
+	}
+	st := StateOf(cur)
+	if _, _, err := AnnounceMembership(ctx, rt.client, node, rt.secret,
+		Announcement{Action: "sync", Members: st.Members, Counter: st.Counter}); err != nil {
+		log.Printf("router: membership sync to stale shard %s failed: %v", node, err)
+	}
+}
 
 // maxRouterBody mirrors the shard's submission bound.
 const maxRouterBody = 64 << 20
@@ -225,31 +328,62 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.forwarded.Add(1)
 	var lastErr string
-	for i, node := range rt.ring.Replicas(key) {
-		if i > 0 {
-			rt.failovers.Add(1)
+	// Outer loop: epoch reconciliation. A structured 409 from a shard
+	// restarts the whole attempt on the refreshed ring (the key's replica
+	// set may have changed); anything else resolves within one pass over
+	// the replica set.
+	for attempt := 0; attempt < maxEpochRetries; attempt++ {
+		if attempt > 0 {
+			rt.epochRetries.Add(1)
 		}
-		resp, err := rt.client.Post(NodeURL(node)+"/jobs", "application/json", bytes.NewReader(body))
-		if retriable(resp, err) {
+		ring := rt.snapshot()
+		epoch := ring.Epoch()
+		mismatched := false
+		for i, node := range ring.Replicas(key) {
+			if i > 0 {
+				rt.failovers.Add(1)
+			}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, NodeURL(node)+"/jobs", bytes.NewReader(body))
 			if err != nil {
 				lastErr = err.Error()
-			} else {
-				lastErr = fmt.Sprintf("shard %s answered %d", node, resp.StatusCode)
-				resp.Body.Close()
+				continue
 			}
-			continue
-		}
-		defer resp.Body.Close()
-		respBody, err := io.ReadAll(resp.Body)
-		if err != nil {
-			rt.proxyErrs.Add(1)
-			writeJSON(w, http.StatusBadGateway, routerError{Error: err.Error()})
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(EpochHeader, epoch)
+			resp, err := rt.client.Do(req)
+			if retriable(resp, err) {
+				if err != nil {
+					lastErr = err.Error()
+				} else {
+					lastErr = fmt.Sprintf("shard %s answered %d", node, resp.StatusCode)
+					resp.Body.Close()
+				}
+				continue
+			}
+			respBody, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				rt.proxyErrs.Add(1)
+				writeJSON(w, http.StatusBadGateway, routerError{Error: err.Error()})
+				return
+			}
+			if resp.StatusCode == http.StatusConflict {
+				var em EpochMismatch
+				if json.Unmarshal(respBody, &em) == nil && em.RingEpochMismatch {
+					lastErr = fmt.Sprintf("shard %s at epoch %s, router at %s", node, em.Epoch, epoch)
+					rt.resolveEpoch(r.Context(), node, em)
+					mismatched = true
+					break
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(resp.StatusCode)
+			w.Write(rewriteID(respBody, rt.shardID(node)))
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(resp.StatusCode)
-		w.Write(rewriteID(respBody, rt.idByNode[node]))
-		return
+		if !mismatched {
+			break
+		}
 	}
 	rt.proxyErrs.Add(1)
 	w.Header().Set("Retry-After", "1")
@@ -257,18 +391,46 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		routerError{Error: "no replica of the owning shard set reachable: " + lastErr})
 }
 
-// shardForID resolves the shard id encoded in a router job id against
-// the current ring membership and returns (shard id, node, shard-local
-// id); ok is false after it has already written an error response —
-// for malformed ids and for ids whose shard is no longer a -shards
-// member (after a membership change old ids fail here instead of
-// silently routing to whichever shard inherited the old position).
+// maxEpochRetries bounds submissions re-run after epoch 409s: each
+// retry either runs on a strictly newer adopted ring or follows a sync
+// push to the one stale shard, so disagreement longer than this means
+// the cluster itself has not converged and 503 is the honest answer.
+const maxEpochRetries = 3
+
+// shardID returns the stable id for a node, consulting (and populating)
+// the retained map.
+func (rt *Router) shardID(node string) string {
+	rt.idmu.RLock()
+	id, ok := rt.idByNode[node]
+	rt.idmu.RUnlock()
+	if ok {
+		return id
+	}
+	id = ShardID(node)
+	rt.idmu.Lock()
+	rt.idByNode[node] = id
+	rt.nodeByID[id] = node
+	rt.idmu.Unlock()
+	return id
+}
+
+// shardForID resolves the shard id encoded in a router job id and
+// returns (shard id, node, shard-local id); ok is false after it has
+// already written an error response. Because a shard id is a hash of
+// the node address, an id can only ever resolve to the shard that
+// minted it; ids of current members and of recently departed ones
+// (retained in the grace map, still answering on their -linger
+// listener) resolve, anything else 404s — never a silent reroute to a
+// different shard.
 func (rt *Router) shardForID(w http.ResponseWriter, id string) (string, string, string, bool) {
+	rt.snapshot() // make sure the id maps cover the current membership
 	sid, local, ok := splitID(id)
-	node, member := rt.nodeByID[sid]
-	if !ok || !member {
+	rt.idmu.RLock()
+	node, known := rt.nodeByID[sid]
+	rt.idmu.RUnlock()
+	if !ok || !known {
 		writeJSON(w, http.StatusNotFound, routerError{
-			Error: "unknown job id (router ids look like s1f3a9c2e-j-00000001; the id's shard must be a current ring member)",
+			Error: "unknown job id (router ids look like s1f3a9c2e-j-00000001; the id's shard must be a current or recently departed ring member)",
 		})
 		return "", "", "", false
 	}
@@ -320,7 +482,7 @@ func (rt *Router) handleResultProxy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleCorpus(w http.ResponseWriter, r *http.Request) {
-	for _, node := range rt.ring.Nodes() {
+	for _, node := range rt.members.Ring().Nodes() {
 		resp, err := rt.client.Get(NodeURL(node) + "/corpus")
 		if err != nil {
 			continue
@@ -353,7 +515,7 @@ type shardReady struct {
 }
 
 func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	nodes := rt.ring.Nodes()
+	nodes := rt.members.Ring().Nodes()
 	rows := make([]shardReady, len(nodes))
 	var wg sync.WaitGroup
 	for i, node := range nodes {
@@ -407,6 +569,10 @@ type shardStatsLite struct {
 		PeerServed      int64 `json:"peer_served"`
 		ReplicatedIn    int64 `json:"replicated_in"`
 		ReplicatedOut   int64 `json:"replicated_out"`
+		RehydrateDone   int64 `json:"rehydrate_done"`
+		RehydrateFailed int64 `json:"rehydrate_failed"`
+		HandoffDone     int64 `json:"handoff_done"`
+		HandoffFailed   int64 `json:"handoff_failed"`
 	} `json:"cluster"`
 }
 
@@ -432,6 +598,10 @@ type MergedTotals struct {
 	PeerServed      int64   `json:"peer_served"`
 	ReplicatedIn    int64   `json:"replicated_in"`
 	ReplicatedOut   int64   `json:"replicated_out"`
+	RehydrateDone   int64   `json:"rehydrate_done"`
+	RehydrateFailed int64   `json:"rehydrate_failed"`
+	HandoffDone     int64   `json:"handoff_done"`
+	HandoffFailed   int64   `json:"handoff_failed"`
 }
 
 // shardStatsRow pairs a shard with its raw /stats snapshot.
@@ -444,10 +614,14 @@ type shardStatsRow struct {
 
 // RouterStats is the router's own counter section.
 type RouterStats struct {
-	UptimeMS    float64 `json:"uptime_ms"`
-	Forwarded   int64   `json:"forwarded"`
-	Failovers   int64   `json:"failovers"`
-	ProxyErrors int64   `json:"proxy_errors"`
+	UptimeMS            float64 `json:"uptime_ms"`
+	Forwarded           int64   `json:"forwarded"`
+	Failovers           int64   `json:"failovers"`
+	ProxyErrors         int64   `json:"proxy_errors"`
+	RingEpoch           string  `json:"ring_epoch"`
+	Members             int     `json:"members"`
+	EpochRetries        int64   `json:"epoch_retries"`
+	MembershipRefreshes int64   `json:"membership_refreshes"`
 }
 
 // MergedStats is the /stats JSON of the router: per-shard raw stats,
@@ -461,7 +635,7 @@ type MergedStats struct {
 
 // Stats fetches every shard's /stats concurrently and merges them.
 func (rt *Router) Stats() MergedStats {
-	nodes := rt.ring.Nodes()
+	nodes := rt.members.Ring().Nodes()
 	rows := make([]shardStatsRow, len(nodes))
 	var wg sync.WaitGroup
 	for i, node := range nodes {
@@ -512,6 +686,10 @@ func (rt *Router) Stats() MergedStats {
 		totals.PeerServed += s.Cluster.PeerServed
 		totals.ReplicatedIn += s.Cluster.ReplicatedIn
 		totals.ReplicatedOut += s.Cluster.ReplicatedOut
+		totals.RehydrateDone += s.Cluster.RehydrateDone
+		totals.RehydrateFailed += s.Cluster.RehydrateFailed
+		totals.HandoffDone += s.Cluster.HandoffDone
+		totals.HandoffFailed += s.Cluster.HandoffFailed
 	}
 	if n := totals.CacheHits + totals.CacheMisses; n > 0 {
 		totals.HitRate = float64(totals.CacheHits) / float64(n)
@@ -525,10 +703,14 @@ func (rt *Router) Stats() MergedStats {
 		Shards: rows,
 		Totals: totals,
 		Router: RouterStats{
-			UptimeMS:    float64(time.Since(rt.started).Microseconds()) / 1000,
-			Forwarded:   rt.forwarded.Load(),
-			Failovers:   rt.failovers.Load(),
-			ProxyErrors: rt.proxyErrs.Load(),
+			UptimeMS:            float64(time.Since(rt.started).Microseconds()) / 1000,
+			Forwarded:           rt.forwarded.Load(),
+			Failovers:           rt.failovers.Load(),
+			ProxyErrors:         rt.proxyErrs.Load(),
+			RingEpoch:           rt.members.Ring().Epoch(),
+			Members:             len(rt.members.Ring().Nodes()),
+			EpochRetries:        rt.epochRetries.Load(),
+			MembershipRefreshes: rt.refreshes.Load(),
 		},
 	}
 }
@@ -538,5 +720,5 @@ func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (rt *Router) handleRing(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, rt.ring.View())
+	writeJSON(w, http.StatusOK, rt.snapshot().View())
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"mediumgrain/internal/spmv"
@@ -144,4 +145,19 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Keys returns every cached key in sorted order — the stable
+// enumeration behind /cache/keys. Sorting (not recency) is what makes
+// the endpoint's cursor resumable: a key admitted or evicted between
+// pages shifts nothing before the cursor.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }

@@ -23,18 +23,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	if s.clu != nil {
-		// Shard-to-shard cache-entry exchange and the shard's own view of
-		// the ring; absent in single-node mode, where no peer may push
-		// entries into this cache.
+		// Shard-to-shard cache-entry exchange, the shard's own view of
+		// the ring, and the live-membership protocol; absent in
+		// single-node mode, where no peer may push entries into this
+		// cache or rewrite its member set. The literal /cache/keys route
+		// wins over the /cache/{key} wildcard by ServeMux precedence.
 		mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
 		mux.HandleFunc("PUT /cache/{key}", s.handleCachePut)
+		mux.HandleFunc("GET /cache/keys", s.handleCacheKeys)
 		mux.HandleFunc("GET /stats/ring", s.handleRing)
+		mux.HandleFunc("GET /cluster/members", s.handleClusterMembers)
+		mux.HandleFunc("POST /cluster/join", s.handleClusterAnnounce)
+		mux.HandleFunc("POST /cluster/leave", s.handleClusterAnnounce)
 	}
 	return mux
 }
 
 func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.clu.Ring.View())
+	writeJSON(w, http.StatusOK, s.ring().View())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -59,6 +65,12 @@ type errorBody struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// A routed submission carrying a ring epoch we disagree with is
+	// bounced with a structured 409 before any work: the router refreshes
+	// its membership and retries on the right shard.
+	if !s.checkRingEpoch(w, r) {
+		return
+	}
 	// Shed large bodies before decoding them when the queue is full:
 	// named-corpus specs are tiny, so anything over a megabyte — or a
 	// chunked body of unknown length (ContentLength < 0), which could

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+
+	"mediumgrain/internal/cluster"
+	"mediumgrain/internal/cluster/membership"
+)
+
+// Shard side of live cluster membership: the announcement endpoints
+// (POST /cluster/join, POST /cluster/leave — gated by the cluster
+// secret, because an unauthenticated join would let anyone on the
+// network claim a share of the key space), the membership view
+// (GET /cluster/members), the epoch gate on routed submissions, and the
+// planned-leave handoff. The member-set state machine itself lives in
+// internal/cluster/membership; everything here is wiring it to HTTP and
+// to this shard's cache.
+
+// handleClusterMembers answers the shard's current membership view —
+// the seed a joiner bootstraps from and the poll target for routers.
+func (s *Server) handleClusterMembers(w http.ResponseWriter, r *http.Request) {
+	if !s.peerAuthorized(r) {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "missing or wrong " + secretHeader + " header"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.members.State())
+}
+
+// handleClusterAnnounce adopts (or rejects) a membership proposal.
+// Adoption is purely counter-ordered — the /join vs /leave path names
+// the intent for logs, nothing else — so a router relaying a view it
+// learned elsewhere ("sync") uses the same code path as a shard
+// announcing its own join. Agreement and adoption answer 200 with the
+// resulting state; a conflicting proposal answers the structured 409
+// the announcer rebases on.
+func (s *Server) handleClusterAnnounce(w http.ResponseWriter, r *http.Request) {
+	if !s.peerAuthorized(r) {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "missing or wrong " + secretHeader + " header"})
+		return
+	}
+	var ann cluster.Announcement
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&ann); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding announcement: " + err.Error()})
+		return
+	}
+	if len(ann.Members) == 0 || ann.Counter == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "announcement needs members and a nonzero counter"})
+		return
+	}
+	if _, err := s.members.Propose(ann.Members, ann.Counter); err != nil {
+		s.stats.epochConflict()
+		st := s.members.State()
+		writeJSON(w, http.StatusConflict, cluster.EpochMismatch{
+			Error:             err.Error(),
+			RingEpochMismatch: true,
+			MemberState:       st,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.members.State())
+}
+
+// checkRingEpoch gates a routed submission on ring agreement: a request
+// carrying an epoch header whose members hash differs from ours gets
+// the structured 409 (with our view) instead of an answer computed
+// under a ring the sender no longer routes by. Requests without the
+// header — direct clients — are never gated; the epoch check protects
+// cache locality during a membership change, not correctness, because
+// every shard derives the same content-addressed keys. Returns false
+// after writing the 409.
+func (s *Server) checkRingEpoch(w http.ResponseWriter, r *http.Request) bool {
+	if s.clu == nil {
+		return true
+	}
+	got := r.Header.Get(cluster.EpochHeader)
+	if got == "" {
+		return true
+	}
+	ring := s.ring()
+	if _, hash, ok := cluster.ParseEpoch(got); ok && hash == cluster.MembersHash(ring.Nodes()) {
+		return true
+	}
+	s.stats.epochConflict()
+	writeJSON(w, http.StatusConflict, cluster.NewEpochMismatch(ring, got))
+	return false
+}
+
+// AnnounceLeave removes this shard from the member set and broadcasts
+// the new membership to the remaining members. The shard keeps serving
+// through the drain and handoff that follow; routers stop routing new
+// keys here as soon as they adopt the new epoch (by poll or by the
+// first 409).
+func (s *Server) AnnounceLeave(ctx context.Context) (cluster.MemberState, error) {
+	if _, err := s.members.Apply("leave", s.clu.Self); err != nil {
+		return cluster.MemberState{}, err
+	}
+	return membership.Broadcast(ctx, s.clu.Client, s.members, s.clu.Secret, "leave", s.clu.Self, s.clu.Self)
+}
+
+// Handoff pushes every locally persisted entry to its owner under the
+// current (post-leave) ring, trying the rest of the key's replica set
+// when the owner is unreachable. Run after Drain, so the persisted set
+// is final. Returns (pushed, failed); both also move the
+// handoff_done/handoff_failed counters.
+func (s *Server) Handoff(ctx context.Context) (done, failed int) {
+	if s.clu == nil || s.cfg.DataDir == "" {
+		return 0, 0
+	}
+	ring := s.ring()
+	for _, key := range s.cache.Keys() {
+		if ctx.Err() != nil {
+			return done, failed
+		}
+		snap, err := s.exportSnapshot(key)
+		if err != nil {
+			// Never persisted (memory-only entry): nothing to transfer —
+			// the new owner recomputes on first demand.
+			continue
+		}
+		pushed := false
+		for _, node := range ring.Replicas(key) {
+			if node == s.clu.Self {
+				continue
+			}
+			pushCtx, cancel := context.WithTimeout(ctx, pushTimeout)
+			err := s.pushEntry(pushCtx, node, snap, key)
+			cancel()
+			if err == nil {
+				pushed = true
+				break
+			}
+		}
+		_ = os.RemoveAll(snap)
+		if pushed {
+			done++
+			s.stats.handoffDone()
+		} else {
+			failed++
+			s.stats.handoffFailed()
+		}
+	}
+	return done, failed
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mediumgrain/internal/cluster"
 	"mediumgrain/internal/sparse"
@@ -34,8 +35,8 @@ import (
 const peerHeader = "X-Mediumgrain-Peer"
 
 // secretHeader carries the cluster's shared secret on every peer
-// cache-exchange request when ShardConfig.Secret is set.
-const secretHeader = "X-Mediumgrain-Secret"
+// cache-exchange and membership request when ShardConfig.Secret is set.
+const secretHeader = cluster.SecretHeader
 
 // peerAuthorized checks the shared-secret header against the configured
 // cluster secret (constant-time). With no secret configured the
@@ -232,7 +233,7 @@ func (s *Server) adoptEntryTar(r io.Reader, key, from string) (*CachedResult, *s
 // falls through — worst case the shard computes locally, exactly as if
 // it had no peers.
 func (s *Server) tryPeerFetch(ctx context.Context, rs *resolvedSpec) (*CachedResult, *sparse.Matrix, bool) {
-	for _, node := range s.clu.Ring.Replicas(rs.key) {
+	for _, node := range s.ring().Replicas(rs.key) {
 		if node == s.clu.Self {
 			continue
 		}
@@ -280,11 +281,17 @@ func (s *Server) maybeReplicate(res *CachedResult, hits int64) {
 	go s.replicateOut(res.Key)
 }
 
+// pushTimeout bounds one entry PUT to a peer. Replication and handoff
+// pushes run from background goroutines that hold an export snapshot
+// dir open, so a hung peer must not pin either indefinitely.
+const pushTimeout = 60 * time.Second
+
 // replicateOut snapshots the persisted entry once and PUTs it to every
 // other member of the key's replica set, streaming the tar through a
-// pipe so even a 64MB entry never sits in memory. Push failures are
-// counted but not retried: replication is an optimization, and the
-// next hot period on a restarted cache retriggers it.
+// pipe so even a 64MB entry never sits in memory. Each push carries its
+// own deadline (pushTimeout); failures are counted but not retried:
+// replication is an optimization, and the next hot period on a
+// restarted cache retriggers it.
 func (s *Server) replicateOut(key string) {
 	snap, err := s.exportSnapshot(key)
 	if err != nil {
@@ -292,30 +299,43 @@ func (s *Server) replicateOut(key string) {
 		return
 	}
 	defer os.RemoveAll(snap)
-	for _, node := range s.clu.Ring.Replicas(key) {
+	for _, node := range s.ring().Replicas(key) {
 		if node == s.clu.Self {
 			continue
 		}
-		pr, pw := io.Pipe()
-		go func() { pw.CloseWithError(cluster.WriteEntryTar(pw, snap, key)) }()
-		req, err := http.NewRequest(http.MethodPut, cluster.NodeURL(node)+"/cache/"+key, pr)
-		if err != nil {
-			pr.Close()
-			continue
-		}
-		req.Header.Set("Content-Type", "application/x-tar")
-		req.Header.Set(peerHeader, s.clu.Self)
-		if s.clu.Secret != "" {
-			req.Header.Set(secretHeader, s.clu.Secret)
-		}
-		resp, err := s.clu.Client.Do(req)
-		if err != nil {
-			continue
-		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
+		ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+		if s.pushEntry(ctx, node, snap, key) == nil {
 			s.stats.replicatedOut()
 		}
+		cancel()
 	}
+}
+
+// pushEntry PUTs one snapshotted entry to a peer, streaming the tar
+// through a pipe. The context bounds the whole exchange — on expiry the
+// transport aborts the request and the pipe writer unblocks, so the
+// caller's snapshot dir is released.
+func (s *Server) pushEntry(ctx context.Context, node, snap, key string) error {
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(cluster.WriteEntryTar(pw, snap, key)) }()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, cluster.NodeURL(node)+"/cache/"+key, pr)
+	if err != nil {
+		pr.Close()
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-tar")
+	req.Header.Set(peerHeader, s.clu.Self)
+	if s.clu.Secret != "" {
+		req.Header.Set(secretHeader, s.clu.Secret)
+	}
+	resp, err := s.clu.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service: peer %s answered %d to entry push %s", node, resp.StatusCode, key)
+	}
+	return nil
 }

@@ -1,0 +1,253 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"mediumgrain/internal/cluster"
+)
+
+// synthKey returns a deterministic well-formed cache key (32 hex).
+func synthKey(i int) string { return fmt.Sprintf("%032x", i) }
+
+// keysServer builds a clustered single-node server whose cache holds n
+// synthetic keys, fronted by httptest.
+func keysServer(t *testing.T, n int, secret string) (*Server, *httptest.Server) {
+	t.Helper()
+	ring, err := cluster.NewRing([]string{"10.0.0.1:1"}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, warns := New(Config{
+		Runners: 1, CacheEntries: n + 8,
+		Cluster: &cluster.ShardConfig{Self: "10.0.0.1:1", Ring: ring, Secret: secret},
+	})
+	for _, w := range warns {
+		t.Fatal(w)
+	}
+	for i := 0; i < n; i++ {
+		k := synthKey(i)
+		s.cache.Put(k, &CachedResult{Key: k})
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getKeysPage(t *testing.T, base, secret, after string, limit int) (keysPage, int) {
+	t.Helper()
+	url := base + "/cache/keys?limit=" + strconv.Itoa(limit)
+	if after != "" {
+		url += "&after=" + after
+	}
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	if secret != "" {
+		req.Header.Set(secretHeader, secret)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page keysPage
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return page, resp.StatusCode
+}
+
+// TestCacheKeysPagination pins the enumeration contract bulk
+// rehydration rests on: sorted keys, bounded pages, an exclusive
+// cursor that stays valid even if its key vanishes between pages, and
+// the secret gate.
+func TestCacheKeysPagination(t *testing.T) {
+	const n, secret = 10, "pw"
+	s, ts := keysServer(t, n, secret)
+
+	// Walk every page; the concatenation is the full sorted key set.
+	var got []string
+	after := ""
+	for pages := 0; ; pages++ {
+		if pages > n {
+			t.Fatal("pagination did not terminate")
+		}
+		page, status := getKeysPage(t, ts.URL, secret, after, 3)
+		if status != http.StatusOK {
+			t.Fatalf("page status %d", status)
+		}
+		if len(page.Keys) > 3 {
+			t.Fatalf("page of %d keys exceeds limit 3", len(page.Keys))
+		}
+		got = append(got, page.Keys...)
+		if !page.More {
+			break
+		}
+		after = page.Next
+	}
+	if len(got) != n || !sort.StringsAreSorted(got) {
+		t.Fatalf("enumerated %d keys (sorted=%v), want %d sorted", len(got), sort.StringsAreSorted(got), n)
+	}
+
+	// The cursor is exclusive: resuming after key i yields i+1 first —
+	// and still does after key i itself is gone (evicted mid-walk).
+	page, _ := getKeysPage(t, ts.URL, secret, synthKey(4), 3)
+	if len(page.Keys) == 0 || page.Keys[0] != synthKey(5) {
+		t.Fatalf("resume after %s got %v, want first key %s", synthKey(4), page.Keys, synthKey(5))
+	}
+	s.cache.mu.Lock()
+	if el, ok := s.cache.m[synthKey(4)]; ok {
+		s.cache.ll.Remove(el)
+		delete(s.cache.m, synthKey(4))
+	}
+	s.cache.mu.Unlock()
+	page, _ = getKeysPage(t, ts.URL, secret, synthKey(4), 3)
+	if len(page.Keys) == 0 || page.Keys[0] != synthKey(5) {
+		t.Fatalf("resume after evicted cursor got %v, want first key %s", page.Keys, synthKey(5))
+	}
+
+	// Gates: wrong/missing secret 401, malformed cursor or limit 400.
+	if _, status := getKeysPage(t, ts.URL, "", "", 3); status != http.StatusUnauthorized {
+		t.Fatalf("no secret: status %d, want 401", status)
+	}
+	if _, status := getKeysPage(t, ts.URL, "wrong", "", 3); status != http.StatusUnauthorized {
+		t.Fatalf("wrong secret: status %d, want 401", status)
+	}
+	if _, status := getKeysPage(t, ts.URL, secret, "not-a-key", 3); status != http.StatusBadRequest {
+		t.Fatalf("bad cursor: status %d, want 400", status)
+	}
+	if _, status := getKeysPage(t, ts.URL, secret, "", -1); status != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d, want 400", status)
+	}
+}
+
+// flakyDonor fakes a rehydration source: it serves a fixed sorted key
+// list over /cache/keys, records every cursor it is asked for, and
+// kills the connection on one mid-enumeration request. Entry pulls 404
+// (the test is about enumeration resume, not transfer).
+type flakyDonor struct {
+	keys    []string
+	secret  string
+	mu      sync.Mutex
+	afters  []string
+	dropped bool
+}
+
+func (d *flakyDonor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/cache/keys" {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Header.Get(secretHeader) != d.secret {
+		w.WriteHeader(http.StatusUnauthorized)
+		return
+	}
+	after := r.URL.Query().Get("after")
+	d.mu.Lock()
+	d.afters = append(d.afters, after)
+	drop := !d.dropped && after != "" // fail the first resumed page once
+	if drop {
+		d.dropped = true
+	}
+	d.mu.Unlock()
+	if drop {
+		panic(http.ErrAbortHandler) // connection dies mid-transfer
+	}
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	i := sort.SearchStrings(d.keys, after)
+	if i < len(d.keys) && d.keys[i] == after {
+		i++
+	}
+	end := min(i+limit, len(d.keys))
+	page := keysPage{Keys: d.keys[i:end], More: end < len(d.keys)}
+	if len(page.Keys) > 0 {
+		page.Next = page.Keys[len(page.Keys)-1]
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// TestRehydrateResumesCursorAfterSourceLoss: a joiner whose donor dies
+// mid-enumeration retries the exact cursor that failed — no key is
+// skipped and none is scanned twice — and a donor that stays down past
+// the retry budget is abandoned without aborting the pass.
+func TestRehydrateResumesCursorAfterSourceLoss(t *testing.T) {
+	const secret = "pw"
+	// Three pages at the fixed rehydratePageSize: the drop hits the
+	// second (first resumed) request, with a real non-empty cursor.
+	nkeys := rehydratePageSize*2 + rehydratePageSize/2
+	donor := &flakyDonor{secret: secret}
+	for i := 0; i < nkeys; i++ {
+		donor.keys = append(donor.keys, synthKey(i))
+	}
+	sort.Strings(donor.keys)
+
+	ln, donorAddr := clusterListen(t)
+	hs := &http.Server{Handler: donor}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+
+	lnSelf, self := clusterListen(t)
+	_ = lnSelf // the joiner only dials out in this test
+	ring, err := cluster.NewRingAt([]string{self, donorAddr}, 32, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner, warns := New(Config{
+		Runners: 1, CacheEntries: nkeys + 8,
+		Cluster: &cluster.ShardConfig{Self: self, Ring: ring, Secret: secret},
+	})
+	for _, w := range warns {
+		t.Fatal(w)
+	}
+	before, err := cluster.NewRingAt([]string{donorAddr}, 32, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := joiner.Rehydrate(t.Context(), before, 0)
+
+	// Every key was scanned exactly once despite the dropped connection.
+	if rep.Scanned != nkeys {
+		t.Fatalf("scanned %d keys, want %d (dropped page must resume, not skip or rescan)", rep.Scanned, nkeys)
+	}
+	// The request trace shows the retried cursor: the failed request and
+	// its retry carry the same ?after=.
+	donor.mu.Lock()
+	afters := append([]string(nil), donor.afters...)
+	donor.mu.Unlock()
+	retried := false
+	for i := 1; i < len(afters); i++ {
+		if afters[i] == afters[i-1] && afters[i] != "" {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatalf("no repeated cursor in request trace %v; resume must reuse the failed cursor", afters)
+	}
+	// Wanted = keys the new ring maps to the joiner; the donor 404s every
+	// pull, so they all fail — and the pending gauge drains to zero.
+	wantOwned := 0
+	for _, k := range donor.keys {
+		if ring.Owner(k) == cluster.NormalizeNode(self) {
+			wantOwned++
+		}
+	}
+	if wantOwned == 0 {
+		t.Fatal("test ring assigns the joiner nothing; pick different addresses")
+	}
+	if rep.Wanted != wantOwned || rep.Failed != wantOwned || rep.Pulled != 0 {
+		t.Fatalf("report %+v, want wanted=failed=%d pulled=0", rep, wantOwned)
+	}
+	st := joiner.Stats()
+	if st.Cluster.RehydratePending != 0 || st.Cluster.RehydrateFailed != int64(wantOwned) {
+		t.Fatalf("stats pending=%d failed=%d, want 0 and %d",
+			st.Cluster.RehydratePending, st.Cluster.RehydrateFailed, wantOwned)
+	}
+}

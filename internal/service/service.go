@@ -150,12 +150,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mediumgrain/internal/cluster"
+	"mediumgrain/internal/cluster/membership"
 	"mediumgrain/internal/core"
 	"mediumgrain/internal/corpus"
 	"mediumgrain/internal/metrics"
@@ -214,6 +216,12 @@ type Config struct {
 	// the HTTP contract changes either way; cluster mode only adds the
 	// /cache/{key} peer endpoints and the /stats cluster section.
 	Cluster *cluster.ShardConfig
+	// Members, when set alongside Cluster, is the live membership set
+	// this shard routes ownership through — joins and leaves announced
+	// over /cluster/{join,leave} rebuild its ring under the running
+	// server. Nil selects a static set frozen at Cluster.Ring (the
+	// pre-membership behavior).
+	Members *membership.Set
 }
 
 func (c Config) withDefaults() Config {
@@ -316,6 +324,12 @@ type Server struct {
 	// mode, which disables peer fetch, replication, and the /cache
 	// endpoints.
 	clu *cluster.ShardConfig
+	// members is the live membership set behind every ownership
+	// decision in cluster mode (non-nil exactly when clu is): ring
+	// lookups go through s.ring() so an adopted join/leave takes effect
+	// on the next request. For a static configuration it wraps clu.Ring
+	// and never changes.
+	members *membership.Set
 }
 
 // New builds a server, rehydrating the cache from cfg.DataDir when set.
@@ -350,19 +364,36 @@ func New(cfg Config) (*Server, []error) {
 	}
 	if cfg.Cluster != nil {
 		clu := cfg.Cluster.WithDefaults()
+		members := cfg.Members
+		if members == nil && clu.Ring != nil {
+			members = membership.Static(clu.Ring)
+		}
 		switch {
-		case clu.Ring == nil:
+		case members == nil:
 			warns = append(warns, errors.New("service: cluster config has no ring; running single-node"))
-		case !clu.Ring.Contains(clu.Self):
+		case !members.Ring().Contains(clu.Self):
 			warns = append(warns, fmt.Errorf("service: shard %q is not in the peer ring %v; running single-node",
-				clu.Self, clu.Ring.Nodes()))
+				clu.Self, members.Ring().Nodes()))
 		default:
 			s.clu = &clu
+			s.members = members
+			s.members.OnChange(func(old, cur *cluster.Ring) {
+				s.stats.membershipUpdate()
+				log.Printf("membership: adopted %s (%d members, was %s)", cur.Epoch(), len(cur.Nodes()), old.Epoch())
+			})
 		}
 	}
 	s.ready.Store(true)
 	return s, warns
 }
+
+// ring returns the current ownership ring; cluster mode only.
+func (s *Server) ring() *cluster.Ring { return s.members.Ring() }
+
+// Members exposes the live membership set (nil outside cluster mode) —
+// the serving command drives join broadcasts, planned leaves, and
+// rehydration through it.
+func (s *Server) Members() *membership.Set { return s.members }
 
 // Submit resolves, admits, and (on a cache hit) immediately completes a
 // job; identical in-flight submissions share one computation. The

@@ -34,6 +34,16 @@ type statsRecorder struct {
 	replicatedInN  atomic.Int64
 	replicatedOutN atomic.Int64
 
+	// Live-membership counters. rehydratePendingN is a gauge (keys still
+	// to pull during a join's bulk rehydration); the rest are totals.
+	membershipN       atomic.Int64
+	epochConflictN    atomic.Int64
+	rehydratePendingN atomic.Int64
+	rehydrateDoneN    atomic.Int64
+	rehydrateFailedN  atomic.Int64
+	handoffDoneN      atomic.Int64
+	handoffFailedN    atomic.Int64
+
 	mu        sync.Mutex
 	latencies map[string]*latencyRing
 }
@@ -72,6 +82,20 @@ func (st *statsRecorder) peerServed()      { st.peerServedN.Add(1) }
 func (st *statsRecorder) replicatedIn()    { st.replicatedInN.Add(1) }
 func (st *statsRecorder) replicatedOut()   { st.replicatedOutN.Add(1) }
 
+func (st *statsRecorder) membershipUpdate()        { st.membershipN.Add(1) }
+func (st *statsRecorder) epochConflict()           { st.epochConflictN.Add(1) }
+func (st *statsRecorder) rehydratePending(n int64) { st.rehydratePendingN.Store(n) }
+func (st *statsRecorder) rehydrateDone() {
+	st.rehydrateDoneN.Add(1)
+	st.rehydratePendingN.Add(-1)
+}
+func (st *statsRecorder) rehydrateFailed() {
+	st.rehydrateFailedN.Add(1)
+	st.rehydratePendingN.Add(-1)
+}
+func (st *statsRecorder) handoffDone()   { st.handoffDoneN.Add(1) }
+func (st *statsRecorder) handoffFailed() { st.handoffFailedN.Add(1) }
+
 // search counts one race-to-best computation of the given width.
 func (st *statsRecorder) search(tries int) {
 	st.searchJobsN.Add(1)
@@ -107,14 +131,29 @@ func (st *statsRecorder) methodSummaries() map[string]report.LatencySummary {
 // entry this shard adopted from a peer; ReplicatedIn/Out count adopted
 // and pushed hot-entry replications. The json tags are a wire contract
 // with the cluster router's merged /stats.
+// Epoch/Counter and the membership counters expose the live-membership
+// state: MembershipUpdates counts adopted member-set proposals,
+// EpochConflicts counts routed requests bounced with a structured 409
+// for carrying a different ring epoch, RehydratePending/Done/Failed
+// track a join's bulk cache pull, and HandoffDone/Failed track a
+// planned leave's entry pushes to the new owners.
 type ClusterStats struct {
-	Self            string   `json:"self"`
-	Nodes           []string `json:"nodes"`
-	PeerFetchOK     int64    `json:"peer_fetch_ok"`
-	PeerFetchFailed int64    `json:"peer_fetch_failed"`
-	PeerServed      int64    `json:"peer_served"`
-	ReplicatedIn    int64    `json:"replicated_in"`
-	ReplicatedOut   int64    `json:"replicated_out"`
+	Self              string   `json:"self"`
+	Nodes             []string `json:"nodes"`
+	Epoch             string   `json:"epoch"`
+	Counter           uint64   `json:"counter"`
+	PeerFetchOK       int64    `json:"peer_fetch_ok"`
+	PeerFetchFailed   int64    `json:"peer_fetch_failed"`
+	PeerServed        int64    `json:"peer_served"`
+	ReplicatedIn      int64    `json:"replicated_in"`
+	ReplicatedOut     int64    `json:"replicated_out"`
+	MembershipUpdates int64    `json:"membership_updates"`
+	EpochConflicts    int64    `json:"epoch_conflicts"`
+	RehydratePending  int64    `json:"rehydrate_pending"`
+	RehydrateDone     int64    `json:"rehydrate_done"`
+	RehydrateFailed   int64    `json:"rehydrate_failed"`
+	HandoffDone       int64    `json:"handoff_done"`
+	HandoffFailed     int64    `json:"handoff_failed"`
 }
 
 // CacheStats is the cache section of /stats.
@@ -173,14 +212,24 @@ func (s *Server) Stats() StatsView {
 	}
 	var clusterStats *ClusterStats
 	if s.clu != nil {
+		ring := s.ring()
 		clusterStats = &ClusterStats{
-			Self:            s.clu.Self,
-			Nodes:           s.clu.Ring.Nodes(),
-			PeerFetchOK:     s.stats.peerFetchOKN.Load(),
-			PeerFetchFailed: s.stats.peerFetchFailN.Load(),
-			PeerServed:      s.stats.peerServedN.Load(),
-			ReplicatedIn:    s.stats.replicatedInN.Load(),
-			ReplicatedOut:   s.stats.replicatedOutN.Load(),
+			Self:              s.clu.Self,
+			Nodes:             ring.Nodes(),
+			Epoch:             ring.Epoch(),
+			Counter:           ring.Counter(),
+			PeerFetchOK:       s.stats.peerFetchOKN.Load(),
+			PeerFetchFailed:   s.stats.peerFetchFailN.Load(),
+			PeerServed:        s.stats.peerServedN.Load(),
+			ReplicatedIn:      s.stats.replicatedInN.Load(),
+			ReplicatedOut:     s.stats.replicatedOutN.Load(),
+			MembershipUpdates: s.stats.membershipN.Load(),
+			EpochConflicts:    s.stats.epochConflictN.Load(),
+			RehydratePending:  max(0, s.stats.rehydratePendingN.Load()),
+			RehydrateDone:     s.stats.rehydrateDoneN.Load(),
+			RehydrateFailed:   s.stats.rehydrateFailedN.Load(),
+			HandoffDone:       s.stats.handoffDoneN.Load(),
+			HandoffFailed:     s.stats.handoffFailedN.Load(),
 		}
 	}
 	return StatsView{

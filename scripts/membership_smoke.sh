@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of live cluster membership, runnable locally
+# (`make smoke-membership`) and in CI: boot a three-shard cluster and a
+# polling router, warm the cache through the router, then — under live
+# mgload traffic — join a fourth shard with -join (it must announce
+# itself, move the ring epoch, and bulk-rehydrate the keys that
+# remapped to it) and SIGTERM it again with -leave-on-term (planned
+# leave: announce, drain, hand every owned entry off). The client load
+# must finish with zero errors across both transitions, and the
+# rehydration/handoff counters must be nonzero.
+set -euo pipefail
+
+S1="${MGMEMBER_SHARD1:-127.0.0.1:8921}"
+S2="${MGMEMBER_SHARD2:-127.0.0.1:8922}"
+S3="${MGMEMBER_SHARD3:-127.0.0.1:8923}"
+S4="${MGMEMBER_SHARD4:-127.0.0.1:8924}"
+RT="${MGMEMBER_ROUTER:-127.0.0.1:8920}"
+B4="http://$S4"; BR="http://$RT"
+WORKDIR="$(mktemp -d)"
+PIDS=() # filled as processes boot; the trap runs under set -u
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+# num <file> <field>: pull one integer JSON field with sed (the smoke
+# scripts run without jq).
+num() { sed -n 's/.*"'"$2"'": \([0-9][0-9]*\).*/\1/p' "$1" | head -n1; }
+
+echo "==> building"
+go build -o "$WORKDIR/mgserve" ./cmd/mgserve
+go build -o "$WORKDIR/mgload" ./cmd/mgload
+
+echo "==> booting shards $S1 $S2 $S3 and router $RT"
+SECRET="membership-smoke-secret"
+for i in 1 2 3; do
+  eval "ADDR=\$S$i"
+  "$WORKDIR/mgserve" -addr "$ADDR" -node "$ADDR" -peers "$S1,$S2,$S3" \
+    -data "$WORKDIR/data$i" -cluster-secret "$SECRET" -linger 3s \
+    >"$WORKDIR/shard$i.log" 2>&1 &
+  PIDS+=($!)
+done
+# -membership-poll 500ms: the router follows joins/leaves fast enough
+# for a short smoke run even without hitting a 409 first.
+"$WORKDIR/mgserve" -router -addr "$RT" -shards "$S1,$S2,$S3" \
+  -cluster-secret "$SECRET" -membership-poll 500ms \
+  >"$WORKDIR/router.log" 2>&1 &
+PIDS+=($!)
+
+for base in "http://$S1" "http://$S2" "http://$S3" "$BR"; do
+  for _ in $(seq 1 50); do
+    if curl -sf "$base/readyz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+  done
+  curl -sf "$base/readyz" | grep -q '"ready": true' || { echo "$base never became ready"; exit 1; }
+done
+
+echo "==> warming the cluster cache through the router"
+# -zipf 0: uniform spec coverage, so every one of the 24 distinct keys
+# gets cached somewhere — the joiner's rehydration set (~1/4 of them)
+# must not be empty by sampling accident.
+"$WORKDIR/mgload" -addr "$BR" -clients 8 -requests 6 -seeds 6 -zipf 0 \
+  -matrices "lap2d-24,tridiag" -ps "2,4" -out "$WORKDIR/warm.json"
+grep -q '"errors": 0' "$WORKDIR/warm.json" || { echo "warm-up saw errors"; exit 1; }
+
+echo "==> live load + join shard 4 ($S4)"
+"$WORKDIR/mgload" -addr "$BR" -clients 4 -duration 10s -seeds 6 -zipf 0 \
+  -matrices "lap2d-24,tridiag" -ps "2,4" -out "$WORKDIR/load.json" &
+LOAD_PID=$!
+PIDS+=($LOAD_PID)
+sleep 1
+"$WORKDIR/mgserve" -addr "$S4" -node "$S4" -join "$S1" \
+  -data "$WORKDIR/data4" -cluster-secret "$SECRET" \
+  -leave-on-term -linger 2s -rehydrate-pause 5ms \
+  >"$WORKDIR/shard4.log" 2>&1 &
+PIDS+=($!)
+SHARD4_PID=$!
+
+# The joiner must become ready, and its bulk rehydration must land real
+# entries (with 24 warm keys it owns ~6 under the 4-node ring).
+for _ in $(seq 1 100); do
+  # || true: the joiner is still booting on the first polls (set -e).
+  DONE=$(curl -sf "$B4/stats" 2>/dev/null | sed -n 's/.*"rehydrate_done": \([0-9][0-9]*\).*/\1/p' | head -n1 || true)
+  [ "${DONE:-0}" -ge 1 ] && break
+  sleep 0.2
+done
+test "${DONE:-0}" -ge 1 || { echo "joiner never rehydrated an entry"; tail -20 "$WORKDIR/shard4.log"; exit 1; }
+grep -q "join: announced" "$WORKDIR/shard4.log" || { echo "joiner never announced"; exit 1; }
+
+# The router's poll loop must adopt the 4-member epoch.
+for _ in $(seq 1 50); do
+  curl -sf "$BR/stats" -o "$WORKDIR/rstats.json" 2>/dev/null || true
+  if grep -q '"members": 4' "$WORKDIR/rstats.json" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+grep -q '"members": 4' "$WORKDIR/rstats.json" || { echo "router never adopted the join"; exit 1; }
+
+# The shard-side ring view agrees: 4 members at a moved epoch.
+curl -sf "$B4/stats/ring" -o "$WORKDIR/ring4.json"
+grep -q '"nodes": 4' "$WORKDIR/ring4.json" || { echo "joiner ring view wrong"; exit 1; }
+
+echo "==> planned leave: SIGTERM shard 4 under the same live load"
+REHYDRATED=$DONE
+kill -TERM "$SHARD4_PID"
+wait "$LOAD_PID" || { echo "mgload under membership churn exited nonzero"; exit 1; }
+grep -q '"errors": 0' "$WORKDIR/load.json" \
+  || { echo "membership churn lost requests:"; grep '"errors"' "$WORKDIR/load.json"; exit 1; }
+
+# Wait for shard 4 to finish its leave (announce, drain, handoff, exit).
+for _ in $(seq 1 100); do
+  if grep -q "handoff:" "$WORKDIR/shard4.log"; then break; fi
+  sleep 0.2
+done
+grep -q "leave: announced" "$WORKDIR/shard4.log" || { echo "no leave announcement"; tail -20 "$WORKDIR/shard4.log"; exit 1; }
+HANDOFF=$(sed -n 's/.*handoff: pushed \([0-9][0-9]*\) entries.*/\1/p' "$WORKDIR/shard4.log" | head -n1)
+test "${HANDOFF:-0}" -ge 1 || { echo "handoff pushed ${HANDOFF:-0} entries, want >= 1"; tail -20 "$WORKDIR/shard4.log"; exit 1; }
+
+# The router converges back to 3 members.
+for _ in $(seq 1 50); do
+  curl -sf "$BR/stats" -o "$WORKDIR/rstats2.json" 2>/dev/null || true
+  if grep -q '"members": 3' "$WORKDIR/rstats2.json" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+grep -q '"members": 3' "$WORKDIR/rstats2.json" || { echo "router never adopted the leave"; exit 1; }
+
+# The surviving shards adopted both epochs (join then leave).
+grep -q "membership: adopted" "$WORKDIR/shard1.log" || { echo "shard 1 never adopted a membership change"; exit 1; }
+curl -sf "$BR/healthz" >/dev/null || { echo "router died during membership churn"; exit 1; }
+
+echo "==> membership smoke OK (rehydrated $REHYDRATED entries in, handed $HANDOFF off)"
