@@ -4,7 +4,7 @@ GO       ?= go
 DATE     := $(shell date -u +%F)
 BENCHOUT ?= BENCH_$(DATE).json
 
-.PHONY: build test race bench bench-json bench-scale3 bench-diff profile lint check-deprecated serve load-test smoke-service smoke-cluster smoke-membership
+.PHONY: build test race bench bench-json bench-scale3 bench-diff profile lint check-deprecated serve load-test smoke-service smoke-cluster smoke-membership smoke-chaos
 
 build:
 	$(GO) build ./...
@@ -82,3 +82,10 @@ smoke-cluster:
 # errors across both epoch changes. Same script CI runs.
 smoke-membership:
 	./scripts/membership_smoke.sh
+
+# Chaos smoke: three shards under deterministic fault injection (503
+# shedding + latency), one SIGKILLed and restarted mid-run — zero
+# surviving client errors, breaker open→close visible in router /stats,
+# and degraded-mode serving exercised. Same script CI runs.
+smoke-chaos:
+	./scripts/chaos_smoke.sh

@@ -79,6 +79,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request completion deadline")
 		outPath    = flag.String("out", "", "write the JSON load report here")
 		verify     = flag.Bool("verify", false, "compare every unique spec's parts against the offline library")
+		retries    = flag.Int("retries", 0, "resubmit a rejected/errored request up to this many times (with growing backoff) before counting it as an error")
+		maxErrRate = flag.Float64("max-error-rate", -1, "exit nonzero when errors/requests exceeds this fraction (negative = no gate; 0 = any error fails the run)")
 	)
 	flag.Parse()
 	if *clients < 1 {
@@ -103,7 +105,7 @@ func main() {
 	}
 
 	loadStart := time.Now()
-	results := runLoad(targets, specs, cdf, *clients, *requests, *duration, *seed, *poll, *timeout)
+	results := runLoad(targets, specs, cdf, *clients, *requests, *duration, *seed, *poll, *timeout, *retries)
 	elapsed := time.Since(loadStart)
 
 	rep := assemble(results, specs, targets, elapsed, *clients, *seed, *theta)
@@ -153,6 +155,14 @@ func main() {
 			log.Printf("verify: %d jobs failed server-side", failedJobs)
 			os.Exit(1)
 		}
+	}
+	// The chaos-smoke acceptance gate: under fault injection the cluster
+	// must still answer every client, so the smoke runs with
+	// -max-error-rate 0 and any surviving error fails the process.
+	if *maxErrRate >= 0 && rep.ErrorRate > *maxErrRate {
+		log.Printf("error rate %.4f exceeds -max-error-rate %.4f (%d/%d requests failed)",
+			rep.ErrorRate, *maxErrRate, rep.Errors, rep.Requests)
+		os.Exit(1)
 	}
 }
 
@@ -240,7 +250,10 @@ type sample struct {
 	// failed marks a job the server executed and reported as failed —
 	// distinct from a 503 admission rejection or a transport error.
 	failed bool
-	jobID  string
+	// retries counts resubmissions of this request (-retries); a sample
+	// that succeeds on a retry is not an error.
+	retries int
+	jobID   string
 }
 
 func waitHealthy(addr string, budget time.Duration) error {
@@ -267,7 +280,7 @@ func waitHealthy(addr string, budget time.Duration) error {
 // runLoad drives the closed loop and returns every sample. With several
 // targets each client round-robins across them, so every target sees an
 // interleaved share of every client's spec stream.
-func runLoad(targets []string, specs []service.JobSpec, cdf []float64, clients, requests int, duration time.Duration, seed int64, poll, timeout time.Duration) []sample {
+func runLoad(targets []string, specs []service.JobSpec, cdf []float64, clients, requests int, duration time.Duration, seed int64, poll, timeout time.Duration, retries int) []sample {
 	var (
 		mu  sync.Mutex
 		out []sample
@@ -293,7 +306,7 @@ func runLoad(targets []string, specs []service.JobSpec, cdf []float64, clients, 
 				}
 				si := pick(cdf, rng)
 				ti := (id + i) % len(targets)
-				s := oneRequest(targets[ti], si, specs[si], poll, timeout)
+				s := requestWithRetries(targets[ti], si, specs[si], poll, timeout, retries)
 				s.target = ti
 				local = append(local, s)
 				if !s.ok {
@@ -307,6 +320,22 @@ func runLoad(targets []string, specs []service.JobSpec, cdf []float64, clients, 
 	}
 	wg.Wait()
 	return out
+}
+
+// requestWithRetries resubmits a rejected or errored request up to
+// `retries` extra times with a growing pause. Server-side job failures
+// are not retried: the service is deterministic, so a failed compute
+// fails identically on resubmission. Content-addressed cache keys make
+// resubmission safe — a retry of work the first attempt actually
+// finished is answered from the cache, not recomputed.
+func requestWithRetries(addr string, specIdx int, spec service.JobSpec, poll, timeout time.Duration, retries int) sample {
+	s := oneRequest(addr, specIdx, spec, poll, timeout)
+	for attempt := 0; attempt < retries && !s.ok && !s.failed; attempt++ {
+		time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+		s = oneRequest(addr, specIdx, spec, poll, timeout)
+		s.retries = attempt + 1
+	}
+	return s
 }
 
 // oneRequest submits a spec and polls it to completion.
@@ -380,6 +409,8 @@ func assemble(samples []sample, specs []service.JobSpec, targets []string, elaps
 		e.Requests++
 		t.Requests++
 		rep.Requests++
+		t.Retries += int64(s.retries)
+		rep.Retries += int64(s.retries)
 		if !s.ok {
 			e.Errors++
 			t.Errors++
@@ -397,8 +428,9 @@ func assemble(samples []sample, specs []service.JobSpec, targets []string, elaps
 		all = append(all, s.latencyMS)
 		specLats[s.spec] = append(specLats[s.spec], s.latencyMS)
 	}
-	if len(targets) > 1 {
-		rep.PerTarget = perTarget
+	rep.PerTarget = perTarget
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
 	}
 	rep.Latency = report.LoadLatency{
 		Overall: report.SummarizeLatencies(all),
@@ -549,8 +581,8 @@ func printSummary(rep *report.LoadReport) {
 	if n := rep.Requests - rep.Errors; n > 0 {
 		hitRate = float64(rep.CacheHits) / float64(n)
 	}
-	fmt.Printf("requests=%d errors=%d cache_hits=%d (%.1f%%) throughput=%.1f req/s\n",
-		rep.Requests, rep.Errors, rep.CacheHits, 100*hitRate, rep.ThroughputRPS)
+	fmt.Printf("requests=%d errors=%d retries=%d cache_hits=%d (%.1f%%) throughput=%.1f req/s\n",
+		rep.Requests, rep.Errors, rep.Retries, rep.CacheHits, 100*hitRate, rep.ThroughputRPS)
 	l := rep.Latency
 	fmt.Printf("latency ms: overall p50=%.2f p90=%.2f p99=%.2f max=%.2f | hits p50=%.2f | misses p50=%.2f\n",
 		l.Overall.P50MS, l.Overall.P90MS, l.Overall.P99MS, l.Overall.MaxMS, l.Hits.P50MS, l.Misses.P50MS)
@@ -563,8 +595,8 @@ func printSummary(rep *report.LoadReport) {
 			e.Matrix, e.P, e.Seed, e.Requests, e.CacheHits, e.Latency.P50MS)
 	}
 	for _, t := range rep.PerTarget {
-		fmt.Printf("  target %-28s %5d req  %4d err  %4d hits\n",
-			t.Addr, t.Requests, t.Errors, t.CacheHits)
+		fmt.Printf("  target %-28s %5d req  %4d err  %4d retry  %4d hits\n",
+			t.Addr, t.Requests, t.Errors, t.Retries, t.CacheHits)
 	}
 	if rep.Verified+rep.VerifyFailures > 0 {
 		fmt.Printf("verified %d unique specs against the offline library, %d failures\n",

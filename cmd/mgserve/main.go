@@ -55,6 +55,7 @@ import (
 	"mediumgrain/internal/cluster"
 	"mediumgrain/internal/cluster/membership"
 	"mediumgrain/internal/corpus"
+	"mediumgrain/internal/faults"
 	"mediumgrain/internal/service"
 )
 
@@ -85,6 +86,15 @@ func main() {
 		secret    = flag.String("cluster-secret", os.Getenv("MGSERVE_CLUSTER_SECRET"), "shared secret authenticating the peer /cache and /cluster endpoints; must match on every shard and router (default $MGSERVE_CLUSTER_SECRET; empty leaves them open — trusted networks only)")
 		linger    = flag.Duration("linger", 0, "after draining, keep serving reads this long before closing the listener (lets clients finish trailing status polls)")
 
+		// Resilience and chaos testing.
+		faultSpec  = flag.String("fault-spec", os.Getenv("MGSERVE_FAULTS"), "deterministic fault-injection schedule, e.g. \"shard1:err503:rate=0.2;all:delay=100ms:count=5\" (default $MGSERVE_FAULTS; empty = off)")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault schedule's probabilistic rules (same seed + same traffic = same faults)")
+		faultLabel = flag.String("fault-label", "", "label this process matches against fault-spec targets (default: the -node address for shards, \"router\" for routers)")
+		brkThresh  = flag.Int("breaker-threshold", 0, "consecutive peer failures before a circuit opens (0 = default)")
+		brkBase    = flag.Duration("breaker-base", 0, "base open interval for a tripped circuit, doubling per trip (0 = default)")
+		brkMax     = flag.Duration("breaker-max", 0, "cap on the open interval (0 = default)")
+		hedge      = flag.Duration("hedge-delay", 0, "router mode: duplicate a status/result read still unanswered after this long (0 = default, negative = off)")
+
 		// Live membership.
 		join           = flag.String("join", "", "shard mode: join a running cluster by fetching membership from this seed shard (host:port) instead of listing every peer in -peers")
 		leaveOnTerm    = flag.Bool("leave-on-term", false, "shard mode: turn SIGTERM into a planned leave — announce departure, drain, hand every owned cache entry to its new owner, then exit")
@@ -93,8 +103,21 @@ func main() {
 	)
 	flag.Parse()
 
+	inj, err := faults.New(*faultSpec, *faultSeed)
+	if err != nil {
+		log.Fatalf("-fault-spec: %v", err)
+	}
+	if inj != nil {
+		log.Printf("fault injection ON (seed=%d): %s", *faultSeed, inj)
+	}
+	breaker := cluster.BreakerConfig{
+		Threshold: *brkThresh,
+		Backoff:   cluster.Backoff{Base: *brkBase, Max: *brkMax},
+	}
+
 	if *router {
-		runRouter(*addr, *shards, *vnodes, *replicas, *corpusScale, *corpusSeed, *secret, *membershipPoll)
+		runRouter(*addr, *shards, *vnodes, *replicas, *corpusScale, *corpusSeed, *secret, *membershipPoll,
+			inj, breaker, *hedge)
 		return
 	}
 
@@ -114,7 +137,12 @@ func main() {
 		if !ring.Contains(*node) {
 			log.Fatalf("-node %q is not in the member set %v", *node, ring.Nodes())
 		}
-		clu = &cluster.ShardConfig{Self: *node, Ring: ring, ReplicateAfter: *replAfter, Secret: *secret}
+		clu = &cluster.ShardConfig{Self: *node, Ring: ring, ReplicateAfter: *replAfter, Secret: *secret, Breaker: breaker}
+		if inj != nil {
+			// Outbound peer traffic (fetch, replicate, handoff) passes
+			// through the same fault schedule as inbound requests.
+			clu.Client = &http.Client{Timeout: 30 * time.Second, Transport: inj.RoundTripper(nil)}
+		}
 		if *secret == "" {
 			log.Printf("warning: no -cluster-secret; peer /cache and /cluster endpoints accept pushes from anyone who can reach them")
 		}
@@ -142,7 +170,18 @@ func main() {
 	log.Printf("listening on %s (workers=%d runners=%d queue=%d cache=%d/%d rehydrated)",
 		*addr, st.Workers, st.Runners, st.QueueCap, st.Cache.Entries, st.Cache.Capacity)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if inj != nil {
+		label := *faultLabel
+		if label == "" && *node != "" {
+			label = cluster.NormalizeNode(*node)
+		}
+		if label == "" {
+			label = "self"
+		}
+		handler = inj.Middleware(label, handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
@@ -282,7 +321,8 @@ func buildMembership(join, node, peers string, vnodes, replicas int, secret stri
 // the epoch handshake on every routed submission (a disagreeing shard
 // answers a structured 409 the router resolves by refreshing and
 // retrying).
-func runRouter(addr, shards string, vnodes, replicas, corpusScale int, corpusSeed int64, secret string, poll time.Duration) {
+func runRouter(addr, shards string, vnodes, replicas, corpusScale int, corpusSeed int64, secret string, poll time.Duration,
+	inj *faults.Injector, breaker cluster.BreakerConfig, hedge time.Duration) {
 	nodes := splitList(shards)
 	if len(nodes) == 0 {
 		log.Fatalf("-router needs -shards host:port,host:port,...")
@@ -305,13 +345,20 @@ func runRouter(addr, shards string, vnodes, replicas, corpusScale int, corpusSee
 	if err != nil {
 		log.Fatalf("router ring: %v", err)
 	}
-	rt, err := cluster.NewRouter(cluster.RouterConfig{
+	cfg := cluster.RouterConfig{
 		Members:      set,
 		VNodes:       vnodes,
 		Replicas:     replicas,
 		CorpusHashes: hashes,
 		Secret:       secret,
-	})
+		Breaker:      breaker,
+		RetryBackoff: breaker.Backoff,
+		HedgeDelay:   hedge,
+	}
+	if inj != nil {
+		cfg.WrapTransport = inj.RoundTripper
+	}
+	rt, err := cluster.NewRouter(cfg)
 	if err != nil {
 		log.Fatalf("router: %v", err)
 	}

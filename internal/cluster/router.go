@@ -9,7 +9,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
+	"net"
 	"net/http"
+	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,11 +66,20 @@ type Router struct {
 	nodeByID map[string]string
 	idByNode map[string]string
 
+	// breaker tracks per-shard health; backoff paces retry passes and
+	// hedgeDelay arms duplicate GETs for slow idempotent reads.
+	breaker    *Breaker
+	backoff    Backoff
+	hedgeDelay time.Duration
+
 	forwarded    atomic.Int64 // proxied job submissions (first attempt per request)
 	failovers    atomic.Int64 // submissions retried on the next replica
 	proxyErrs    atomic.Int64 // requests that exhausted every candidate
 	epochRetries atomic.Int64 // submissions re-run after an epoch 409
 	refreshes    atomic.Int64 // membership views adopted (poll or 409)
+	retries      atomic.Int64 // backoff'd re-attempts (submit passes + read retries)
+	degraded     atomic.Int64 // submissions served by a non-owner shard
+	hedges       atomic.Int64 // duplicate GETs fired for slow reads
 	started      time.Time
 }
 
@@ -88,13 +101,40 @@ type RouterConfig struct {
 	// CorpusHashes maps named corpus instances to their matrix hashes so
 	// the router can key corpus jobs without materializing matrices.
 	CorpusHashes map[string]string
-	// Client is the proxy HTTP client (default: 60s timeout).
+	// Client overrides the proxy HTTP client entirely (tests). When nil
+	// the router builds one with per-attempt dial/response-header
+	// timeouts and no overall deadline, so a slow shard fails fast at
+	// connect/first-header time while a long result stream is never cut
+	// mid-body.
 	Client *http.Client
+	// DialTimeout and HeaderTimeout bound each proxy attempt when Client
+	// is nil; zero values select DefaultDialTimeout/DefaultHeaderTimeout.
+	DialTimeout   time.Duration
+	HeaderTimeout time.Duration
+	// WrapTransport, when set, wraps the built client's transport — the
+	// fault-injection hook. Ignored when Client is set.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
+	// Breaker tunes the per-shard circuit breaker (zero = defaults).
+	Breaker BreakerConfig
+	// RetryBackoff paces replica-set retry passes and read retries
+	// (zero = defaults).
+	RetryBackoff Backoff
+	// HedgeDelay arms a duplicate GET when an idempotent read has not
+	// answered within this delay; 0 selects DefaultHedgeDelay, negative
+	// disables hedging.
+	HedgeDelay time.Duration
 	// Secret authenticates the router's membership fetches and sync
 	// announcements to shards (the same -cluster-secret the shards run
 	// with). Routed job traffic itself never needs it.
 	Secret string
 }
+
+// Default per-attempt proxy timeouts and hedging delay.
+const (
+	DefaultDialTimeout   = 2 * time.Second
+	DefaultHeaderTimeout = 30 * time.Second
+	DefaultHedgeDelay    = 200 * time.Millisecond
+)
 
 // NewRouter builds the router and its ring.
 func NewRouter(cfg RouterConfig) (*Router, error) {
@@ -112,13 +152,40 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 60 * time.Second}
+		dial := cfg.DialTimeout
+		if dial <= 0 {
+			dial = DefaultDialTimeout
+		}
+		header := cfg.HeaderTimeout
+		if header <= 0 {
+			header = DefaultHeaderTimeout
+		}
+		var base http.RoundTripper = &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: dial}).DialContext,
+			ResponseHeaderTimeout: header,
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       90 * time.Second,
+		}
+		if cfg.WrapTransport != nil {
+			base = cfg.WrapTransport(base)
+		}
+		client = &http.Client{Transport: base}
+	}
+	hedge := cfg.HedgeDelay
+	if hedge == 0 {
+		hedge = DefaultHedgeDelay
+	}
+	if hedge < 0 {
+		hedge = 0
 	}
 	rt := &Router{
 		members:      members,
 		corpusHashes: cfg.CorpusHashes,
 		client:       client,
 		secret:       cfg.Secret,
+		breaker:      NewBreaker(cfg.Breaker),
+		backoff:      cfg.RetryBackoff,
+		hedgeDelay:   hedge,
 		nodeByID:     make(map[string]string),
 		idByNode:     make(map[string]string),
 		started:      time.Now(),
@@ -328,67 +395,69 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.forwarded.Add(1)
 	var lastErr string
+	attempted := 0
 	// Outer loop: epoch reconciliation. A structured 409 from a shard
 	// restarts the whole attempt on the refreshed ring (the key's replica
-	// set may have changed); anything else resolves within one pass over
-	// the replica set.
-	for attempt := 0; attempt < maxEpochRetries; attempt++ {
-		if attempt > 0 {
+	// set may have changed); anything else resolves within one iteration.
+	for epochTry := 0; epochTry < maxEpochRetries; epochTry++ {
+		if epochTry > 0 {
 			rt.epochRetries.Add(1)
 		}
 		ring := rt.snapshot()
 		epoch := ring.Epoch()
-		mismatched := false
-		for i, node := range ring.Replicas(key) {
-			if i > 0 {
-				rt.failovers.Add(1)
+		replicas := ring.Replicas(key)
+		// Replica passes: walk the owner set, skipping open circuits,
+		// with one backoff'd retry pass — enough to ride out a shard
+		// restart or a shed burst without stacking client latency.
+		out := submitFailed
+		for pass := 0; pass < submitPasses; pass++ {
+			var tried int
+			out, tried = rt.tryCandidates(w, r, body, epoch, replicas, false, &lastErr, &attempted)
+			if out != submitFailed {
+				break
 			}
-			req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, NodeURL(node)+"/jobs", bytes.NewReader(body))
-			if err != nil {
-				lastErr = err.Error()
-				continue
+			if tried == 0 {
+				// Every replica is open-circuit: nothing to wait for,
+				// degrade immediately.
+				break
 			}
-			req.Header.Set("Content-Type", "application/json")
-			req.Header.Set(EpochHeader, epoch)
-			resp, err := rt.client.Do(req)
-			if retriable(resp, err) {
-				if err != nil {
-					lastErr = err.Error()
-				} else {
-					lastErr = fmt.Sprintf("shard %s answered %d", node, resp.StatusCode)
-					resp.Body.Close()
-				}
-				continue
-			}
-			respBody, err := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if err != nil {
-				rt.proxyErrs.Add(1)
-				writeJSON(w, http.StatusBadGateway, routerError{Error: err.Error()})
-				return
-			}
-			if resp.StatusCode == http.StatusConflict {
-				var em EpochMismatch
-				if json.Unmarshal(respBody, &em) == nil && em.RingEpochMismatch {
-					lastErr = fmt.Sprintf("shard %s at epoch %s, router at %s", node, em.Epoch, epoch)
-					rt.resolveEpoch(r.Context(), node, em)
-					mismatched = true
+			if pass+1 < submitPasses {
+				if !sleepCtx(r.Context(), rt.backoff.Delay(pass, key)) {
 					break
 				}
+				rt.retries.Add(1)
 			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(resp.StatusCode)
-			w.Write(rewriteID(respBody, rt.shardID(node)))
+		}
+		if out == submitDone {
 			return
 		}
-		if !mismatched {
-			break
+		if out == submitEpoch {
+			continue
 		}
+		// Degraded mode: the whole owner set is down or open-circuit, but
+		// results are content-addressed, so any live shard can compute
+		// the key. The non-owner pushes the entry back to the owner set
+		// when it recovers (service-side pushback), so degradation costs
+		// placement, not correctness.
+		var fallback []string
+		for _, n := range ring.Nodes() {
+			if !slices.Contains(replicas, n) {
+				fallback = append(fallback, n)
+			}
+		}
+		out, _ = rt.tryCandidates(w, r, body, epoch, fallback, true, &lastErr, &attempted)
+		if out == submitDone {
+			return
+		}
+		if out == submitEpoch {
+			continue
+		}
+		break
 	}
 	rt.proxyErrs.Add(1)
-	w.Header().Set("Retry-After", "1")
+	rt.setRetryAfter(w)
 	writeJSON(w, http.StatusServiceUnavailable,
-		routerError{Error: "no replica of the owning shard set reachable: " + lastErr})
+		routerError{Error: "no shard reachable for submission: " + lastErr})
 }
 
 // maxEpochRetries bounds submissions re-run after epoch 409s: each
@@ -396,6 +465,109 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // push to the one stale shard, so disagreement longer than this means
 // the cluster itself has not converged and 503 is the honest answer.
 const maxEpochRetries = 3
+
+// submitPasses is the per-request retry budget over the replica set:
+// the initial pass plus one backoff'd retry pass.
+const submitPasses = 2
+
+// submitOutcome is tryCandidates' verdict for one candidate walk.
+type submitOutcome int
+
+const (
+	submitFailed submitOutcome = iota // every candidate skipped or retriable-failed
+	submitDone                        // response written (success or authoritative error)
+	submitEpoch                       // epoch 409: caller restarts on the refreshed ring
+)
+
+// tryCandidates walks nodes in order, skipping open circuits, and
+// proxies the submission to the first one that gives an authoritative
+// answer. It reports every exchange outcome into the breaker. tried
+// counts candidates actually contacted (0 = everything was open-circuit).
+func (rt *Router) tryCandidates(w http.ResponseWriter, r *http.Request, body []byte, epoch string, nodes []string, degraded bool, lastErr *string, attempted *int) (out submitOutcome, tried int) {
+	for _, node := range nodes {
+		if !rt.breaker.Allow(node) {
+			*lastErr = "shard " + node + " circuit open"
+			continue
+		}
+		if *attempted > 0 {
+			rt.failovers.Add(1)
+		}
+		*attempted++
+		tried++
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, NodeURL(node)+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			*lastErr = err.Error()
+			rt.breaker.Success(node) // not the node's fault; release the probe slot
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(EpochHeader, epoch)
+		resp, err := rt.client.Do(req)
+		if retriable(resp, err) {
+			rt.breaker.Failure(node)
+			if err != nil {
+				*lastErr = err.Error()
+			} else {
+				*lastErr = fmt.Sprintf("shard %s answered %d", node, resp.StatusCode)
+				resp.Body.Close()
+			}
+			continue
+		}
+		rt.breaker.Success(node)
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			rt.proxyErrs.Add(1)
+			writeJSON(w, http.StatusBadGateway, routerError{Error: err.Error()})
+			return submitDone, tried
+		}
+		if resp.StatusCode == http.StatusConflict {
+			var em EpochMismatch
+			if json.Unmarshal(respBody, &em) == nil && em.RingEpochMismatch {
+				*lastErr = fmt.Sprintf("shard %s at epoch %s, router at %s", node, em.Epoch, epoch)
+				rt.resolveEpoch(r.Context(), node, em)
+				return submitEpoch, tried
+			}
+		}
+		if degraded && resp.StatusCode < 300 {
+			rt.degraded.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(rewriteID(respBody, rt.shardID(node)))
+		return submitDone, tried
+	}
+	return submitFailed, tried
+}
+
+// setRetryAfter tells a refused client when trying again can actually
+// help: the earliest half-open probe horizon when circuits are open,
+// else the 1s transient default.
+func (rt *Router) setRetryAfter(w http.ResponseWriter) {
+	ra := 1
+	if d := rt.breaker.RetryAfter(); d > 0 {
+		if s := int(math.Ceil(d.Seconds())); s > ra {
+			ra = s
+		}
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(ra))
+}
+
+// sleepCtx sleeps d unless ctx ends first; false means the client is
+// gone and the caller should give up.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
 
 // shardID returns the stable id for a node, consulting (and populating)
 // the retained map.
@@ -442,10 +614,10 @@ func (rt *Router) handleJobProxy(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	req, _ := http.NewRequestWithContext(r.Context(), r.Method, NodeURL(node)+"/jobs/"+local, nil)
-	resp, err := rt.client.Do(req)
+	resp, err := rt.proxyRead(r, node, "/jobs/"+local, r.Method)
 	if err != nil {
 		rt.proxyErrs.Add(1)
+		rt.setRetryAfter(w)
 		writeJSON(w, http.StatusBadGateway, routerError{Error: fmt.Sprintf("shard %s unreachable: %v", node, err)})
 		return
 	}
@@ -466,9 +638,10 @@ func (rt *Router) handleResultProxy(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := rt.client.Get(NodeURL(node) + "/jobs/" + local + "/result")
+	resp, err := rt.proxyRead(r, node, "/jobs/"+local+"/result", http.MethodGet)
 	if err != nil {
 		rt.proxyErrs.Add(1)
+		rt.setRetryAfter(w)
 		writeJSON(w, http.StatusBadGateway, routerError{Error: fmt.Sprintf("shard %s unreachable: %v", node, err)})
 		return
 	}
@@ -479,6 +652,106 @@ func (rt *Router) handleResultProxy(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+}
+
+// proxyReadRetries is the extra-attempt budget for pinned reads.
+const proxyReadRetries = 2
+
+// proxyRead performs a job-pinned read or cancel. Unlike submissions it
+// cannot fail over — the job's state lives on exactly one shard — so it
+// retries the same node on transient failures (transport errors,
+// 502/503: a shard never answers 503 about a job it knows, so that can
+// only be shedding middleware or an injected fault) with backoff, and
+// hedges slow GETs with a duplicate request. Outcomes feed the breaker,
+// but an open circuit does not block the read: it is this node or
+// nothing.
+func (rt *Router) proxyRead(r *http.Request, node, path, method string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= proxyReadRetries; attempt++ {
+		if attempt > 0 {
+			if !sleepCtx(r.Context(), rt.backoff.Delay(attempt-1, path)) {
+				break
+			}
+			rt.retries.Add(1)
+		}
+		resp, err := rt.readOnce(r, node, path, method)
+		if err != nil {
+			rt.breaker.Failure(node)
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusBadGateway {
+			rt.breaker.Failure(node)
+			lastErr = fmt.Errorf("shard %s answered %d", node, resp.StatusCode)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			continue
+		}
+		rt.breaker.Success(node)
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// readOnce issues one read attempt, hedged for GETs: when the first
+// request has not answered within hedgeDelay, a duplicate is fired and
+// the first success wins (the loser is drained in the background).
+func (rt *Router) readOnce(r *http.Request, node, path, method string) (*http.Response, error) {
+	mk := func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(r.Context(), method, NodeURL(node)+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return rt.client.Do(req)
+	}
+	if method != http.MethodGet || rt.hedgeDelay <= 0 {
+		return mk()
+	}
+	type reply struct {
+		resp *http.Response
+		err  error
+	}
+	ch := make(chan reply, 2)
+	launch := func() {
+		go func() {
+			resp, err := mk()
+			ch <- reply{resp, err}
+		}()
+	}
+	launch()
+	launched, got := 1, 0
+	timer := time.NewTimer(rt.hedgeDelay)
+	defer timer.Stop()
+	for {
+		select {
+		case rep := <-ch:
+			got++
+			if rep.err == nil {
+				if pending := launched - got; pending > 0 {
+					go func() {
+						for i := 0; i < pending; i++ {
+							if late := <-ch; late.resp != nil {
+								io.Copy(io.Discard, io.LimitReader(late.resp.Body, 1<<20))
+								late.resp.Body.Close()
+							}
+						}
+					}()
+				}
+				return rep.resp, nil
+			}
+			if got == launched {
+				return nil, rep.err
+			}
+			// One attempt failed while another is still in flight: wait
+			// for the survivor.
+		case <-timer.C:
+			if launched < 2 {
+				launched++
+				rt.hedges.Add(1)
+				launch()
+			}
+		}
+	}
 }
 
 func (rt *Router) handleCorpus(w http.ResponseWriter, r *http.Request) {
@@ -569,6 +842,9 @@ type shardStatsLite struct {
 		PeerServed      int64 `json:"peer_served"`
 		ReplicatedIn    int64 `json:"replicated_in"`
 		ReplicatedOut   int64 `json:"replicated_out"`
+		DegradedJobs    int64 `json:"degraded_jobs"`
+		PushbackDone    int64 `json:"pushback_done"`
+		PushbackFailed  int64 `json:"pushback_failed"`
 		RehydrateDone   int64 `json:"rehydrate_done"`
 		RehydrateFailed int64 `json:"rehydrate_failed"`
 		HandoffDone     int64 `json:"handoff_done"`
@@ -598,6 +874,9 @@ type MergedTotals struct {
 	PeerServed      int64   `json:"peer_served"`
 	ReplicatedIn    int64   `json:"replicated_in"`
 	ReplicatedOut   int64   `json:"replicated_out"`
+	DegradedJobs    int64   `json:"degraded_jobs"`
+	PushbackDone    int64   `json:"pushback_done"`
+	PushbackFailed  int64   `json:"pushback_failed"`
 	RehydrateDone   int64   `json:"rehydrate_done"`
 	RehydrateFailed int64   `json:"rehydrate_failed"`
 	HandoffDone     int64   `json:"handoff_done"`
@@ -622,6 +901,17 @@ type RouterStats struct {
 	Members             int     `json:"members"`
 	EpochRetries        int64   `json:"epoch_retries"`
 	MembershipRefreshes int64   `json:"membership_refreshes"`
+	// Resilience counters: backoff'd re-attempts, submissions served by
+	// a non-owner shard while the whole owner set was open-circuit,
+	// duplicate GETs hedged for slow reads, and the breaker's live and
+	// lifetime transition counts.
+	Retries        int64             `json:"retries"`
+	DegradedServed int64             `json:"degraded_served"`
+	Hedges         int64             `json:"hedged_requests"`
+	BreakerOpen    int               `json:"breaker_open"`
+	BreakerOpened  int64             `json:"breaker_opened"`
+	BreakerClosed  int64             `json:"breaker_closed"`
+	BreakerStates  map[string]string `json:"breaker_states,omitempty"`
 }
 
 // MergedStats is the /stats JSON of the router: per-shard raw stats,
@@ -686,6 +976,9 @@ func (rt *Router) Stats() MergedStats {
 		totals.PeerServed += s.Cluster.PeerServed
 		totals.ReplicatedIn += s.Cluster.ReplicatedIn
 		totals.ReplicatedOut += s.Cluster.ReplicatedOut
+		totals.DegradedJobs += s.Cluster.DegradedJobs
+		totals.PushbackDone += s.Cluster.PushbackDone
+		totals.PushbackFailed += s.Cluster.PushbackFailed
 		totals.RehydrateDone += s.Cluster.RehydrateDone
 		totals.RehydrateFailed += s.Cluster.RehydrateFailed
 		totals.HandoffDone += s.Cluster.HandoffDone
@@ -694,8 +987,9 @@ func (rt *Router) Stats() MergedStats {
 	if n := totals.CacheHits + totals.CacheMisses; n > 0 {
 		totals.HitRate = float64(totals.CacheHits) / float64(n)
 	}
+	breakerOpen := rt.breaker.OpenCount()
 	status := "ok"
-	if totals.ShardsReachable < totals.Shards {
+	if totals.ShardsReachable < totals.Shards || breakerOpen > 0 {
 		status = "degraded"
 	}
 	return MergedStats{
@@ -711,6 +1005,13 @@ func (rt *Router) Stats() MergedStats {
 			Members:             len(rt.members.Ring().Nodes()),
 			EpochRetries:        rt.epochRetries.Load(),
 			MembershipRefreshes: rt.refreshes.Load(),
+			Retries:             rt.retries.Load(),
+			DegradedServed:      rt.degraded.Load(),
+			Hedges:              rt.hedges.Load(),
+			BreakerOpen:         breakerOpen,
+			BreakerOpened:       rt.breaker.Opened(),
+			BreakerClosed:       rt.breaker.Closed(),
+			BreakerStates:       rt.breaker.States(),
 		},
 	}
 }

@@ -6,18 +6,27 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"mediumgrain/internal/cluster"
 	"mediumgrain/internal/corpus"
+	"mediumgrain/internal/faults"
 	"mediumgrain/internal/service"
 )
 
 // startShard serves a clustered mgserve on a real listener (the ring
 // addresses shards by host:port, so httptest's opaque URLs don't do).
 func startShard(t *testing.T, ln net.Listener, self string, ring *cluster.Ring) *service.Server {
+	t.Helper()
+	return startShardWrapped(t, ln, self, ring, nil)
+}
+
+// startShardWrapped is startShard with an optional handler wrapper —
+// how tests put a fault-injection middleware in front of a shard.
+func startShardWrapped(t *testing.T, ln net.Listener, self string, ring *cluster.Ring, wrap func(http.Handler) http.Handler) *service.Server {
 	t.Helper()
 	srv, warns := service.New(service.Config{
 		Runners:      2,
@@ -28,7 +37,11 @@ func startShard(t *testing.T, ln net.Listener, self string, ring *cluster.Ring) 
 	for _, w := range warns {
 		t.Fatalf("shard %s: %v", self, w)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	h := http.Handler(srv.Handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	hs := &http.Server{Handler: h}
 	go hs.Serve(ln)
 	t.Cleanup(func() { hs.Close() })
 	return srv
@@ -264,6 +277,167 @@ func TestRouterFailsOverDeadOwner(t *testing.T) {
 	}
 	if ms.Status != "degraded" {
 		t.Fatalf("status %q with a dead shard, want degraded", ms.Status)
+	}
+}
+
+// TestRouterDegradedServing: with replicas=1 a dead owner has no
+// failover replica — the router must degrade to a live non-owner shard
+// instead of erroring, count it, and report the cluster degraded.
+func TestRouterDegradedServing(t *testing.T) {
+	ln1, addr1 := listen(t)
+	ln2, addr2 := listen(t)
+	lnDead, addrDead := listen(t)
+	lnDead.Close()
+
+	ring, err := cluster.NewRing([]string{addr1, addr2, addrDead}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startShard(t, ln1, addr1, ring)
+	startShard(t, ln2, addr2, ring)
+
+	hashes := corpusHashes()
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Shards: []string{addr1, addr2, addrDead}, VNodes: 32, Replicas: 1,
+		CorpusHashes: hashes,
+		Breaker:      cluster.BreakerConfig{Threshold: 1},
+		RetryBackoff: cluster.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// A spec whose single replica is the dead shard.
+	var spec map[string]any
+	for seed := 1; seed < 200; seed++ {
+		s := service.JobSpec{Corpus: "tridiag", P: 2, Seed: int64(seed), Workers: 1}
+		key, err := cluster.RouteKey(s, func(n string) (string, bool) { h, ok := hashes[n]; return h, ok })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Ring().Owner(key) == cluster.NormalizeNode(addrDead) {
+			spec = map[string]any{"corpus": "tridiag", "p": 2, "seed": seed, "workers": 1}
+			break
+		}
+	}
+	if spec == nil {
+		t.Fatal("no spec hashed to the dead shard in 200 seeds")
+	}
+
+	v, status := postJob(t, front.URL, spec)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("degraded submit: status %d %v", status, v)
+	}
+	final := pollDone(t, front.URL, v["id"].(string))
+	if final["state"] != "done" {
+		t.Fatalf("degraded job finished %v", final)
+	}
+	ms := rt.Stats()
+	if ms.Router.DegradedServed < 1 {
+		t.Fatalf("degraded_served = %d, want >= 1", ms.Router.DegradedServed)
+	}
+	if ms.Status != "degraded" {
+		t.Fatalf("status %q, want degraded", ms.Status)
+	}
+	if ms.Router.BreakerOpen < 1 || ms.Router.BreakerOpened < 1 {
+		t.Fatalf("breaker open=%d opened=%d, want the dead shard's circuit open",
+			ms.Router.BreakerOpen, ms.Router.BreakerOpened)
+	}
+	// The live shard that computed the non-owned key counted it.
+	if ms.Totals.DegradedJobs < 1 {
+		t.Fatalf("shard degraded_jobs total = %d, want >= 1", ms.Totals.DegradedJobs)
+	}
+}
+
+// TestRouterRetryAfterReflectsBreaker: a 503 refused because every
+// circuit is open must carry the breaker's actual probe horizon, not
+// the hard-coded 1s guess.
+func TestRouterRetryAfterReflectsBreaker(t *testing.T) {
+	ln1, addr1 := listen(t)
+	ln2, addr2 := listen(t)
+	ln1.Close()
+	ln2.Close()
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Shards: []string{addr1, addr2}, VNodes: 32, CorpusHashes: corpusHashes(),
+		Breaker: cluster.BreakerConfig{
+			Threshold: 1,
+			Backoff:   cluster.Backoff{Base: 10 * time.Second, Max: 10 * time.Second},
+		},
+		RetryBackoff: cluster.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	body, _ := json.Marshal(map[string]any{"corpus": "lap2d-24", "p": 2, "workers": 1})
+	resp, err := http.Post(front.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-dead submit: status %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer", resp.Header.Get("Retry-After"))
+	}
+	// The breaker's 10s interval (0.75-1.25 jitter band) rounds up to
+	// 8..13 — far from the old fixed 1.
+	if ra < 2 || ra > 13 {
+		t.Fatalf("Retry-After = %d, want the breaker's horizon (2..13)", ra)
+	}
+}
+
+// TestRouterRidesOutInjected503s: a deterministic burst of injected
+// 503s on the submission path must be absorbed by failover + backoff'd
+// retry passes, invisibly to the client.
+func TestRouterRidesOutInjected503s(t *testing.T) {
+	ln1, addr1 := listen(t)
+	ln2, addr2 := listen(t)
+	ring, err := cluster.NewRing([]string{addr1, addr2}, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First three /jobs requests cluster-wide answer an injected 503:
+	// the first submit burns a full failover pass (2 shards) plus one
+	// retry-pass attempt, and succeeds on the 4th.
+	inj, err := faults.New("all:err503:count=3:path=/jobs", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startShardWrapped(t, ln1, addr1, ring, func(h http.Handler) http.Handler { return inj.Middleware("all", h) })
+	startShardWrapped(t, ln2, addr2, ring, func(h http.Handler) http.Handler { return inj.Middleware("all", h) })
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Shards: []string{addr1, addr2}, VNodes: 32, CorpusHashes: corpusHashes(),
+		RetryBackoff: cluster.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	v, status := postJob(t, front.URL, map[string]any{"corpus": "lap2d-24", "p": 2, "seed": 3, "workers": 1})
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit under 503 burst: status %d %v", status, v)
+	}
+	final := pollDone(t, front.URL, v["id"].(string))
+	if final["state"] != "done" {
+		t.Fatalf("job finished %v", final)
+	}
+	ms := rt.Stats()
+	if ms.Router.Failovers < 1 || ms.Router.Retries < 1 {
+		t.Fatalf("failovers=%d retries=%d, want both >= 1", ms.Router.Failovers, ms.Router.Retries)
+	}
+	if ms.Router.ProxyErrors != 0 {
+		t.Fatalf("proxy_errors = %d, want 0 (the burst must be absorbed)", ms.Router.ProxyErrors)
 	}
 }
 

@@ -39,6 +39,9 @@ type ShardConfig struct {
 	// Client is the peer-transfer HTTP client (nil selects a 30s
 	// timeout).
 	Client *http.Client
+	// Breaker tunes the peer-health circuit breaker guarding peer fetch,
+	// replication, rehydration, and handoff pushes (zero = defaults).
+	Breaker BreakerConfig
 }
 
 // WithDefaults normalizes Self and fills zero-valued fields.

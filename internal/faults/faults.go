@@ -1,0 +1,435 @@
+// Package faults injects deterministic failures into the cluster's HTTP
+// paths so resilience behavior — router failover, circuit breakers,
+// degraded-mode serving, peer-fetch fallback — can be provoked on
+// purpose instead of waited for. A schedule is a compact spec string:
+//
+//	shard1:delay=500ms:rate=0.2;shard2:err503:after=100;all:drop:count=5
+//
+// Rules are ';'-separated; each rule is ':'-separated fields — a target
+// label, an action, then modifiers:
+//
+//	target     "all", or the label the injection point runs under (a
+//	           shard's -fault-label, or the host:port of an outbound
+//	           request when injecting into a client transport)
+//	action     delay=<duration>   sleep before handling/forwarding
+//	           err<code>          answer <code> without doing the work
+//	                              (err503, err502, ...)
+//	           drop               abort the connection with no response
+//	           truncate=<bytes>   cut the response body after N bytes
+//	modifiers  rate=<0..1>        fire with this probability (default 1)
+//	           after=<n>          skip the first n matching requests
+//	           count=<n>          fire at most n times (default unbounded)
+//	           path=<prefix>      only requests whose path has this prefix
+//
+// Rules are evaluated in spec order per request: delays accumulate, the
+// first terminal action (err/drop/truncate) wins. Every probabilistic
+// decision draws from a per-rule RNG seeded from the injector seed, so a
+// given (spec, seed, request order) replays the same fault sequence —
+// concurrent request arrival order is the only nondeterminism left.
+//
+// The zero injector is a true no-op: New("") returns nil, and both
+// Middleware and RoundTripper on a nil *Injector return their argument
+// unchanged, so a stack built without -fault-spec is byte-identical to
+// one built before this package existed.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the fault actions.
+type Kind int
+
+const (
+	// KindDelay sleeps before the request proceeds.
+	KindDelay Kind = iota
+	// KindErr answers a synthetic HTTP error without doing the work.
+	KindErr
+	// KindDrop aborts the exchange with no HTTP response at all.
+	KindDrop
+	// KindTruncate cuts the response body short.
+	KindTruncate
+)
+
+// Rule is one parsed schedule entry.
+type Rule struct {
+	Target string        // "all" or a label
+	Kind   Kind          //
+	Delay  time.Duration // KindDelay
+	Code   int           // KindErr
+	Bytes  int64         // KindTruncate
+	Rate   float64       // fire probability; 1 = always
+	After  int64         // skip the first N matching requests
+	Count  int64         // fire at most N times; 0 = unbounded
+	Path   string        // "" or a request-path prefix
+	spec   string        // original text, for stats
+}
+
+// ruleState is a Rule plus its live counters and RNG.
+type ruleState struct {
+	Rule
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seen  int64
+	fired int64
+}
+
+// Injector applies a parsed schedule at an injection point.
+type Injector struct {
+	seed  int64
+	rules []*ruleState
+}
+
+// RuleStats is one rule's observation counters, for /stats and tests.
+type RuleStats struct {
+	Spec  string `json:"spec"`
+	Seen  int64  `json:"seen"`
+	Fired int64  `json:"fired"`
+}
+
+// FaultHeader marks synthetic responses so an injected 503 is
+// distinguishable from a real one in logs and captures.
+const FaultHeader = "X-Mediumgrain-Fault"
+
+// New parses a schedule spec. An empty spec returns (nil, nil): the nil
+// injector's methods are no-ops, so callers wire it unconditionally.
+func New(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{seed: seed}
+	for i, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, fmt.Errorf("faults: rule %q: %w", part, err)
+		}
+		// Each rule draws from its own stream so adding a rule never
+		// shifts the decisions of the ones before it.
+		in.rules = append(in.rules, &ruleState{
+			Rule: r,
+			rng:  rand.New(rand.NewSource(seed + int64(i)*0x9E3779B9)),
+		})
+	}
+	if len(in.rules) == 0 {
+		return nil, nil
+	}
+	return in, nil
+}
+
+// isAction reports whether a field is a fault action. Targets may
+// themselves contain ':' (host:port labels), so parsing scans for the
+// first action field and joins everything before it as the target.
+func isAction(f string) bool {
+	if strings.HasPrefix(f, "delay=") || strings.HasPrefix(f, "truncate=") || f == "drop" {
+		return true
+	}
+	if strings.HasPrefix(f, "err") {
+		_, err := strconv.Atoi(f[len("err"):])
+		return err == nil
+	}
+	return false
+}
+
+func parseRule(s string) (Rule, error) {
+	fields := strings.Split(s, ":")
+	act := -1
+	for i := 1; i < len(fields); i++ {
+		if isAction(strings.TrimSpace(fields[i])) {
+			act = i
+			break
+		}
+	}
+	if act < 0 {
+		return Rule{}, fmt.Errorf("want target:action[:modifier...]")
+	}
+	r := Rule{Target: strings.TrimSpace(strings.Join(fields[:act], ":")), Rate: 1, spec: s}
+	if r.Target == "" {
+		return Rule{}, fmt.Errorf("empty target")
+	}
+	action := strings.TrimSpace(fields[act])
+	switch {
+	case strings.HasPrefix(action, "delay="):
+		d, err := time.ParseDuration(action[len("delay="):])
+		if err != nil || d < 0 {
+			return Rule{}, fmt.Errorf("bad delay %q", action)
+		}
+		r.Kind, r.Delay = KindDelay, d
+	case strings.HasPrefix(action, "err"):
+		code, err := strconv.Atoi(action[len("err"):])
+		if err != nil || code < 400 || code > 599 {
+			return Rule{}, fmt.Errorf("bad error action %q (want err400..err599)", action)
+		}
+		r.Kind, r.Code = KindErr, code
+	case action == "drop":
+		r.Kind = KindDrop
+	case strings.HasPrefix(action, "truncate="):
+		n, err := strconv.ParseInt(action[len("truncate="):], 10, 64)
+		if err != nil || n < 0 {
+			return Rule{}, fmt.Errorf("bad truncate %q", action)
+		}
+		r.Kind, r.Bytes = KindTruncate, n
+	default:
+		return Rule{}, fmt.Errorf("unknown action %q", action)
+	}
+	for _, mod := range fields[act+1:] {
+		mod = strings.TrimSpace(mod)
+		switch {
+		case strings.HasPrefix(mod, "rate="):
+			f, err := strconv.ParseFloat(mod[len("rate="):], 64)
+			if err != nil || f < 0 || f > 1 {
+				return Rule{}, fmt.Errorf("bad rate %q (want 0..1)", mod)
+			}
+			r.Rate = f
+		case strings.HasPrefix(mod, "after="):
+			n, err := strconv.ParseInt(mod[len("after="):], 10, 64)
+			if err != nil || n < 0 {
+				return Rule{}, fmt.Errorf("bad after %q", mod)
+			}
+			r.After = n
+		case strings.HasPrefix(mod, "count="):
+			n, err := strconv.ParseInt(mod[len("count="):], 10, 64)
+			if err != nil || n < 1 {
+				return Rule{}, fmt.Errorf("bad count %q", mod)
+			}
+			r.Count = n
+		case strings.HasPrefix(mod, "path="):
+			r.Path = mod[len("path="):]
+			if r.Path == "" {
+				return Rule{}, fmt.Errorf("empty path prefix")
+			}
+		default:
+			return Rule{}, fmt.Errorf("unknown modifier %q", mod)
+		}
+	}
+	return r, nil
+}
+
+// decision is the outcome of evaluating the schedule for one request.
+type decision struct {
+	delay    time.Duration
+	kind     Kind // KindDelay means "delay only"
+	code     int
+	truncate int64
+}
+
+// decide evaluates the rules in order for a (label, path) request.
+func (in *Injector) decide(label, path string) decision {
+	d := decision{kind: KindDelay}
+	for _, rs := range in.rules {
+		if rs.Target != "all" && rs.Target != label {
+			continue
+		}
+		if rs.Path != "" && !strings.HasPrefix(path, rs.Path) {
+			continue
+		}
+		rs.mu.Lock()
+		rs.seen++
+		fire := rs.seen > rs.After &&
+			(rs.Count == 0 || rs.fired < rs.Count) &&
+			(rs.Rate >= 1 || rs.rng.Float64() < rs.Rate)
+		if fire {
+			rs.fired++
+		}
+		rs.mu.Unlock()
+		if !fire {
+			continue
+		}
+		if rs.Kind == KindDelay {
+			d.delay += rs.Delay
+			continue
+		}
+		d.kind, d.code, d.truncate = rs.Kind, rs.Code, rs.Bytes
+		break // first terminal action wins
+	}
+	return d
+}
+
+// Stats snapshots every rule's counters in spec order.
+func (in *Injector) Stats() []RuleStats {
+	if in == nil {
+		return nil
+	}
+	out := make([]RuleStats, len(in.rules))
+	for i, rs := range in.rules {
+		rs.mu.Lock()
+		out[i] = RuleStats{Spec: rs.spec, Seen: rs.seen, Fired: rs.fired}
+		rs.mu.Unlock()
+	}
+	return out
+}
+
+// String renders the active schedule for startup logs.
+func (in *Injector) String() string {
+	if in == nil {
+		return "off"
+	}
+	specs := make([]string, len(in.rules))
+	for i, rs := range in.rules {
+		specs[i] = rs.spec
+	}
+	return strings.Join(specs, ";")
+}
+
+// Middleware applies the schedule to inbound requests under the given
+// label (a shard's -fault-label). Delays sleep before the handler runs
+// (honoring the request context); err answers the synthetic status;
+// drop and a reached truncation limit abort the connection, which the
+// client sees as a transport error.
+func (in *Injector) Middleware(label string, next http.Handler) http.Handler {
+	if in == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.decide(label, r.URL.Path)
+		if d.delay > 0 {
+			t := time.NewTimer(d.delay)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				return
+			}
+			t.Stop()
+		}
+		switch d.kind {
+		case KindErr:
+			w.Header().Set(FaultHeader, "injected")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(d.code)
+			fmt.Fprintf(w, "{\"error\":\"injected fault (%d)\"}\n", d.code)
+			return
+		case KindDrop:
+			panic(http.ErrAbortHandler)
+		case KindTruncate:
+			w = &truncateWriter{ResponseWriter: w, remain: d.truncate}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncateWriter forwards up to remain body bytes, then aborts the
+// connection so the client observes a cut stream, not a clean EOF the
+// transfer framing could legitimize.
+type truncateWriter struct {
+	http.ResponseWriter
+	remain int64
+}
+
+func (t *truncateWriter) Write(p []byte) (int, error) {
+	if t.remain <= 0 {
+		t.abort()
+	}
+	if int64(len(p)) > t.remain {
+		_, _ = t.ResponseWriter.Write(p[:t.remain])
+		t.remain = 0
+		t.abort()
+	}
+	t.remain -= int64(len(p))
+	return t.ResponseWriter.Write(p)
+}
+
+// abort flushes what was written — so the client sees headers plus the
+// partial body, not a refused connection — then kills the exchange.
+func (t *truncateWriter) abort() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// RoundTripper applies the schedule to outbound requests — the label is
+// the request's host — wrapping next (nil selects
+// http.DefaultTransport). Synthetic error responses never reach the
+// network; drops return a transport error; truncation forwards the
+// request and cuts the response body after N bytes with an unexpected
+// EOF.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if in == nil {
+		return next
+	}
+	return faultTransport{in: in, next: next}
+}
+
+type faultTransport struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (ft faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := ft.in.decide(req.URL.Host, req.URL.Path)
+	if d.delay > 0 {
+		t := time.NewTimer(d.delay)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+		t.Stop()
+	}
+	switch d.kind {
+	case KindErr:
+		body := fmt.Sprintf("{\"error\":\"injected fault (%d)\"}\n", d.code)
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", d.code, http.StatusText(d.code)),
+			StatusCode:    d.code,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": {"application/json"}, FaultHeader: {"injected"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case KindDrop:
+		return nil, fmt.Errorf("faults: injected connection drop to %s", req.URL.Host)
+	case KindTruncate:
+		resp, err := ft.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &cutReader{rc: resp.Body, remain: d.truncate}
+		resp.ContentLength = -1
+		return resp, nil
+	}
+	return ft.next.RoundTrip(req)
+}
+
+// cutReader yields up to remain bytes, then fails with an unexpected
+// EOF — the same failure shape as a connection cut mid-body.
+type cutReader struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.rc.Read(p)
+	c.remain -= int64(n)
+	if err == nil && c.remain <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (c *cutReader) Close() error { return c.rc.Close() }

@@ -1,0 +1,257 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewEmptySpecIsNil(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";;"} {
+		in, err := New(spec, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", spec, err)
+		}
+		if in != nil {
+			t.Fatalf("New(%q) = %+v, want nil", spec, in)
+		}
+	}
+}
+
+func TestNilInjectorIsIdentity(t *testing.T) {
+	var in *Injector
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := in.Middleware("x", h); got == nil {
+		t.Fatal("nil injector Middleware returned nil")
+	} else if _, ok := got.(http.HandlerFunc); !ok {
+		t.Fatalf("nil injector Middleware wrapped the handler: %T", got)
+	}
+	rt := http.RoundTripper(http.DefaultTransport)
+	if got := in.RoundTripper(rt); got != rt {
+		t.Fatalf("nil injector RoundTripper = %T, want passthrough", got)
+	}
+	if in.Stats() != nil {
+		t.Fatal("nil injector Stats() != nil")
+	}
+	if in.String() != "off" {
+		t.Fatalf("nil injector String() = %q", in.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"justatarget",
+		":err503",
+		"a:err99",
+		"a:err700",
+		"a:delay=banana",
+		"a:delay=-1s",
+		"a:truncate=-5",
+		"a:explode",
+		"a:err503:rate=2",
+		"a:err503:rate=x",
+		"a:err503:after=-1",
+		"a:err503:count=0",
+		"a:err503:path=",
+		"a:err503:bogus=1",
+	}
+	for _, spec := range bad {
+		if _, err := New(spec, 1); err == nil {
+			t.Errorf("New(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestDeterministicAcrossInjectors(t *testing.T) {
+	const spec = "all:err503:rate=0.3"
+	a, err := New(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(spec, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqA, seqB, seqC []bool
+	for i := 0; i < 200; i++ {
+		seqA = append(seqA, a.decide("x", "/jobs").kind == KindErr)
+		seqB = append(seqB, b.decide("x", "/jobs").kind == KindErr)
+		seqC = append(seqC, c.decide("x", "/jobs").kind == KindErr)
+	}
+	if !equalBools(seqA, seqB) {
+		t.Fatal("same (spec, seed) produced different fault sequences")
+	}
+	if equalBools(seqA, seqC) {
+		t.Fatal("different seeds produced identical sequences (suspicious)")
+	}
+	fired := a.Stats()[0].Fired
+	if fired == 0 || fired == 200 {
+		t.Fatalf("rate=0.3 over 200 fired %d times", fired)
+	}
+}
+
+func TestAfterCountPathModifiers(t *testing.T) {
+	in, err := New("s1:err503:after=3:count=2:path=/jobs", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 10; i++ {
+		if in.decide("s1", "/jobs/abc").kind == KindErr {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("after=3:count=2 fired %d times over 10, want 2", fired)
+	}
+	st := in.Stats()[0]
+	if st.Seen != 10 || st.Fired != 2 {
+		t.Fatalf("stats = %+v, want seen 10 fired 2", st)
+	}
+	// Wrong label and wrong path never match (and don't count as seen).
+	if in.decide("s2", "/jobs").kind == KindErr || in.decide("s1", "/stats").kind == KindErr {
+		t.Fatal("rule fired outside its target/path scope")
+	}
+	if in.Stats()[0].Seen != 10 {
+		t.Fatal("non-matching requests counted as seen")
+	}
+}
+
+func TestDelaysAccumulateAndTerminalWins(t *testing.T) {
+	in, err := New("all:delay=10ms;all:delay=5ms;all:err502;all:err404", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := in.decide("x", "/")
+	if d.delay != 15*time.Millisecond {
+		t.Fatalf("delay = %v, want 15ms", d.delay)
+	}
+	if d.kind != KindErr || d.code != 502 {
+		t.Fatalf("terminal = %+v, want first err rule (502)", d)
+	}
+}
+
+func TestMiddlewareErrAndDrop(t *testing.T) {
+	in, err := New("s1:err503:count=1;s1:drop:count=1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okBody := []byte("payload")
+	srv := httptest.NewServer(in.Middleware("s1", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(okBody)
+	})))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || resp.Header.Get(FaultHeader) == "" {
+		t.Fatalf("first request: status %d fault header %q, want injected 503", resp.StatusCode, resp.Header.Get(FaultHeader))
+	}
+	if _, err := http.Get(srv.URL); err == nil {
+		t.Fatal("second request: want transport error from injected drop")
+	}
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != string(okBody) {
+		t.Fatalf("third request: %d %q, want clean passthrough", resp.StatusCode, body)
+	}
+}
+
+func TestMiddlewareTruncate(t *testing.T) {
+	in, err := New("s1:truncate=4:count=1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(in.Middleware("s1", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("0123456789"))
+	})))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil {
+		t.Fatalf("want read error from truncated stream, got clean body %q", body)
+	}
+	if len(body) > 4 {
+		t.Fatalf("got %d bytes past the truncation point", len(body))
+	}
+}
+
+func TestRoundTripperErrDropTruncate(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("0123456789"))
+	}))
+	defer backend.Close()
+	host := strings.TrimPrefix(backend.URL, "http://")
+	in, err := New(host+":err503:count=1;"+host+":drop:count=1;"+host+":truncate=4:count=1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: in.RoundTripper(nil)}
+
+	resp, err := client.Get(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || resp.Header.Get(FaultHeader) == "" {
+		t.Fatalf("want synthetic 503, got %d (fault header %q)", resp.StatusCode, resp.Header.Get(FaultHeader))
+	}
+
+	if _, err := client.Get(backend.URL); err == nil {
+		t.Fatal("want injected connection drop error")
+	}
+
+	resp, err = client.Get(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("want io.ErrUnexpectedEOF from truncated body, got %v (body %q)", rerr, body)
+	}
+	if len(body) != 4 {
+		t.Fatalf("truncated body = %d bytes, want 4", len(body))
+	}
+
+	resp, err = client.Get(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "0123456789" {
+		t.Fatalf("exhausted schedule should pass through, got %q", body)
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

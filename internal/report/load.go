@@ -87,6 +87,12 @@ type LoadReport struct {
 	CacheHits     int64   `json:"cache_hits"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 
+	// Retries counts client-side resubmissions of failed requests (the
+	// -retries flag); a request that eventually succeeds is not an error.
+	// ErrorRate is Errors/Requests, the figure -max-error-rate gates on.
+	Retries   int64   `json:"retries"`
+	ErrorRate float64 `json:"error_rate"`
+
 	// Latency is the end-to-end (submit → done) client-side summary over
 	// every successful request.
 	Latency LoadLatency `json:"latency"`
@@ -100,9 +106,9 @@ type LoadReport struct {
 	// descending (the Zipf head first).
 	PerSpec []LoadEntry `json:"per_spec"`
 
-	// PerTarget breaks a multi-target run down by server: client-side
-	// counters plus that target's own /stats snapshot (which, against a
-	// cluster shard, includes its peer-fetch and replication counters).
+	// PerTarget breaks the run down by server: client-side counters plus
+	// that target's own /stats snapshot (which, against a cluster shard
+	// or router, includes its breaker and peer-exchange counters).
 	PerTarget []LoadTargetEntry `json:"per_target,omitempty"`
 
 	// Verified / VerifyFailures count the unique specs whose served
@@ -115,11 +121,12 @@ type LoadReport struct {
 	ServerStats json.RawMessage `json:"server_stats,omitempty"`
 }
 
-// LoadTargetEntry aggregates one target's share of a multi-target run.
+// LoadTargetEntry aggregates one target's share of a load run.
 type LoadTargetEntry struct {
 	Addr      string `json:"addr"`
 	Requests  int64  `json:"requests"`
 	Errors    int64  `json:"errors"`
+	Retries   int64  `json:"retries"`
 	CacheHits int64  `json:"cache_hits"`
 	// Stats is the target's raw /stats JSON at the end of the run.
 	Stats json.RawMessage `json:"stats,omitempty"`

@@ -1,0 +1,243 @@
+package service
+
+// Deterministic failure coverage for the peer-exchange paths: injected
+// delay/503/truncation schedules from internal/faults drive the peer
+// breaker through its open → half-open → closed cycle with a manual
+// clock (no sleeps-and-hope), and rehydration proves it resumes its
+// cursor through an injected 503 burst.
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"mediumgrain/internal/cluster"
+	"mediumgrain/internal/faults"
+)
+
+// svcManualClock drives breaker transitions without real time.
+type svcManualClock struct{ now time.Time }
+
+func (c *svcManualClock) Now() time.Time          { return c.now }
+func (c *svcManualClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// TestPeerFetchFaultsDriveBreaker: a fault schedule against one donor
+// (delay+503, 503, truncation, clean) must trip shard B's peer breaker
+// after two transport-level failures, admit a half-open probe once the
+// manual clock passes the interval, close it on the probe (a truncated
+// 200 proves the node alive even though validation rejects the body),
+// and finally adopt the entry cleanly.
+func TestPeerFetchFaultsDriveBreaker(t *testing.T) {
+	lnA, addrA := clusterListen(t)
+	_, addrB := clusterListen(t)
+	ringA, err := cluster.NewRing([]string{addrA}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringB, err := cluster.NewRing([]string{addrB}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startClusterShard(t, ringA, lnA, addrA, 100)
+
+	// Shard A computes and persists the entry B will chase.
+	spec := JobSpec{Corpus: "lap2d-24", P: 4, Method: "MG", Seed: 11, Workers: 2}
+	v, status := shardPost(t, cluster.NodeURL(addrA), spec)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("seed submit: status %d", status)
+	}
+	shardWaitDone(t, cluster.NodeURL(addrA), v.ID)
+	key := v.Key
+
+	inj, err := faults.New(
+		addrA+":delay=30ms:count=1;"+addrA+":err503:count=2;"+addrA+":truncate=80:count=1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &svcManualClock{now: time.Unix(1700000000, 0)}
+	srvB, warns := New(Config{
+		Workers: 2, Runners: 2, QueueDepth: 16, CacheEntries: 32,
+		DataDir: t.TempDir(),
+		Cluster: &cluster.ShardConfig{
+			Self: addrB, Ring: ringB, ReplicateAfter: 100,
+			Client: &http.Client{Transport: inj.RoundTripper(nil), Timeout: 30 * time.Second},
+			Breaker: cluster.BreakerConfig{
+				Threshold: 2,
+				Backoff:   cluster.Backoff{Base: 100 * time.Millisecond, Max: time.Second},
+				Clock:     clk.Now,
+			},
+		},
+	})
+	for _, w := range warns {
+		t.Fatalf("shard B: %v", w)
+	}
+	ctx := context.Background()
+
+	// Attempt 1: injected delay + 503. A transport-level failure.
+	start := time.Now()
+	if _, _, err := srvB.fetchFrom(ctx, addrA, key); err == nil {
+		t.Fatal("want error from injected 503")
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("injected 30ms delay not applied (took %v)", d)
+	}
+	// Attempt 2: second 503 reaches the threshold; the circuit opens.
+	if _, _, err := srvB.fetchFrom(ctx, addrA, key); err == nil {
+		t.Fatal("want error from injected 503")
+	}
+	if st := srvB.peerBreaker.State(addrA); st != cluster.BreakerOpen {
+		t.Fatalf("breaker state after 2 failures = %q, want open", st)
+	}
+	if srvB.peerBreaker.Allow(addrA) {
+		t.Fatal("open circuit admitted a fetch")
+	}
+
+	// Past the interval the half-open probe goes through: the truncated
+	// transfer fails validation, but the complete 200 closes the circuit
+	// (the node is alive; the bad body is a transfer problem).
+	clk.Advance(time.Second)
+	if !srvB.peerBreaker.Allow(addrA) {
+		t.Fatal("due circuit refused the half-open probe")
+	}
+	if _, _, err := srvB.fetchFrom(ctx, addrA, key); err == nil {
+		t.Fatal("want validation error from truncated transfer")
+	}
+	if st := srvB.peerBreaker.State(addrA); st != cluster.BreakerClosed {
+		t.Fatalf("breaker state after truncated-but-alive probe = %q, want closed", st)
+	}
+
+	// Schedule exhausted: the fetch adopts A's entry with provenance.
+	res, _, err := srvB.fetchFrom(ctx, addrA, key)
+	if err != nil {
+		t.Fatalf("clean fetch failed: %v", err)
+	}
+	if res.Origin != "peer:"+addrA {
+		t.Fatalf("origin = %q, want peer:%s", res.Origin, addrA)
+	}
+	if srvB.peerBreaker.Opened() != 1 || srvB.peerBreaker.Closed() != 1 {
+		t.Fatalf("breaker transitions opened=%d closed=%d, want 1/1",
+			srvB.peerBreaker.Opened(), srvB.peerBreaker.Closed())
+	}
+}
+
+// TestRehydrateResumesThroughInjected503s: an injected 503 burst on the
+// donor's enumeration endpoint must be absorbed by the cursor-resuming
+// retry loop — every entry still arrives.
+func TestRehydrateResumesThroughInjected503s(t *testing.T) {
+	lnA, addrA := clusterListen(t)
+	_, addrB := clusterListen(t)
+	ringA, err := cluster.NewRing([]string{addrA}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startClusterShard(t, ringA, lnA, addrA, 100)
+
+	// Three distinct persisted entries on the donor.
+	keys := make(map[string]bool)
+	for seed := int64(1); seed <= 3; seed++ {
+		v, status := shardPost(t, cluster.NodeURL(addrA), JobSpec{Corpus: "tridiag", P: 2, Method: "MG", Seed: seed, Workers: 1})
+		if status != http.StatusAccepted && status != http.StatusOK {
+			t.Fatalf("seed submit %d: status %d", seed, status)
+		}
+		shardWaitDone(t, cluster.NodeURL(addrA), v.ID)
+		keys[v.Key] = true
+	}
+
+	inj, err := faults.New(addrA+":err503:count=2:path=/cache/keys", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringB, err := cluster.NewRing([]string{addrB}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, warns := New(Config{
+		Workers: 2, Runners: 2, QueueDepth: 16, CacheEntries: 32,
+		DataDir: t.TempDir(),
+		Cluster: &cluster.ShardConfig{
+			Self: addrB, Ring: ringB, ReplicateAfter: 100,
+			Client: &http.Client{Transport: inj.RoundTripper(nil), Timeout: 30 * time.Second},
+			Breaker: cluster.BreakerConfig{
+				Threshold: 3, // two 503s must not open the donor's circuit
+				Backoff:   cluster.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+			},
+		},
+	})
+	for _, w := range warns {
+		t.Fatalf("shard B: %v", w)
+	}
+
+	rep := srvB.Rehydrate(context.Background(), ringA, 0)
+	if rep.Scanned != 3 || rep.Wanted != 3 || rep.Pulled != 3 || rep.Failed != 0 {
+		t.Fatalf("rehydrate report %+v, want scanned/wanted/pulled 3/3/3 failed 0", rep)
+	}
+	for key := range keys {
+		if _, ok := srvB.cache.Get(key); !ok {
+			t.Fatalf("rehydrated cache lacks %s", key)
+		}
+	}
+	if fired := inj.Stats()[0].Fired; fired != 2 {
+		t.Fatalf("503 rule fired %d times, want 2 (retry loop must have been exercised)", fired)
+	}
+}
+
+// TestDegradedComputePushesBackToOwner: a shard handed a key it does
+// not own (degraded-mode routing) computes it, counts degraded_jobs,
+// and pushes the entry back to the owner, which adopts it.
+func TestDegradedComputePushesBackToOwner(t *testing.T) {
+	lnA, addrA := clusterListen(t)
+	lnB, addrB := clusterListen(t)
+	ring, err := cluster.NewRing([]string{addrA, addrB}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := startClusterShard(t, ring, lnA, addrA, 100)
+	srvB := startClusterShard(t, ring, lnB, addrB, 100)
+
+	// A spec whose single owner is A, submitted directly to B — exactly
+	// what a router does when A's whole replica set is open-circuit.
+	var spec JobSpec
+	var key string
+	for seed := int64(1); seed < 200; seed++ {
+		s := JobSpec{Corpus: "tridiag", P: 2, Method: "MG", Seed: seed, Workers: 1}
+		rs, err := srvB.resolve(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Owner(rs.key) == cluster.NormalizeNode(addrA) {
+			spec, key = s, rs.key
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no spec owned by A in 200 seeds")
+	}
+
+	v, status := shardPost(t, cluster.NodeURL(addrB), spec)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("degraded submit: status %d", status)
+	}
+	shardWaitDone(t, cluster.NodeURL(addrB), v.ID)
+	if got := srvB.stats.degradedJobN.Load(); got != 1 {
+		t.Fatalf("degraded_jobs = %d, want 1", got)
+	}
+
+	// The background pushback delivers the entry to its owner.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := srvA.cache.Get(key); ok && srvB.stats.pushbackDoneN.Load() == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := srvA.cache.Get(key); !ok {
+		t.Fatal("owner never received the pushed-back entry")
+	}
+	if got := srvB.stats.pushbackDoneN.Load(); got != 1 {
+		t.Fatalf("pushback_done = %d, want 1", got)
+	}
+	if got := srvA.stats.replicatedInN.Load(); got != 1 {
+		t.Fatalf("owner replicated_in = %d, want 1", got)
+	}
+}

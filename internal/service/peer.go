@@ -231,10 +231,16 @@ func (s *Server) adoptEntryTar(r io.Reader, key, from string) (*CachedResult, *s
 // before computing. First validated answer wins; every failed attempt
 // (unreachable peer, 404, corrupt transfer) counts peer_fetch_failed and
 // falls through — worst case the shard computes locally, exactly as if
-// it had no peers.
+// it had no peers. Peers whose circuit is open are skipped outright
+// (peer_fetch_skipped), so a dead peer costs a few connect timeouts
+// total, not one per cache miss.
 func (s *Server) tryPeerFetch(ctx context.Context, rs *resolvedSpec) (*CachedResult, *sparse.Matrix, bool) {
 	for _, node := range s.ring().Replicas(rs.key) {
 		if node == s.clu.Self {
+			continue
+		}
+		if !s.peerBreaker.Allow(node) {
+			s.stats.peerFetchSkipped()
 			continue
 		}
 		res, matrix, err := s.fetchFrom(ctx, node, rs.key)
@@ -248,6 +254,18 @@ func (s *Server) tryPeerFetch(ctx context.Context, rs *resolvedSpec) (*CachedRes
 	return nil, nil, false
 }
 
+// notePeer classifies one peer exchange for the breaker: transport
+// errors and 5xx answers are node-health failures; any other complete
+// HTTP answer — a 404 for a missing entry, even a 200 whose body fails
+// validation — proves the node alive and closes its circuit.
+func (s *Server) notePeer(node string, err error, status int) {
+	if err != nil || status >= 500 {
+		s.peerBreaker.Failure(node)
+		return
+	}
+	s.peerBreaker.Success(node)
+}
+
 // fetchFrom retrieves and validates one peer's entry for key.
 func (s *Server) fetchFrom(ctx context.Context, node, key string) (*CachedResult, *sparse.Matrix, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cluster.NodeURL(node)+"/cache/"+key, nil)
@@ -259,9 +277,11 @@ func (s *Server) fetchFrom(ctx context.Context, node, key string) (*CachedResult
 	}
 	resp, err := s.clu.Client.Do(req)
 	if err != nil {
+		s.notePeer(node, err, 0)
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
+	s.notePeer(node, nil, resp.StatusCode)
 	if resp.StatusCode != http.StatusOK {
 		return nil, nil, fmt.Errorf("service: peer %s has no entry %s (status %d)", node, key, resp.StatusCode)
 	}
@@ -289,26 +309,60 @@ const pushTimeout = 60 * time.Second
 // replicateOut snapshots the persisted entry once and PUTs it to every
 // other member of the key's replica set, streaming the tar through a
 // pipe so even a 64MB entry never sits in memory. Each push carries its
-// own deadline (pushTimeout); failures are counted but not retried:
-// replication is an optimization, and the next hot period on a
-// restarted cache retriggers it.
-func (s *Server) replicateOut(key string) {
+// own deadline (pushTimeout); open-circuit peers are skipped and
+// failures are counted but not retried here: replication is an
+// optimization, and the next hot period on a restarted cache
+// retriggers it. Returns how many peers accepted the entry (pushBack
+// keys its retry loop on it).
+func (s *Server) replicateOut(key string) int {
 	snap, err := s.exportSnapshot(key)
 	if err != nil {
 		s.stats.persistErr()
-		return
+		return 0
 	}
 	defer os.RemoveAll(snap)
+	pushed := 0
 	for _, node := range s.ring().Replicas(key) {
 		if node == s.clu.Self {
+			continue
+		}
+		if !s.peerBreaker.Allow(node) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
 		if s.pushEntry(ctx, node, snap, key) == nil {
 			s.stats.replicatedOut()
+			pushed++
 		}
 		cancel()
 	}
+	return pushed
+}
+
+// pushBackAttempts bounds how long a degraded-mode entry chases its
+// owner set's recovery; with the default backoff the chase spans a
+// couple of minutes of outage.
+const pushBackAttempts = 8
+
+// pushBack delivers an entry this shard computed for a key it does not
+// own (degraded-mode routing during an owner outage) to the key's
+// replica set, retrying with backoff until at least one owner accepts
+// it. One acceptance ends the chase: the entry then lives where the
+// ring routes future submissions, and this shard's copy is just extra
+// cache. Gives up after pushBackAttempts — the owners' own rehydration
+// on restart is the backstop.
+func (s *Server) pushBack(key string) {
+	bo := s.clu.Breaker.Backoff
+	for attempt := 0; attempt < pushBackAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(bo.Delay(attempt-1, key))
+		}
+		if s.replicateOut(key) > 0 {
+			s.stats.pushbackDone()
+			return
+		}
+	}
+	s.stats.pushbackFailed()
 }
 
 // pushEntry PUTs one snapshotted entry to a peer, streaming the tar
@@ -330,10 +384,12 @@ func (s *Server) pushEntry(ctx context.Context, node, snap, key string) error {
 	}
 	resp, err := s.clu.Client.Do(req)
 	if err != nil {
+		s.notePeer(node, err, 0)
 		return err
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	s.notePeer(node, nil, resp.StatusCode)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("service: peer %s answered %d to entry push %s", node, resp.StatusCode, key)
 	}

@@ -29,6 +29,22 @@ import (
 // rehydratePageSize is the /cache/keys page the rehydrator requests.
 const rehydratePageSize = 256
 
+// sleepCtx sleeps d unless ctx ends first; false means the caller
+// should stop retrying.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // rehydratePageRetries bounds retries of one enumeration page against a
 // flaky source before the source is abandoned (its remaining keys are
 // counted failed).
@@ -100,9 +116,11 @@ func (s *Server) fetchKeys(ctx context.Context, node, after string, limit int) (
 	}
 	resp, err := s.clu.Client.Do(req)
 	if err != nil {
+		s.notePeer(node, err, 0)
 		return nil, err
 	}
 	defer resp.Body.Close()
+	s.notePeer(node, nil, resp.StatusCode)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("service: %s /cache/keys: status %d", node, resp.StatusCode)
 	}
@@ -162,8 +180,10 @@ func (s *Server) Rehydrate(ctx context.Context, before *cluster.Ring, pause time
 					break
 				}
 				// Resume from the same cursor — the pages already consumed
-				// stay consumed.
-				time.Sleep(time.Duration(retries) * 100 * time.Millisecond)
+				// stay consumed — after the shared backoff schedule.
+				if !sleepCtx(ctx, s.clu.Breaker.Backoff.Delay(retries-1, node)) {
+					return rep
+				}
 				continue
 			}
 			retries = 0
@@ -201,6 +221,9 @@ func (s *Server) Rehydrate(ctx context.Context, before *cluster.Ring, pause time
 		}
 		pulled := false
 		for _, node := range sources[key] {
+			if !s.peerBreaker.Allow(node) {
+				continue
+			}
 			r, m, err := s.fetchFrom(ctx, node, key)
 			if err != nil {
 				continue

@@ -152,6 +152,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -324,6 +325,11 @@ type Server struct {
 	// mode, which disables peer fetch, replication, and the /cache
 	// endpoints.
 	clu *cluster.ShardConfig
+	// peerBreaker tracks ring-peer health (non-nil exactly when clu is):
+	// peer fetch, replication, rehydration, and handoff all report their
+	// exchange outcomes here and skip peers whose circuit is open, so one
+	// dead peer costs a few timeouts, not a timeout per miss.
+	peerBreaker *cluster.Breaker
 	// members is the live membership set behind every ownership
 	// decision in cluster mode (non-nil exactly when clu is): ring
 	// lookups go through s.ring() so an adopted join/leave takes effect
@@ -376,6 +382,7 @@ func New(cfg Config) (*Server, []error) {
 				clu.Self, members.Ring().Nodes()))
 		default:
 			s.clu = &clu
+			s.peerBreaker = cluster.NewBreaker(clu.Breaker)
 			s.members = members
 			s.members.OnChange(func(old, cur *cluster.Ring) {
 				s.stats.membershipUpdate()
@@ -649,6 +656,25 @@ func (s *Server) execute(job *Job) {
 		err = fmt.Errorf("timeout after %s (computation canceled)", timeout)
 	}
 	s.finishFlight(f, outcome{res, err}, matrix)
+	// Degraded-mode pushback: a router routed us a key we don't own
+	// because the whole owner set was down or open-circuit (results are
+	// content-addressed, so any shard can compute any key). Serve it —
+	// done above — and chase the owners' recovery in the background so
+	// the entry ends up where the ring routes future submissions. The
+	// MarkReplicated latch makes the chase single-shot and keeps hot-hit
+	// replication from re-pushing it.
+	if err == nil && s.clu != nil && !s.ownsKey(rs.key) {
+		s.stats.degradedJob()
+		if s.cfg.DataDir != "" && s.cache.MarkReplicated(rs.key) {
+			go s.pushBack(rs.key)
+		}
+	}
+}
+
+// ownsKey reports whether this shard is in the key's replica set under
+// the current ring.
+func (s *Server) ownsKey(key string) bool {
+	return slices.Contains(s.ring().Replicas(key), s.clu.Self)
 }
 
 // executeSalvage is the pre-context execution path, kept behind

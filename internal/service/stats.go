@@ -30,9 +30,17 @@ type statsRecorder struct {
 	// Cluster counters; only move in cluster mode.
 	peerFetchOKN   atomic.Int64
 	peerFetchFailN atomic.Int64
+	peerFetchSkipN atomic.Int64
 	peerServedN    atomic.Int64
 	replicatedInN  atomic.Int64
 	replicatedOutN atomic.Int64
+
+	// Degraded-mode counters: jobs computed for keys this shard does not
+	// own (routed here because the owner set was down), and the fate of
+	// the background pushes that return those entries to their owners.
+	degradedJobN    atomic.Int64
+	pushbackDoneN   atomic.Int64
+	pushbackFailedN atomic.Int64
 
 	// Live-membership counters. rehydratePendingN is a gauge (keys still
 	// to pull during a join's bulk rehydration); the rest are totals.
@@ -76,11 +84,15 @@ func (st *statsRecorder) cacheMiss()  { st.cacheMissN.Add(1) }
 func (st *statsRecorder) persistErr() { st.persistErrN.Add(1) }
 func (st *statsRecorder) salvaged()   { st.salvagedN.Add(1) }
 
-func (st *statsRecorder) peerFetchOK()     { st.peerFetchOKN.Add(1) }
-func (st *statsRecorder) peerFetchFailed() { st.peerFetchFailN.Add(1) }
-func (st *statsRecorder) peerServed()      { st.peerServedN.Add(1) }
-func (st *statsRecorder) replicatedIn()    { st.replicatedInN.Add(1) }
-func (st *statsRecorder) replicatedOut()   { st.replicatedOutN.Add(1) }
+func (st *statsRecorder) peerFetchOK()      { st.peerFetchOKN.Add(1) }
+func (st *statsRecorder) peerFetchFailed()  { st.peerFetchFailN.Add(1) }
+func (st *statsRecorder) peerFetchSkipped() { st.peerFetchSkipN.Add(1) }
+func (st *statsRecorder) peerServed()       { st.peerServedN.Add(1) }
+func (st *statsRecorder) replicatedIn()     { st.replicatedInN.Add(1) }
+func (st *statsRecorder) replicatedOut()    { st.replicatedOutN.Add(1) }
+func (st *statsRecorder) degradedJob()      { st.degradedJobN.Add(1) }
+func (st *statsRecorder) pushbackDone()     { st.pushbackDoneN.Add(1) }
+func (st *statsRecorder) pushbackFailed()   { st.pushbackFailedN.Add(1) }
 
 func (st *statsRecorder) membershipUpdate()        { st.membershipN.Add(1) }
 func (st *statsRecorder) epochConflict()           { st.epochConflictN.Add(1) }
@@ -137,23 +149,37 @@ func (st *statsRecorder) methodSummaries() map[string]report.LatencySummary {
 // for carrying a different ring epoch, RehydratePending/Done/Failed
 // track a join's bulk cache pull, and HandoffDone/Failed track a
 // planned leave's entry pushes to the new owners.
+// PeerFetchSkipped, DegradedJobs, Pushback*, and the PeerBreaker*
+// fields expose the resilience layer: fetches not even attempted
+// because a peer's circuit was open, jobs computed for keys this shard
+// does not own (degraded-mode routing), the background pushes
+// returning those entries to their owners, and the peer breaker's live
+// and lifetime transition counts.
 type ClusterStats struct {
-	Self              string   `json:"self"`
-	Nodes             []string `json:"nodes"`
-	Epoch             string   `json:"epoch"`
-	Counter           uint64   `json:"counter"`
-	PeerFetchOK       int64    `json:"peer_fetch_ok"`
-	PeerFetchFailed   int64    `json:"peer_fetch_failed"`
-	PeerServed        int64    `json:"peer_served"`
-	ReplicatedIn      int64    `json:"replicated_in"`
-	ReplicatedOut     int64    `json:"replicated_out"`
-	MembershipUpdates int64    `json:"membership_updates"`
-	EpochConflicts    int64    `json:"epoch_conflicts"`
-	RehydratePending  int64    `json:"rehydrate_pending"`
-	RehydrateDone     int64    `json:"rehydrate_done"`
-	RehydrateFailed   int64    `json:"rehydrate_failed"`
-	HandoffDone       int64    `json:"handoff_done"`
-	HandoffFailed     int64    `json:"handoff_failed"`
+	Self              string            `json:"self"`
+	Nodes             []string          `json:"nodes"`
+	Epoch             string            `json:"epoch"`
+	Counter           uint64            `json:"counter"`
+	PeerFetchOK       int64             `json:"peer_fetch_ok"`
+	PeerFetchFailed   int64             `json:"peer_fetch_failed"`
+	PeerFetchSkipped  int64             `json:"peer_fetch_skipped"`
+	PeerServed        int64             `json:"peer_served"`
+	ReplicatedIn      int64             `json:"replicated_in"`
+	ReplicatedOut     int64             `json:"replicated_out"`
+	DegradedJobs      int64             `json:"degraded_jobs"`
+	PushbackDone      int64             `json:"pushback_done"`
+	PushbackFailed    int64             `json:"pushback_failed"`
+	PeerBreakerOpen   int               `json:"peer_breaker_open"`
+	PeerBreakerOpened int64             `json:"peer_breaker_opened"`
+	PeerBreakerClosed int64             `json:"peer_breaker_closed"`
+	PeerBreakerStates map[string]string `json:"peer_breaker_states,omitempty"`
+	MembershipUpdates int64             `json:"membership_updates"`
+	EpochConflicts    int64             `json:"epoch_conflicts"`
+	RehydratePending  int64             `json:"rehydrate_pending"`
+	RehydrateDone     int64             `json:"rehydrate_done"`
+	RehydrateFailed   int64             `json:"rehydrate_failed"`
+	HandoffDone       int64             `json:"handoff_done"`
+	HandoffFailed     int64             `json:"handoff_failed"`
 }
 
 // CacheStats is the cache section of /stats.
@@ -220,9 +246,17 @@ func (s *Server) Stats() StatsView {
 			Counter:           ring.Counter(),
 			PeerFetchOK:       s.stats.peerFetchOKN.Load(),
 			PeerFetchFailed:   s.stats.peerFetchFailN.Load(),
+			PeerFetchSkipped:  s.stats.peerFetchSkipN.Load(),
 			PeerServed:        s.stats.peerServedN.Load(),
 			ReplicatedIn:      s.stats.replicatedInN.Load(),
 			ReplicatedOut:     s.stats.replicatedOutN.Load(),
+			DegradedJobs:      s.stats.degradedJobN.Load(),
+			PushbackDone:      s.stats.pushbackDoneN.Load(),
+			PushbackFailed:    s.stats.pushbackFailedN.Load(),
+			PeerBreakerOpen:   s.peerBreaker.OpenCount(),
+			PeerBreakerOpened: s.peerBreaker.Opened(),
+			PeerBreakerClosed: s.peerBreaker.Closed(),
+			PeerBreakerStates: s.peerBreaker.States(),
 			MembershipUpdates: s.stats.membershipN.Load(),
 			EpochConflicts:    s.stats.epochConflictN.Load(),
 			RehydratePending:  max(0, s.stats.rehydratePendingN.Load()),

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Chaos smoke test of the cluster's resilience layer, runnable locally
+# (`make smoke-chaos`) and in CI: boot three single-replica shards under
+# deterministic fault injection (one shard sheds 503s on its job
+# endpoints, another injects latency) plus a router with a tight circuit
+# breaker, drive closed-loop mgload through the router with client-side
+# retries, SIGKILL one shard mid-run and restart it a few seconds later.
+# The run passes only if the client finishes with zero surviving errors
+# (mgload -max-error-rate 0), the router's breaker visibly opened and
+# closed again around the crash, and degraded-mode serving (routing a
+# dead owner's keys to a live non-owner) actually happened.
+set -euo pipefail
+
+S1="${MGCHAOS_SHARD1:-127.0.0.1:8931}"
+S2="${MGCHAOS_SHARD2:-127.0.0.1:8932}"
+S3="${MGCHAOS_SHARD3:-127.0.0.1:8933}"
+RT="${MGCHAOS_ROUTER:-127.0.0.1:8930}"
+BR="http://$RT"
+WORKDIR="$(mktemp -d)"
+PIDS=() # filled as processes boot; the trap runs under set -u
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+# num <file> <field>: pull one integer JSON field with sed (the smoke
+# scripts run without jq).
+num() { sed -n 's/.*"'"$2"'": \([0-9][0-9]*\).*/\1/p' "$1" | head -n1; }
+
+echo "==> building"
+go build -o "$WORKDIR/mgserve" ./cmd/mgserve
+go build -o "$WORKDIR/mgload" ./cmd/mgload
+
+# -replicas 1: every key has exactly one owner, so killing shard 3
+# leaves its key range with no live replica — the only way to serve it
+# is the router's degraded fallback to a non-owner shard.
+SECRET="chaos-smoke-secret"
+COMMON=(-peers "$S1,$S2,$S3" -replicas 1 -cluster-secret "$SECRET"
+  -breaker-threshold 2 -breaker-base 200ms -breaker-max 1s)
+
+echo "==> booting faulty shards $S1 $S2 $S3 and router $RT"
+# Shard 1 sheds 15% of its job-endpoint requests with 503 (schedule via
+# $MGSERVE_FAULTS, the env form); shard 2 delays 20% of its job polls by
+# 250ms (schedule via -fault-spec, the flag form). Shard 3 runs clean —
+# its failure mode is the SIGKILL below.
+MGSERVE_FAULTS="shard1:err503:rate=0.15:path=/jobs" \
+  "$WORKDIR/mgserve" -addr "$S1" -node "$S1" "${COMMON[@]}" \
+  -data "$WORKDIR/data1" -fault-label shard1 -fault-seed 11 \
+  >"$WORKDIR/shard1.log" 2>&1 &
+PIDS+=($!)
+"$WORKDIR/mgserve" -addr "$S2" -node "$S2" "${COMMON[@]}" \
+  -data "$WORKDIR/data2" \
+  -fault-spec "shard2:delay=250ms:rate=0.2:path=/jobs" -fault-label shard2 -fault-seed 12 \
+  >"$WORKDIR/shard2.log" 2>&1 &
+PIDS+=($!)
+"$WORKDIR/mgserve" -addr "$S3" -node "$S3" "${COMMON[@]}" \
+  -data "$WORKDIR/data3" \
+  >"$WORKDIR/shard3.log" 2>&1 &
+PIDS+=($!)
+SHARD3_PID=$!
+"$WORKDIR/mgserve" -router -addr "$RT" -shards "$S1,$S2,$S3" -replicas 1 \
+  -cluster-secret "$SECRET" -breaker-threshold 2 -breaker-base 200ms -breaker-max 1s \
+  -hedge-delay 150ms \
+  >"$WORKDIR/router.log" 2>&1 &
+PIDS+=($!)
+
+for base in "http://$S1" "http://$S2" "http://$S3" "$BR"; do
+  for _ in $(seq 1 50); do
+    if curl -sf "$base/readyz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+  done
+  curl -sf "$base/readyz" | grep -q '"ready": true' || { echo "$base never became ready"; exit 1; }
+done
+grep -q "fault injection ON" "$WORKDIR/shard1.log" || { echo "shard 1 did not arm its fault schedule"; exit 1; }
+grep -q "fault injection ON" "$WORKDIR/shard2.log" || { echo "shard 2 did not arm its fault schedule"; exit 1; }
+
+echo "==> mgload through the router; SIGKILL shard 3 mid-run, restart it"
+# -zipf 0 with 16 distinct specs: uniform coverage, so shard 3's key
+# range keeps getting traffic while it is dead (forcing the breaker
+# open and the degraded fallback) and again after it returns (closing
+# the breaker). -retries 3 + -max-error-rate 0: transient faults may
+# cost retries but no request may ultimately fail.
+"$WORKDIR/mgload" -addr "$BR" -clients 8 -duration 10s -seeds 2 -zipf 0 \
+  -matrices "lap2d-24,tridiag" -ps "2,4" -retries 3 -max-error-rate 0 \
+  -out "$WORKDIR/chaos.json" >"$WORKDIR/mgload.log" 2>&1 &
+LOAD_PID=$!
+PIDS+=($LOAD_PID)
+
+sleep 2.5
+echo "==> kill -9 shard 3 ($SHARD3_PID)"
+{ kill -9 "$SHARD3_PID" && wait "$SHARD3_PID"; } 2>/dev/null || true
+
+sleep 2.5
+echo "==> restarting shard 3 on its old data dir"
+"$WORKDIR/mgserve" -addr "$S3" -node "$S3" "${COMMON[@]}" \
+  -data "$WORKDIR/data3" \
+  >"$WORKDIR/shard3-restart.log" 2>&1 &
+PIDS+=($!)
+for _ in $(seq 1 50); do
+  if curl -sf "http://$S3/readyz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "http://$S3/readyz" | grep -q '"ready": true' || { echo "shard 3 never came back"; exit 1; }
+
+wait "$LOAD_PID" || { echo "mgload saw surviving client errors under chaos:"; tail -5 "$WORKDIR/mgload.log"; exit 1; }
+tail -n +1 "$WORKDIR/mgload.log" | grep '^requests=' || true
+
+echo "==> breaker opened and re-closed; degraded serving happened"
+curl -sf "$BR/stats" -o "$WORKDIR/rstats.json"
+OPENED=$(num "$WORKDIR/rstats.json" breaker_opened)
+CLOSED=$(num "$WORKDIR/rstats.json" breaker_closed)
+DEGRADED=$(num "$WORKDIR/rstats.json" degraded_served)
+RETRIES=$(num "$WORKDIR/chaos.json" retries)
+test "${OPENED:-0}" -ge 1 || { echo "breaker_opened = ${OPENED:-0}, want >= 1"; exit 1; }
+test "${CLOSED:-0}" -ge 1 || { echo "breaker_closed = ${CLOSED:-0}, want >= 1 (no recovery)"; exit 1; }
+test "${DEGRADED:-0}" -ge 1 || { echo "degraded_served = ${DEGRADED:-0}, want >= 1"; exit 1; }
+
+# The shards that computed the dead owner's keys counted them, and the
+# cluster ended the run reachable again.
+DEGJOBS=$(num "$WORKDIR/rstats.json" degraded_jobs)
+test "${DEGJOBS:-0}" -ge 1 || { echo "degraded_jobs = ${DEGJOBS:-0}, want >= 1"; exit 1; }
+grep -q '"shards_reachable": 3' "$WORKDIR/rstats.json" || { echo "cluster did not fully recover"; exit 1; }
+curl -sf "$BR/healthz" >/dev/null || { echo "router died during chaos"; exit 1; }
+
+echo "==> chaos smoke OK (breaker opened $OPENED / closed $CLOSED, degraded_served=$DEGRADED, degraded_jobs=$DEGJOBS, client retries=${RETRIES:-0})"

@@ -142,14 +142,14 @@ test $((A1 + A2)) -ge "$TOT" || { echo "merged accepted $TOT > shard sum $((A1 +
 grep -q '"shards_reachable": 2' "$WORKDIR/merged.json" || { echo "router lost a shard"; exit 1; }
 
 echo "==> lossless drain: SIGTERM shard 2 under live router traffic"
+# -max-error-rate 0: mgload itself fails the run if any request
+# ultimately errors, replacing a fragile grep over the report JSON.
 "$WORKDIR/mgload" -addr "$BR" -clients 4 -duration 4s -seeds 2 \
-  -matrices "lap2d-24,tridiag" -ps "2,4" -out "$WORKDIR/drain.json" &
+  -matrices "lap2d-24,tridiag" -ps "2,4" -max-error-rate 0 -out "$WORKDIR/drain.json" &
 LOAD_PID=$!
 sleep 1.5
 kill -TERM "$SHARD2_PID"
-wait "$LOAD_PID" || { echo "mgload under failover exited nonzero"; exit 1; }
-grep -q '"errors": 0' "$WORKDIR/drain.json" \
-  || { echo "failover lost requests:"; grep '"errors"' "$WORKDIR/drain.json"; exit 1; }
+wait "$LOAD_PID" || { echo "failover lost requests"; grep '"errors"' "$WORKDIR/drain.json" || true; exit 1; }
 grep -q "drained:" "$WORKDIR/shard2.log"
 # The router must have noticed and kept serving.
 curl -sf "$BR/healthz" >/dev/null || { echo "router died during failover"; exit 1; }

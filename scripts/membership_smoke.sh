@@ -56,13 +56,14 @@ echo "==> warming the cluster cache through the router"
 # -zipf 0: uniform spec coverage, so every one of the 24 distinct keys
 # gets cached somewhere — the joiner's rehydration set (~1/4 of them)
 # must not be empty by sampling accident.
+# -max-error-rate 0: mgload itself fails the run if any request errors,
+# replacing a fragile grep over the report JSON.
 "$WORKDIR/mgload" -addr "$BR" -clients 8 -requests 6 -seeds 6 -zipf 0 \
-  -matrices "lap2d-24,tridiag" -ps "2,4" -out "$WORKDIR/warm.json"
-grep -q '"errors": 0' "$WORKDIR/warm.json" || { echo "warm-up saw errors"; exit 1; }
+  -matrices "lap2d-24,tridiag" -ps "2,4" -max-error-rate 0 -out "$WORKDIR/warm.json"
 
 echo "==> live load + join shard 4 ($S4)"
 "$WORKDIR/mgload" -addr "$BR" -clients 4 -duration 10s -seeds 6 -zipf 0 \
-  -matrices "lap2d-24,tridiag" -ps "2,4" -out "$WORKDIR/load.json" &
+  -matrices "lap2d-24,tridiag" -ps "2,4" -max-error-rate 0 -out "$WORKDIR/load.json" &
 LOAD_PID=$!
 PIDS+=($LOAD_PID)
 sleep 1
@@ -99,9 +100,7 @@ grep -q '"nodes": 4' "$WORKDIR/ring4.json" || { echo "joiner ring view wrong"; e
 echo "==> planned leave: SIGTERM shard 4 under the same live load"
 REHYDRATED=$DONE
 kill -TERM "$SHARD4_PID"
-wait "$LOAD_PID" || { echo "mgload under membership churn exited nonzero"; exit 1; }
-grep -q '"errors": 0' "$WORKDIR/load.json" \
-  || { echo "membership churn lost requests:"; grep '"errors"' "$WORKDIR/load.json"; exit 1; }
+wait "$LOAD_PID" || { echo "membership churn lost requests"; grep '"errors"' "$WORKDIR/load.json" || true; exit 1; }
 
 # Wait for shard 4 to finish its leave (announce, drain, handoff, exit).
 for _ in $(seq 1 100); do
